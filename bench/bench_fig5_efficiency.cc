@@ -1,0 +1,66 @@
+// Reproduces paper Figure 5: running efficiency on the Geolife-like
+// workload — (a) running time per training epoch, (b) FLOPs and
+// parameter counts — plus the convergence comparison discussed in
+// Sec. V-B3 (LightTR converges in fewer rounds than MTrajRec+FL).
+//
+// Expected shape: RNN+FL cheapest (but far less accurate), LightTR a
+// close second with ~an order of magnitude fewer FLOPs than
+// RNTrajRec+FL; MTrajRec+FL and RNTrajRec+FL heaviest.
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+namespace {
+
+// First round whose validation accuracy reaches 95% of the run's best.
+int RoundsToConverge(const std::vector<lighttr::fl::RoundRecord>& history) {
+  double best = 0.0;
+  for (const auto& record : history) {
+    best = std::max(best, record.global_valid_accuracy);
+  }
+  for (const auto& record : history) {
+    if (record.global_valid_accuracy >= 0.95 * best) return record.round;
+  }
+  return history.empty() ? 0 : history.back().round;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lighttr;
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("Figure 5 reproduction (scale=%s)\n", scale.name.c_str());
+
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  const traj::WorkloadProfile profile =
+      eval::ScaledProfile(traj::GeolifeLikeProfile(), scale);
+  const auto clients = env->MakeWorkload(
+      profile, eval::DefaultWorkloadOptions(scale, 0.125), scale.seed + 4);
+  const auto sample = eval::ExperimentEnv::PooledTestSet(clients, 12);
+
+  const std::vector<baselines::ModelKind> methods = {
+      baselines::ModelKind::kRnn, baselines::ModelKind::kMTrajRec,
+      baselines::ModelKind::kRnTrajRec, baselines::ModelKind::kLightTr};
+
+  TablePrinter table({"Method", "Epoch(s)", "MFLOPs/rec", "Params",
+                      "Conv.round", "Recall"});
+  for (baselines::ModelKind kind : methods) {
+    eval::MethodResult result = eval::RunFederatedMethod(
+        *env, kind, clients, eval::DefaultRunOptions(scale));
+    eval::ProfileModel(*env, kind, sample, &result);
+    table.AddRow(
+        {result.method, TablePrinter::Fmt(result.train_epoch_seconds, 3),
+         TablePrinter::Fmt(
+             static_cast<double>(result.flops_per_recovery) / 1e6, 2),
+         std::to_string(result.parameters),
+         std::to_string(RoundsToConverge(result.run.history)),
+         TablePrinter::Fmt(result.metrics.recall)});
+    std::printf("done: %s\n", result.method.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.ToString().c_str());
+  (void)WriteFile("bench_fig5_efficiency.csv", table.ToCsv());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces paper Figure 7: ablation study of LightTR's components on
+// both workloads (keep ratio 12.5%):
+//   - w/o_FL   : no central server; clients train locally and exchange
+//                parameters around a ring (CyclicExchangeTrainer);
+//   - w/o_LS   : the lightweight ST-operator is replaced by the heavier
+//                MTrajRec local model (teacher + meta training kept);
+//   - w/o_Meta : meta-knowledge enhanced local-global training replaced
+//                by plain FedAvg.
+//
+// Expected shape: full LightTR best; w/o_Meta degrades the most
+// (meta-knowledge handles the Non-IID heterogeneity); w/o_LS close to
+// LightTR but far more expensive.
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+#include "fl/cyclic_trainer.h"
+
+namespace {
+
+using namespace lighttr;
+
+eval::RecoveryMetrics RunWithoutFl(
+    const eval::ExperimentEnv& env,
+    const std::vector<traj::ClientDataset>& clients,
+    const eval::ExperimentScale& scale,
+    const std::vector<traj::IncompleteTrajectory>& test) {
+  fl::CyclicTrainerOptions options;
+  options.rounds = scale.rounds;
+  options.local_epochs = scale.local_epochs;
+  options.learning_rate = 3e-3;
+  options.seed = scale.seed;
+  fl::CyclicExchangeTrainer trainer(
+      baselines::MakeFactory(baselines::ModelKind::kLightTr, &env.encoder()),
+      &clients, options);
+  (void)trainer.Run();
+  return eval::EvaluateRecovery(trainer.final_model(), env.network(), test);
+}
+
+eval::RecoveryMetrics RunWithoutLs(
+    const eval::ExperimentEnv& env,
+    const std::vector<traj::ClientDataset>& clients,
+    const eval::ExperimentScale& scale,
+    const std::vector<traj::IncompleteTrajectory>& test) {
+  // MTrajRec as the local model, but keep teacher + meta training.
+  const fl::ModelFactory factory =
+      baselines::MakeFactory(baselines::ModelKind::kMTrajRec, &env.encoder());
+  eval::MethodRunOptions options = eval::DefaultRunOptions(scale);
+  auto teacher = core::TrainTeacher(factory, clients, options.teacher);
+  core::MetaLocalUpdate strategy(teacher.get(), options.meta);
+  fl::FederatedTrainer trainer(factory, &clients, options.fed);
+  (void)trainer.Run(&strategy);
+  return eval::EvaluateRecovery(trainer.global_model(), env.network(), test);
+}
+
+}  // namespace
+
+int main() {
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("Figure 7 reproduction (scale=%s)\n", scale.name.c_str());
+
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  const std::vector<traj::WorkloadProfile> profiles = {
+      eval::ScaledProfile(traj::GeolifeLikeProfile(), scale),
+      eval::ScaledProfile(traj::TdriveLikeProfile(), scale)};
+
+  TablePrinter table({"Dataset", "Variant", "Recall", "Precision", "MAE(km)",
+                      "RMSE(km)"});
+  for (const auto& profile : profiles) {
+    const auto clients = env->MakeWorkload(
+        profile, eval::DefaultWorkloadOptions(scale, 0.125), scale.seed + 7);
+    const auto test = eval::ExperimentEnv::PooledTestSet(
+        clients, scale.max_test_trajectories);
+
+    auto add_row = [&](const std::string& variant,
+                       const eval::RecoveryMetrics& metrics) {
+      table.AddRow({profile.name, variant, TablePrinter::Fmt(metrics.recall),
+                    TablePrinter::Fmt(metrics.precision),
+                    TablePrinter::Fmt(metrics.mae_km),
+                    TablePrinter::Fmt(metrics.rmse_km)});
+      std::printf("done: %s %s\n", profile.name.c_str(), variant.c_str());
+      std::fflush(stdout);
+    };
+
+    const eval::MethodResult full = eval::RunFederatedMethod(
+        *env, baselines::ModelKind::kLightTr, clients,
+        eval::DefaultRunOptions(scale));
+    add_row("LightTR", full.metrics);
+
+    add_row("w/o_FL", RunWithoutFl(*env, clients, scale, test));
+    add_row("w/o_LS", RunWithoutLs(*env, clients, scale, test));
+
+    eval::MethodRunOptions no_meta = eval::DefaultRunOptions(scale);
+    no_meta.lighttr_use_teacher = false;
+    const eval::MethodResult without_meta = eval::RunFederatedMethod(
+        *env, baselines::ModelKind::kLightTr, clients, no_meta);
+    add_row("w/o_Meta", without_meta.metrics);
+  }
+  std::printf("%s", table.ToString().c_str());
+  (void)WriteFile("bench_fig7_ablation.csv", table.ToCsv());
+  return 0;
+}

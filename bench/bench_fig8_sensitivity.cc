@@ -1,0 +1,53 @@
+// Reproduces paper Figure 8: sensitivity of LightTR to the distillation
+// weight lambda_0 (0.1, 1, 5, 10) and the knowledge-accumulation
+// threshold l_t (0, 0.2, 0.4, 0.6), at keep ratio 12.5%.
+//
+// Expected shape: a sweet spot near lambda_0 = 5 and l_t = 0.4;
+// excessive guidance (large lambda_0 / large l_t) degrades recovery.
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+int main() {
+  using namespace lighttr;
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("Figure 8 reproduction (scale=%s)\n", scale.name.c_str());
+
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  const traj::WorkloadProfile profile =
+      eval::ScaledProfile(traj::GeolifeLikeProfile(), scale);
+  const auto clients = env->MakeWorkload(
+      profile, eval::DefaultWorkloadOptions(scale, 0.125), scale.seed + 8);
+
+  TablePrinter table({"Parameter", "Value", "Recall", "Precision", "MAE(km)",
+                      "RMSE(km)"});
+  auto run = [&](const std::string& parameter, double value,
+                 double lambda0, double l_t) {
+    eval::MethodRunOptions options = eval::DefaultRunOptions(scale);
+    options.meta.lambda0 = lambda0;
+    options.meta.l_t = l_t;
+    options.teacher.lambda0 = lambda0;
+    options.teacher.l_t = l_t;
+    const eval::MethodResult result = eval::RunFederatedMethod(
+        *env, baselines::ModelKind::kLightTr, clients, options);
+    table.AddRow({parameter, TablePrinter::Fmt(value, 1),
+                  TablePrinter::Fmt(result.metrics.recall),
+                  TablePrinter::Fmt(result.metrics.precision),
+                  TablePrinter::Fmt(result.metrics.mae_km),
+                  TablePrinter::Fmt(result.metrics.rmse_km)});
+    std::printf("done: %s=%.1f\n", parameter.c_str(), value);
+    std::fflush(stdout);
+  };
+
+  for (double lambda0 : {0.1, 1.0, 5.0, 10.0}) {
+    run("lambda0", lambda0, lambda0, /*l_t=*/0.4);
+  }
+  for (double l_t : {0.0, 0.2, 0.4, 0.6}) {
+    run("l_t", l_t, /*lambda0=*/5.0, l_t);
+  }
+  std::printf("%s", table.ToString().c_str());
+  (void)WriteFile("bench_fig8_sensitivity.csv", table.ToCsv());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Engineering microbenchmarks of the substrates: matrix kernels,
+// autograd overhead, Dijkstra shortest paths, segment-index queries,
+// and HMM map matching. Not a paper experiment; guards the performance
+// assumptions the experiment harness relies on.
+#include <benchmark/benchmark.h>
+
+#include "mapmatch/hmm_map_matcher.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "roadnet/generators.h"
+#include "roadnet/segment_index.h"
+#include "roadnet/shortest_path.h"
+#include "traj/generator.h"
+
+namespace {
+
+using namespace lighttr;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const nn::Matrix a = nn::Matrix::RandomUniform(n, n, 1.0, &rng);
+  const nn::Matrix b = nn::Matrix::RandomUniform(n, n, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMulValues(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_AutogradOverhead(benchmark::State& state) {
+  // Chained small ops measure tape overhead relative to raw math.
+  Rng rng(2);
+  nn::Tensor w = nn::Tensor::Variable(nn::Matrix::RandomUniform(8, 8, 1.0, &rng));
+  const nn::Matrix x = nn::Matrix::RandomUniform(1, 8, 1.0, &rng);
+  for (auto _ : state) {
+    nn::Tensor t = nn::Tensor::Constant(x);
+    for (int i = 0; i < 8; ++i) t = nn::Tanh(nn::MatMul(t, w));
+    nn::Tensor loss = nn::Mean(t);
+    loss.Backward();
+    w.ZeroGrad();
+  }
+}
+BENCHMARK(BM_AutogradOverhead);
+
+void BM_DijkstraPointToPoint(benchmark::State& state) {
+  Rng rng(3);
+  roadnet::CityGridOptions options;
+  options.rows = static_cast<int32_t>(state.range(0));
+  options.cols = static_cast<int32_t>(state.range(0));
+  const roadnet::RoadNetwork network = roadnet::GenerateCityGrid(options, &rng);
+  roadnet::DijkstraEngine engine(network);
+  Rng pick(4);
+  for (auto _ : state) {
+    const auto u = static_cast<roadnet::VertexId>(
+        pick.UniformInt(0, network.num_vertices() - 1));
+    const auto v = static_cast<roadnet::VertexId>(
+        pick.UniformInt(0, network.num_vertices() - 1));
+    benchmark::DoNotOptimize(engine.Distance(u, v));
+  }
+}
+BENCHMARK(BM_DijkstraPointToPoint)->Arg(9)->Arg(16)->Arg(24);
+
+void BM_SegmentIndexNearby(benchmark::State& state) {
+  Rng rng(5);
+  roadnet::CityGridOptions options;
+  const roadnet::RoadNetwork network = roadnet::GenerateCityGrid(options, &rng);
+  const roadnet::SegmentIndex index(network);
+  const geo::GeoPoint lo = network.min_corner();
+  const geo::GeoPoint hi = network.max_corner();
+  Rng pick(6);
+  for (auto _ : state) {
+    const geo::GeoPoint p{pick.Uniform(lo.lat, hi.lat),
+                          pick.Uniform(lo.lng, hi.lng)};
+    benchmark::DoNotOptimize(index.Nearby(p, 250.0));
+  }
+}
+BENCHMARK(BM_SegmentIndexNearby);
+
+void BM_HmmMapMatch(benchmark::State& state) {
+  Rng rng(7);
+  roadnet::CityGridOptions options;
+  const roadnet::RoadNetwork network = roadnet::GenerateCityGrid(options, &rng);
+  const roadnet::SegmentIndex index(network);
+  const traj::TrajectoryGenerator generator(network);
+  traj::GeneratorOptions gen;
+  gen.min_points = 24;
+  gen.max_points = 24;
+  auto matched = generator.Generate(gen, roadnet::kInvalidVertex, &rng);
+  const traj::RawTrajectory raw =
+      traj::ToRawTrajectory(network, matched.value(), 20.0, &rng);
+  const mapmatch::HmmMapMatcher matcher(index, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matcher.Match(raw));
+  }
+}
+BENCHMARK(BM_HmmMapMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Reproduces paper Table II: time/space analysis of the base
+// ST-operator families — CNN (causal temporal convolution), RNN (GRU),
+// Attn (scaled dot-product self-attention), and the pure-MLP operator
+// LightTR builds on. Google-benchmark timings of one forward+backward
+// pass over a [L, D] sequence, swept over L and D; parameter counts are
+// reported as counters.
+//
+// Expected shape (paper): CNN/RNN scale as O(D^2 L); Attn picks up an
+// extra O(L (D + L)) factor and dominates at long L; MLP is cheapest.
+#include <benchmark/benchmark.h>
+
+#include "nn/layers.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace {
+
+using namespace lighttr;
+using nn::Tensor;
+
+nn::Matrix RandomInput(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  return nn::Matrix::RandomUniform(rows, cols, 0.5, &rng);
+}
+
+// One training step: forward, scalar loss, backward.
+void RunStep(const std::function<Tensor(const Tensor&)>& op,
+             const nn::Matrix& input, nn::ParameterSet* params) {
+  Tensor x = Tensor::Constant(input);
+  Tensor loss = nn::Mean(op(x));
+  loss.Backward();
+  params->ZeroGrads();
+}
+
+void BM_StCnn(benchmark::State& state) {
+  const auto length = static_cast<size_t>(state.range(0));
+  const auto dim = static_cast<size_t>(state.range(1));
+  nn::ParameterSet params;
+  Rng rng(1);
+  nn::CausalConv1d conv(dim, dim, /*kernel=*/3, "cnn", &params, &rng);
+  const nn::Matrix input = RandomInput(length, dim, 2);
+  for (auto _ : state) {
+    RunStep([&](const Tensor& x) { return nn::Relu(conv.Forward(x)); },
+            input, &params);
+  }
+  state.counters["params"] = static_cast<double>(params.NumScalars());
+}
+
+void BM_StRnn(benchmark::State& state) {
+  const auto length = static_cast<size_t>(state.range(0));
+  const auto dim = static_cast<size_t>(state.range(1));
+  nn::ParameterSet params;
+  Rng rng(1);
+  nn::GruCell gru(dim, dim, "rnn", &params, &rng);
+  const nn::Matrix input = RandomInput(length, dim, 2);
+  for (auto _ : state) {
+    RunStep(
+        [&](const Tensor& x) {
+          Tensor h = gru.InitialState();
+          std::vector<Tensor> states;
+          for (size_t t = 0; t < x.rows(); ++t) {
+            h = gru.Forward(nn::SliceRows(x, t, 1), h);
+            states.push_back(h);
+          }
+          return nn::ConcatRows(states);
+        },
+        input, &params);
+  }
+  state.counters["params"] = static_cast<double>(params.NumScalars());
+}
+
+void BM_StAttn(benchmark::State& state) {
+  const auto length = static_cast<size_t>(state.range(0));
+  const auto dim = static_cast<size_t>(state.range(1));
+  nn::ParameterSet params;
+  Rng rng(1);
+  nn::Dense q(dim, dim, "q", &params, &rng);
+  nn::Dense k(dim, dim, "k", &params, &rng);
+  nn::Dense v(dim, dim, "v", &params, &rng);
+  const nn::Matrix input = RandomInput(length, dim, 2);
+  for (auto _ : state) {
+    RunStep(
+        [&](const Tensor& x) {
+          return nn::ScaledDotProductAttention(q.Forward(x), k.Forward(x),
+                                               v.Forward(x));
+        },
+        input, &params);
+  }
+  state.counters["params"] = static_cast<double>(params.NumScalars());
+}
+
+void BM_StMlp(benchmark::State& state) {
+  const auto length = static_cast<size_t>(state.range(0));
+  const auto dim = static_cast<size_t>(state.range(1));
+  nn::ParameterSet params;
+  Rng rng(1);
+  // The lightweight operator applies a position-wise MLP; the sequence
+  // axis costs O(L + D) memory rather than O(L^2) or O(D^2 L).
+  nn::Dense mlp(dim, dim, "mlp", &params, &rng);
+  const nn::Matrix input = RandomInput(length, dim, 2);
+  for (auto _ : state) {
+    RunStep([&](const Tensor& x) { return nn::Relu(mlp.Forward(x)); },
+            input, &params);
+  }
+  state.counters["params"] = static_cast<double>(params.NumScalars());
+}
+
+void StArgs(benchmark::internal::Benchmark* bench) {
+  // Sweep sequence length L at fixed D, and embedding size D at fixed L.
+  for (int length : {16, 32, 64, 128}) bench->Args({length, 32});
+  for (int dim : {16, 32, 64, 128}) bench->Args({32, dim});
+}
+
+BENCHMARK(BM_StCnn)->Apply(StArgs);
+BENCHMARK(BM_StRnn)->Apply(StArgs);
+BENCHMARK(BM_StAttn)->Apply(StArgs);
+BENCHMARK(BM_StMlp)->Apply(StArgs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces paper Table III: statistics of the two datasets. The paper
+// reports real Tdrive/Geolife figures (city, time span, drivers, total
+// length); this binary reports the same attributes for the synthetic
+// substitutes at the current scale, making the workload regimes
+// (sparse vs data-sufficient) inspectable.
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+#include "traj/stats.h"
+
+int main() {
+  using namespace lighttr;
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("Table III reproduction (scale=%s)\n", scale.name.c_str());
+
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  TablePrinter table({"Attribute", "Geolife-like", "Tdrive-like"});
+
+  std::vector<traj::DatasetStats> stats;
+  std::vector<traj::WorkloadProfile> profiles = {
+      eval::ScaledProfile(traj::GeolifeLikeProfile(), scale),
+      eval::ScaledProfile(traj::TdriveLikeProfile(), scale)};
+  for (const auto& profile : profiles) {
+    const auto clients = env->MakeWorkload(
+        profile, eval::DefaultWorkloadOptions(scale, 0.125), scale.seed + 30);
+    stats.push_back(traj::ComputeWorkloadStats(env->network(), clients));
+  }
+
+  auto row = [&](const std::string& name, auto getter, int precision) {
+    table.AddRow({name, TablePrinter::Fmt(getter(stats[0]), precision),
+                  TablePrinter::Fmt(getter(stats[1]), precision)});
+  };
+  table.AddRow({"City", "synthetic grid (Beijing-like)",
+                "synthetic grid (Beijing-like)"});
+  row("Trajectories", [](const auto& s) { return double(s.trajectories); }, 0);
+  row("Drivers", [](const auto& s) { return double(s.drivers); }, 0);
+  row("Points", [](const auto& s) { return double(s.points); }, 0);
+  row("Total length (km)",
+      [](const auto& s) { return s.total_length_km; }, 1);
+  row("Mean points/trajectory",
+      [](const auto& s) { return s.mean_points_per_trajectory; }, 1);
+  row("Mean speed (m/s)", [](const auto& s) { return s.mean_speed_mps; }, 1);
+  row("Sampling rate (s)", [](const auto& s) { return s.epsilon_s; }, 0);
+  row("Observed fraction",
+      [](const auto& s) { return s.observed_fraction; }, 3);
+
+  std::printf("%s", table.ToString().c_str());
+  (void)WriteFile("bench_table3_datasets.csv", table.ToCsv());
+  return 0;
+}

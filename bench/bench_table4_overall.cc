@@ -1,0 +1,54 @@
+// Reproduces paper Table IV: overall performance comparison of FC+FL,
+// RNN+FL, MTrajRec+FL, RNTrajRec+FL, and LightTR on the Geolife-like
+// and Tdrive-like workloads at keep ratios 6.25%, 12.5%, and 25%.
+//
+// Expected shape (paper): LightTR best everywhere; RNTrajRec+FL and
+// MTrajRec+FL next; RNN+FL above FC+FL; all methods improve with the
+// keep ratio. Absolute values differ (scaled-down models/data; see
+// DESIGN.md).
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+int main() {
+  using namespace lighttr;
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("Table IV reproduction (scale=%s)\n", scale.name.c_str());
+
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  const std::vector<traj::WorkloadProfile> profiles = {
+      eval::ScaledProfile(traj::GeolifeLikeProfile(), scale),
+      eval::ScaledProfile(traj::TdriveLikeProfile(), scale)};
+  const std::vector<double> keep_ratios = {0.0625, 0.125, 0.25};
+  const std::vector<baselines::ModelKind> methods = {
+      baselines::ModelKind::kFc, baselines::ModelKind::kRnn,
+      baselines::ModelKind::kMTrajRec, baselines::ModelKind::kRnTrajRec,
+      baselines::ModelKind::kLightTr};
+
+  TablePrinter table({"Dataset", "Keep", "Method", "Recall", "Precision",
+                      "MAE(km)", "RMSE(km)", "Wall(s)"});
+  for (const auto& profile : profiles) {
+    for (double keep : keep_ratios) {
+      const auto clients = env->MakeWorkload(
+          profile, eval::DefaultWorkloadOptions(scale, keep), scale.seed + 1);
+      for (baselines::ModelKind kind : methods) {
+        const eval::MethodResult result = eval::RunFederatedMethod(
+            *env, kind, clients, eval::DefaultRunOptions(scale));
+        table.AddRow({profile.name, TablePrinter::Fmt(keep * 100, 2) + "%",
+                      result.method, TablePrinter::Fmt(result.metrics.recall),
+                      TablePrinter::Fmt(result.metrics.precision),
+                      TablePrinter::Fmt(result.metrics.mae_km),
+                      TablePrinter::Fmt(result.metrics.rmse_km),
+                      TablePrinter::Fmt(result.wall_seconds, 1)});
+        std::printf("done: %s %s %.2f%%\n", profile.name.c_str(),
+                    result.method.c_str(), keep * 100);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  (void)WriteFile("bench_table4_overall.csv", table.ToCsv());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces paper Table V: effect of the number of clients on LightTR
+// (keep ratio 12.5%, both workloads).
+//
+// Expected shape: metrics improve as more clients (more decentralized
+// data) participate, with possible small non-monotonicity at the top.
+#include <cstdio>
+
+#include "common/file_util.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+int main() {
+  using namespace lighttr;
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  std::printf("Table V reproduction (scale=%s)\n", scale.name.c_str());
+
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  const std::vector<int> client_counts = {5, 10, 15, 20};
+  const std::vector<traj::WorkloadProfile> profiles = {
+      eval::ScaledProfile(traj::GeolifeLikeProfile(), scale),
+      eval::ScaledProfile(traj::TdriveLikeProfile(), scale)};
+
+  TablePrinter table({"Dataset", "Clients", "Recall", "Precision", "MAE(km)",
+                      "RMSE(km)"});
+  for (const auto& profile : profiles) {
+    for (int clients_n : client_counts) {
+      traj::FederatedWorkloadOptions workload =
+          eval::DefaultWorkloadOptions(scale, 0.125);
+      workload.num_clients = clients_n;
+      const auto clients =
+          env->MakeWorkload(profile, workload, scale.seed + 2);
+      const eval::MethodResult result = eval::RunFederatedMethod(
+          *env, baselines::ModelKind::kLightTr, clients,
+          eval::DefaultRunOptions(scale));
+      table.AddRow({profile.name, std::to_string(clients_n),
+                    TablePrinter::Fmt(result.metrics.recall),
+                    TablePrinter::Fmt(result.metrics.precision),
+                    TablePrinter::Fmt(result.metrics.mae_km),
+                    TablePrinter::Fmt(result.metrics.rmse_km)});
+      std::printf("done: %s N=%d\n", profile.name.c_str(), clients_n);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  (void)WriteFile("bench_table5_clients.csv", table.ToCsv());
+  return 0;
+}

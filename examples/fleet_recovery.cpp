@@ -1,0 +1,72 @@
+// Fleet recovery: several taxi platform centers (clients) with
+// spatially skewed (Non-IID) local data collaboratively train LightTR
+// without sharing raw trajectories, then each center recovers its own
+// low-sampling-rate trips with the global model.
+//
+// Demonstrates: teacher pre-training (Algorithm 1), meta-knowledge
+// enhanced federated training (Algorithms 2-3), per-round convergence,
+// communication accounting, and the gain over plain FedAvg.
+#include <cstdio>
+
+#include "common/table_printer.h"
+#include "eval/harness.h"
+
+int main() {
+  using namespace lighttr;
+
+  eval::ExperimentEnv env(/*rows=*/9, /*cols=*/9, /*seed=*/3);
+
+  // Six platform centers; each records taxis around its own home region.
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 16;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 6;
+  workload.keep_ratio = 0.125;
+  const auto clients = env.MakeWorkload(profile, workload, /*seed=*/4);
+  std::printf("%d platform centers, %zu trajectories each\n",
+              workload.num_clients, clients[0].TotalSize());
+
+  eval::MethodRunOptions options;
+  options.fed.rounds = 6;
+  options.fed.local_epochs = 2;
+  options.fed.learning_rate = 3e-3;
+  options.teacher.learning_rate = 3e-3;
+
+  // Full LightTR.
+  const eval::MethodResult with_meta = eval::RunFederatedMethod(
+      env, baselines::ModelKind::kLightTr, clients, options);
+  // Plain FedAvg (the w/o_Meta ablation).
+  eval::MethodRunOptions plain = options;
+  plain.lighttr_use_teacher = false;
+  const eval::MethodResult without_meta = eval::RunFederatedMethod(
+      env, baselines::ModelKind::kLightTr, clients, plain);
+
+  std::printf("\nConvergence (validation segment accuracy per round):\n");
+  for (size_t i = 0; i < with_meta.run.history.size(); ++i) {
+    std::printf("  round %d: LightTR=%.3f  FedAvg-only=%.3f\n",
+                with_meta.run.history[i].round,
+                with_meta.run.history[i].global_valid_accuracy,
+                without_meta.run.history[i].global_valid_accuracy);
+  }
+
+  TablePrinter table({"Variant", "Recall", "Precision", "MAE(km)",
+                      "RMSE(km)", "Comm(KiB)"});
+  for (const auto* result : {&with_meta, &without_meta}) {
+    table.AddRow(
+        {result == &with_meta ? "LightTR (meta)" : "w/o meta (FedAvg)",
+         TablePrinter::Fmt(result->metrics.recall),
+         TablePrinter::Fmt(result->metrics.precision),
+         TablePrinter::Fmt(result->metrics.mae_km),
+         TablePrinter::Fmt(result->metrics.rmse_km),
+         TablePrinter::Fmt(
+             static_cast<double>(result->run.comm.TotalBytes()) / 1024.0,
+             0)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+
+  // Under a 10 Mbps uplink with 50 ms latency, the whole training run
+  // would have cost this much transfer time:
+  std::printf("simulated transfer time @10Mbps+50ms: %.2f s\n",
+              with_meta.run.comm.SimulatedSeconds(10e6 / 8.0, 0.05));
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "baselines/centralized_trainer.h"
+
+#include "common/check.h"
+#include "fl/local_trainer.h"
+#include "nn/optimizer.h"
+
+namespace lighttr::baselines {
+
+std::unique_ptr<fl::RecoveryModel> TrainCentralized(
+    const fl::ModelFactory& factory,
+    const std::vector<traj::IncompleteTrajectory>& train_data,
+    const CentralizedOptions& options) {
+  LIGHTTR_CHECK_GE(options.epochs, 1);
+  Rng rng(options.seed);
+  Rng model_rng = rng.Fork();
+  std::unique_ptr<fl::RecoveryModel> model = factory(&model_rng);
+  nn::AdamOptimizer optimizer(static_cast<nn::Scalar>(options.learning_rate));
+  fl::LocalTrainOptions local;
+  local.epochs = options.epochs;
+  Rng train_rng = rng.Fork();
+  fl::TrainLocal(model.get(), &optimizer, train_data, local, &train_rng);
+  return model;
+}
+
+}  // namespace lighttr::baselines

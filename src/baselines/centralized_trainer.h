@@ -1,0 +1,30 @@
+// Centralized (non-federated) training — the comparison point of paper
+// Table VI, where MTrajRec is trained on all data gathered centrally.
+#ifndef LIGHTTR_BASELINES_CENTRALIZED_TRAINER_H_
+#define LIGHTTR_BASELINES_CENTRALIZED_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "fl/recovery_model.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::baselines {
+
+/// Options for TrainCentralized.
+struct CentralizedOptions {
+  int epochs = 10;
+  double learning_rate = 1e-3;
+  uint64_t seed = 23;
+};
+
+/// Trains a fresh model from `factory` on the pooled dataset and returns
+/// it.
+std::unique_ptr<fl::RecoveryModel> TrainCentralized(
+    const fl::ModelFactory& factory,
+    const std::vector<traj::IncompleteTrajectory>& train_data,
+    const CentralizedOptions& options);
+
+}  // namespace lighttr::baselines
+
+#endif  // LIGHTTR_BASELINES_CENTRALIZED_TRAINER_H_

@@ -1,0 +1,33 @@
+// Factory helpers that build any recovery model by kind — the five
+// methods compared throughout the paper's evaluation.
+#ifndef LIGHTTR_BASELINES_MODEL_ZOO_H_
+#define LIGHTTR_BASELINES_MODEL_ZOO_H_
+
+#include <string>
+
+#include "fl/recovery_model.h"
+#include "traj/encoding.h"
+
+namespace lighttr::baselines {
+
+/// The methods of Table IV.
+enum class ModelKind {
+  kFc,         // FC+FL
+  kRnn,        // RNN+FL
+  kMTrajRec,   // MTrajRec+FL
+  kRnTrajRec,  // RNTrajRec+FL
+  kLightTr,    // LightTR (LTE local model)
+};
+
+/// Display name matching the paper's tables.
+std::string ModelKindName(ModelKind kind);
+
+/// Builds a ModelFactory producing fresh replicas of the given kind with
+/// the repo's default (scaled-down) configurations. `encoder` must
+/// outlive every produced model.
+fl::ModelFactory MakeFactory(ModelKind kind,
+                             const traj::TrajectoryEncoder* encoder);
+
+}  // namespace lighttr::baselines
+
+#endif  // LIGHTTR_BASELINES_MODEL_ZOO_H_

@@ -1,0 +1,58 @@
+#include "baselines/mt_head.h"
+
+#include "common/check.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+
+namespace lighttr::baselines {
+
+MtHead::MtHead(size_t hidden_dim, size_t seg_embed_dim, size_t num_segments,
+               const std::string& prefix, nn::ParameterSet* params,
+               Rng* rng) {
+  dense_ = std::make_unique<nn::Dense>(hidden_dim, hidden_dim,
+                                       prefix + ".dense", params, rng);
+  // Zero-initialised so decoding starts at the constraint-mask prior.
+  seg_w_ =
+      nn::Tensor::Variable(nn::Matrix::Zeros(hidden_dim, num_segments));
+  seg_b_ = nn::Tensor::Variable(nn::Matrix::Zeros(1, num_segments));
+  params->Register(prefix + ".seg.w", seg_w_);
+  params->Register(prefix + ".seg.b", seg_b_);
+  seg_embed_ = std::make_unique<nn::Embedding>(num_segments, seg_embed_dim,
+                                               prefix + ".emb", params, rng);
+  emb_proj_ = std::make_unique<nn::Dense>(seg_embed_dim, hidden_dim,
+                                          prefix + ".embproj", params, rng);
+  ratio_head_ = std::make_unique<nn::Dense>(hidden_dim + seg_embed_dim, 1,
+                                            prefix + ".ratio", params, rng);
+}
+
+MtHeadStep MtHead::Run(const nn::Tensor& state,
+                       const traj::StepCandidates& candidates,
+                       int conditioning_segment) const {
+  const nn::Tensor h_d = dense_->Forward(state);
+  const nn::Tensor logits =
+      nn::CandidateLogits(h_d, seg_w_, seg_b_, candidates.segments);
+  const nn::Matrix mask_row = nn::Matrix::RowVector(candidates.log_mask);
+
+  MtHeadStep step;
+  if (candidates.target_in_range) {
+    step.ce_loss =
+        nn::SoftmaxCrossEntropy(logits, {candidates.target_index}, &mask_row);
+  }
+  size_t best = 0;
+  for (size_t k = 1; k < candidates.segments.size(); ++k) {
+    if (logits.value()(0, k) + mask_row(0, k) >
+        logits.value()(0, best) + mask_row(0, best)) {
+      best = k;
+    }
+  }
+  step.predicted_segment = candidates.segments[best];
+
+  const int condition = conditioning_segment >= 0 ? conditioning_segment
+                                                  : step.predicted_segment;
+  const nn::Tensor e_emb = seg_embed_->Forward({condition});
+  const nn::Tensor h_e = nn::Relu(nn::Add(h_d, emb_proj_->Forward(e_emb)));
+  step.ratio = nn::Sigmoid(ratio_head_->Forward(nn::ConcatCols(h_e, e_emb)));
+  return step;
+}
+
+}  // namespace lighttr::baselines

@@ -1,0 +1,57 @@
+// Multi-task prediction head with constraint mask, shared by the
+// seq2seq baselines (MTrajRec, RNTrajRec). Mirrors the head of [16]:
+// candidate-restricted segment logits with distance mask, plus a
+// segment-embedding-conditioned moving-ratio regressor.
+#ifndef LIGHTTR_BASELINES_MT_HEAD_H_
+#define LIGHTTR_BASELINES_MT_HEAD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layers.h"
+#include "traj/encoding.h"
+
+namespace lighttr::baselines {
+
+/// One step's head output.
+struct MtHeadStep {
+  nn::Tensor ce_loss;       // cross-entropy vs the true segment
+  nn::Tensor ratio;         // [1,1] predicted moving ratio
+  int predicted_segment = 0;  // argmax under the mask
+};
+
+/// The multi-task head applied at each missing step.
+class MtHead {
+ public:
+  MtHead(size_t hidden_dim, size_t seg_embed_dim, size_t num_segments,
+         const std::string& prefix, nn::ParameterSet* params, Rng* rng);
+
+  /// Runs the head on decoder state `state` ([1, hidden]) for the given
+  /// candidates. `conditioning_segment` (ground truth when teacher
+  /// forcing, else the prediction) drives the ratio branch; pass -1 to
+  /// use the head's own argmax prediction.
+  MtHeadStep Run(const nn::Tensor& state,
+                 const traj::StepCandidates& candidates,
+                 int conditioning_segment) const;
+
+  /// Embedding of a segment id (for feeding predictions back into the
+  /// decoder input).
+  nn::Tensor SegmentEmbedding(int segment) const {
+    return seg_embed_->Forward({segment});
+  }
+
+  size_t seg_embed_dim() const { return seg_embed_->dim(); }
+
+ private:
+  std::unique_ptr<nn::Dense> dense_;
+  nn::Tensor seg_w_;
+  nn::Tensor seg_b_;
+  std::unique_ptr<nn::Embedding> seg_embed_;
+  std::unique_ptr<nn::Dense> emb_proj_;
+  std::unique_ptr<nn::Dense> ratio_head_;
+};
+
+}  // namespace lighttr::baselines
+
+#endif  // LIGHTTR_BASELINES_MT_HEAD_H_

@@ -1,0 +1,60 @@
+// MTrajRec baseline [16] (paper Sec. V-A3, Table VI): Seq2Seq
+// encoder-decoder with attention and multi-task constrained decoding.
+// The encoder consumes the observed (low-sampling-rate) anchors; the
+// decoder reconstructs every step, attending over encoder states.
+#ifndef LIGHTTR_BASELINES_MTRAJREC_MODEL_H_
+#define LIGHTTR_BASELINES_MTRAJREC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mt_head.h"
+#include "fl/recovery_model.h"
+#include "nn/layers.h"
+#include "traj/encoding.h"
+
+namespace lighttr::baselines {
+
+/// Configuration for MTrajRecModel.
+struct MTrajRecConfig {
+  size_t hidden_dim = 48;     // heavier than LightTR's LTE, as in Fig. 5
+  size_t seg_embed_dim = 16;
+  double dropout = 0.2;
+  double mu = 1.0;
+};
+
+/// Seq2Seq multi-task trajectory recovery (the centralized SOTA the
+/// paper compares against; federated as MTrajRec+FL).
+class MTrajRecModel : public fl::RecoveryModel {
+ public:
+  MTrajRecModel(const traj::TrajectoryEncoder* encoder,
+                const MTrajRecConfig& config, Rng* rng,
+                std::string name = "MTrajRec+FL");
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  fl::ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                            bool training, Rng* rng) override;
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override;
+
+ private:
+  fl::ForwardResult RunSequence(const traj::IncompleteTrajectory& trajectory,
+                                bool training, bool teacher_forcing, Rng* rng,
+                                std::vector<roadnet::PointPosition>* collect);
+
+  std::string name_;
+  const traj::TrajectoryEncoder* encoder_;
+  MTrajRecConfig config_;
+  nn::ParameterSet params_;
+  std::unique_ptr<nn::GruCell> encoder_gru_;
+  std::unique_ptr<nn::GruCell> decoder_gru_;
+  std::unique_ptr<MtHead> head_;
+};
+
+}  // namespace lighttr::baselines
+
+#endif  // LIGHTTR_BASELINES_MTRAJREC_MODEL_H_

@@ -1,0 +1,73 @@
+// RNTrajRec baseline [39] (paper Sec. V-A3): road-network-enhanced
+// recovery with a spatial-temporal transformer flavour — GRU encoding of
+// the full sequence followed by self-attention, a one-hop graph
+// propagation that enriches road-segment embeddings from their network
+// neighbours, and attention-based multi-task decoding. The most
+// accurate and most expensive baseline (Fig. 5).
+#ifndef LIGHTTR_BASELINES_RNTRAJREC_MODEL_H_
+#define LIGHTTR_BASELINES_RNTRAJREC_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/mt_head.h"
+#include "fl/recovery_model.h"
+#include "nn/layers.h"
+#include "roadnet/road_network.h"
+#include "traj/encoding.h"
+
+namespace lighttr::baselines {
+
+/// Configuration for RnTrajRecModel.
+struct RnTrajRecConfig {
+  size_t hidden_dim = 48;
+  size_t seg_embed_dim = 16;
+  double dropout = 0.2;
+  double mu = 1.0;
+  size_t max_neighbors = 6;  // one-hop graph propagation fan-in cap
+};
+
+/// Graph- and attention-enhanced seq2seq recovery model.
+class RnTrajRecModel : public fl::RecoveryModel {
+ public:
+  RnTrajRecModel(const traj::TrajectoryEncoder* encoder,
+                 const RnTrajRecConfig& config, Rng* rng,
+                 std::string name = "RNTrajRec+FL");
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  fl::ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                            bool training, Rng* rng) override;
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override;
+
+ private:
+  fl::ForwardResult RunSequence(const traj::IncompleteTrajectory& trajectory,
+                                bool training, bool teacher_forcing, Rng* rng,
+                                std::vector<roadnet::PointPosition>* collect);
+
+  /// One-hop graph-propagated embedding of a segment:
+  /// ReLU(W1 emb[s] + W2 mean(emb[neighbors(s)])).
+  nn::Tensor EnrichedSegmentEmbedding(int segment) const;
+
+  std::string name_;
+  const traj::TrajectoryEncoder* encoder_;
+  RnTrajRecConfig config_;
+  nn::ParameterSet params_;
+  std::vector<std::vector<int>> neighbors_;  // per segment, capped fan-in
+
+  std::unique_ptr<nn::GruCell> encoder_gru_;
+  std::unique_ptr<nn::Dense> attn_ffn_;      // post-attention feed-forward
+  std::unique_ptr<nn::GruCell> decoder_gru_;
+  std::unique_ptr<nn::Embedding> gnn_embed_;  // segment table for the GNN
+  std::unique_ptr<nn::Dense> gnn_self_;
+  std::unique_ptr<nn::Dense> gnn_neighbor_;
+  std::unique_ptr<MtHead> head_;
+};
+
+}  // namespace lighttr::baselines
+
+#endif  // LIGHTTR_BASELINES_RNTRAJREC_MODEL_H_

@@ -1,0 +1,66 @@
+// CHECK-style invariant macros for programming errors.
+//
+// These abort the process with a diagnostic; they are not a substitute for
+// Status-based error handling of recoverable conditions.
+#ifndef LIGHTTR_COMMON_CHECK_H_
+#define LIGHTTR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace lighttr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::abort();
+}
+
+template <typename A, typename B>
+std::string FormatBinaryCheck(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << expr << " (with values " << a << " vs " << b << ")";
+  return os.str();
+}
+
+}  // namespace lighttr::internal
+
+#define LIGHTTR_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::lighttr::internal::CheckFailed(__FILE__, __LINE__, #cond);        \
+    }                                                                     \
+  } while (0)
+
+#define LIGHTTR_CHECK_OP(op, a, b)                                        \
+  do {                                                                    \
+    if (!((a)op(b))) {                                                    \
+      ::lighttr::internal::CheckFailed(                                   \
+          __FILE__, __LINE__,                                             \
+          ::lighttr::internal::FormatBinaryCheck(#a " " #op " " #b, (a),  \
+                                                 (b)));                   \
+    }                                                                     \
+  } while (0)
+
+#define LIGHTTR_CHECK_EQ(a, b) LIGHTTR_CHECK_OP(==, a, b)
+#define LIGHTTR_CHECK_NE(a, b) LIGHTTR_CHECK_OP(!=, a, b)
+#define LIGHTTR_CHECK_LT(a, b) LIGHTTR_CHECK_OP(<, a, b)
+#define LIGHTTR_CHECK_LE(a, b) LIGHTTR_CHECK_OP(<=, a, b)
+#define LIGHTTR_CHECK_GT(a, b) LIGHTTR_CHECK_OP(>, a, b)
+#define LIGHTTR_CHECK_GE(a, b) LIGHTTR_CHECK_OP(>=, a, b)
+
+/// Aborts if `status_expr` (a lighttr::Status expression) is not OK.
+#define LIGHTTR_CHECK_OK(status_expr)                                     \
+  do {                                                                    \
+    const ::lighttr::Status _st = (status_expr);                          \
+    if (!_st.ok()) {                                                      \
+      ::lighttr::internal::CheckFailed(__FILE__, __LINE__, _st.ToString()); \
+    }                                                                     \
+  } while (0)
+
+#endif  // LIGHTTR_COMMON_CHECK_H_

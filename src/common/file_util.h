@@ -1,0 +1,19 @@
+// Small file I/O helpers (CSV dumps, model checkpoints).
+#ifndef LIGHTTR_COMMON_FILE_UTIL_H_
+#define LIGHTTR_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace lighttr {
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+/// Reads the whole file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace lighttr
+
+#endif  // LIGHTTR_COMMON_FILE_UTIL_H_

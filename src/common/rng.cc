@@ -1,0 +1,38 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace lighttr {
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  LIGHTTR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    LIGHTTR_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  LIGHTTR_CHECK_GT(total, 0.0);
+  double pick = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (pick < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  LIGHTTR_CHECK_LE(k, n);
+  std::vector<size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i),
+                                              static_cast<int64_t>(n - 1)));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(k);
+  return indices;
+}
+
+}  // namespace lighttr

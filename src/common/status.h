@@ -1,0 +1,110 @@
+// Status and Result<T>: exception-free error handling for fallible
+// operations, in the style of absl::Status / arrow::Result.
+//
+// Functions that can fail due to bad input or environment return a Status
+// (or Result<T> when they produce a value). Programming errors (broken
+// invariants, shape mismatches) use the LIGHTTR_CHECK macros instead.
+#ifndef LIGHTTR_COMMON_STATUS_H_
+#define LIGHTTR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lighttr {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result of an operation. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lighttr
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define LIGHTTR_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::lighttr::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // LIGHTTR_COMMON_STATUS_H_

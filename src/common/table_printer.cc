@@ -1,0 +1,91 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace lighttr {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  LIGHTTR_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  LIGHTTR_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_sep = [&](std::ostringstream& os) {
+    os << '+';
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto render_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (size_t i = row[c].size(); i < widths[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  render_sep(os);
+  render_row(os, header_);
+  render_sep(os);
+  for (const auto& row : rows_) render_row(os, row);
+  render_sep(os);
+  return os.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) os << ',';
+    os << escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace lighttr

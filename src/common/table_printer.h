@@ -1,0 +1,42 @@
+// ASCII table rendering for experiment output (paper-style result tables).
+#ifndef LIGHTTR_COMMON_TABLE_PRINTER_H_
+#define LIGHTTR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace lighttr {
+
+/// Accumulates rows of string cells and renders them as an aligned ASCII
+/// table. Used by every bench binary to print paper-style tables.
+///
+/// Example:
+///   TablePrinter t({"Method", "Recall", "Precision"});
+///   t.AddRow({"LightTR", "0.724", "0.748"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  static std::string Fmt(double value, int precision = 3);
+
+  /// Renders the table with column-aligned cells and +---+ separators.
+  std::string ToString() const;
+
+  /// Renders the table as CSV (header row + data rows).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lighttr
+
+#endif  // LIGHTTR_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,109 @@
+// Shared experiment harness: builds the simulated city + encoder, runs a
+// recovery method end-to-end (federated or centralized), and evaluates
+// it. Every bench binary composes these pieces.
+#ifndef LIGHTTR_EVAL_HARNESS_H_
+#define LIGHTTR_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/model_zoo.h"
+#include "eval/metrics.h"
+#include "eval/scale.h"
+#include "fl/federated_trainer.h"
+#include "lighttr/pipeline.h"
+#include "roadnet/generators.h"
+#include "roadnet/segment_index.h"
+#include "traj/encoding.h"
+#include "traj/workload.h"
+
+namespace lighttr::eval {
+
+/// Owns the simulated city and its derived structures.
+class ExperimentEnv {
+ public:
+  /// Builds a city grid, spatial index, and encoder. Deterministic for a
+  /// given (rows, cols, seed).
+  ExperimentEnv(int rows, int cols, uint64_t seed);
+
+  static std::unique_ptr<ExperimentEnv> FromScale(
+      const ExperimentScale& scale) {
+    return std::make_unique<ExperimentEnv>(scale.grid_rows, scale.grid_cols,
+                                           scale.seed);
+  }
+
+  const roadnet::RoadNetwork& network() const { return network_; }
+  const roadnet::SegmentIndex& index() const { return *index_; }
+  const traj::TrajectoryEncoder& encoder() const { return *encoder_; }
+
+  /// Generates a federated workload on this city.
+  std::vector<traj::ClientDataset> MakeWorkload(
+      const traj::WorkloadProfile& profile,
+      const traj::FederatedWorkloadOptions& options, uint64_t seed) const;
+
+  /// Pools client test sets, capped at `max_trajectories`.
+  static std::vector<traj::IncompleteTrajectory> PooledTestSet(
+      const std::vector<traj::ClientDataset>& clients, int max_trajectories);
+
+ private:
+  roadnet::RoadNetwork network_;
+  std::unique_ptr<roadnet::SegmentIndex> index_;
+  std::unique_ptr<traj::TrajectoryEncoder> encoder_;
+};
+
+/// Everything a method run reports.
+struct MethodResult {
+  std::string method;
+  RecoveryMetrics metrics;
+  fl::FederatedRunResult run;   // empty history for centralized runs
+  double wall_seconds = 0.0;
+  double train_epoch_seconds = 0.0;  // mean local-epoch wall time (Fig. 5a)
+  int64_t parameters = 0;
+  int64_t flops_per_recovery = 0;    // forward FLOPs of one Recover call
+};
+
+/// Options shared by federated method runs.
+struct MethodRunOptions {
+  fl::FederatedTrainerOptions fed;
+  core::TeacherTrainingOptions teacher;
+  core::MetaLocalOptions meta;
+  bool lighttr_use_teacher = true;  // w/o_Meta ablation sets false
+  int max_test_trajectories = 60;
+};
+
+/// Canonical run options for a scale preset: uniform learning rate and
+/// round budget across methods (fair comparison, Sec. V-A4).
+MethodRunOptions DefaultRunOptions(const ExperimentScale& scale);
+
+/// Canonical workload options for a scale preset.
+traj::FederatedWorkloadOptions DefaultWorkloadOptions(
+    const ExperimentScale& scale, double keep_ratio);
+
+/// Applies the scale's per-client dataset size to a profile.
+traj::WorkloadProfile ScaledProfile(traj::WorkloadProfile profile,
+                                    const ExperimentScale& scale);
+
+/// Trains `kind` federated on `clients` and evaluates on the pooled test
+/// set. LightTR runs the full pipeline (Algorithms 1-3); baselines run
+/// plain FedAvg (Algorithm 3), matching the paper's "+FL" constructions.
+MethodResult RunFederatedMethod(const ExperimentEnv& env,
+                                baselines::ModelKind kind,
+                                const std::vector<traj::ClientDataset>& clients,
+                                const MethodRunOptions& options);
+
+/// Trains `kind` on the pooled (centralized) training data — Table VI.
+MethodResult RunCentralizedMethod(
+    const ExperimentEnv& env, baselines::ModelKind kind,
+    const std::vector<traj::ClientDataset>& clients, int epochs,
+    double learning_rate, int max_test_trajectories, uint64_t seed);
+
+/// Profiles a single model replica: parameter count, forward FLOPs of
+/// one recovery, and mean wall seconds of one local training epoch.
+void ProfileModel(const ExperimentEnv& env, baselines::ModelKind kind,
+                  const std::vector<traj::IncompleteTrajectory>& sample,
+                  MethodResult* result);
+
+}  // namespace lighttr::eval
+
+#endif  // LIGHTTR_EVAL_HARNESS_H_

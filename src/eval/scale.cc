@@ -1,0 +1,37 @@
+#include "eval/scale.h"
+
+#include <cstdlib>
+
+namespace lighttr::eval {
+
+ExperimentScale ExperimentScale::FromEnv() {
+  ExperimentScale scale;
+  const char* env = std::getenv("LIGHTTR_SCALE");
+  const std::string mode = env != nullptr ? env : "quick";
+  if (mode == "smoke") {
+    scale.name = "smoke";
+    scale.grid_rows = 6;
+    scale.grid_cols = 6;
+    scale.num_clients = 4;
+    scale.trajectories_per_client = 10;
+    scale.rounds = 2;
+    scale.local_epochs = 1;
+    scale.teacher_cycles = 1;
+    scale.centralized_epochs = 2;
+    scale.max_test_trajectories = 24;
+  } else if (mode == "full") {
+    scale.name = "full";
+    scale.grid_rows = 12;
+    scale.grid_cols = 12;
+    scale.num_clients = 20;
+    scale.trajectories_per_client = 40;
+    scale.rounds = 10;
+    scale.local_epochs = 2;
+    scale.teacher_cycles = 2;
+    scale.centralized_epochs = 15;
+    scale.max_test_trajectories = 200;
+  }
+  return scale;
+}
+
+}  // namespace lighttr::eval

@@ -1,0 +1,33 @@
+// Experiment scale presets. The paper trains D=512 models on a GPU; this
+// reproduction runs on whatever CPU executes the benches, so experiment
+// dimensions are scaled down while preserving the comparative shape.
+// Set LIGHTTR_SCALE=full for larger runs, LIGHTTR_SCALE=smoke for the
+// fastest sanity pass (default: quick).
+#ifndef LIGHTTR_EVAL_SCALE_H_
+#define LIGHTTR_EVAL_SCALE_H_
+
+#include <string>
+
+namespace lighttr::eval {
+
+/// Scaled experiment dimensions shared by the bench binaries.
+struct ExperimentScale {
+  std::string name = "quick";
+  int grid_rows = 9;                 // road-network intersections per side
+  int grid_cols = 9;
+  int num_clients = 8;               // default N (paper: 20)
+  int trajectories_per_client = 20;  // pre-split local dataset size
+  int rounds = 5;                    // federated communication rounds
+  int local_epochs = 2;              // E of Algorithm 3
+  int teacher_cycles = 1;            // Algorithm 1 passes
+  int centralized_epochs = 6;
+  int max_test_trajectories = 60;    // cap on pooled test evaluation
+  uint64_t seed = 42;
+
+  /// Reads LIGHTTR_SCALE from the environment ("smoke", "quick", "full").
+  static ExperimentScale FromEnv();
+};
+
+}  // namespace lighttr::eval
+
+#endif  // LIGHTTR_EVAL_SCALE_H_

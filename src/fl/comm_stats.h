@@ -1,0 +1,31 @@
+// Communication accounting for the federated simulator (paper Sec. V-B3
+// ties communication cost to parameter count; we record exact serialized
+// bytes per round and direction).
+#ifndef LIGHTTR_FL_COMM_STATS_H_
+#define LIGHTTR_FL_COMM_STATS_H_
+
+#include <cstdint>
+
+namespace lighttr::fl {
+
+/// Accumulated transport statistics of one federated run.
+struct CommStats {
+  int64_t bytes_downlink = 0;  // server -> clients
+  int64_t bytes_uplink = 0;    // clients -> server
+  int64_t messages = 0;
+  int64_t rounds = 0;
+
+  int64_t TotalBytes() const { return bytes_downlink + bytes_uplink; }
+
+  /// Transfer time under a simple bandwidth model (e.g., 1 Gbps -> pass
+  /// 125e6 bytes/s), plus per-message latency.
+  double SimulatedSeconds(double bytes_per_second,
+                          double latency_s_per_message) const {
+    return static_cast<double>(TotalBytes()) / bytes_per_second +
+           static_cast<double>(messages) * latency_s_per_message;
+  }
+};
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_COMM_STATS_H_

@@ -1,0 +1,44 @@
+#include "fl/compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lighttr::fl {
+
+QuantizedBlob QuantizeFlat(const std::vector<nn::Scalar>& flat) {
+  LIGHTTR_CHECK(!flat.empty());
+  QuantizedBlob blob;
+  blob.min_value = *std::min_element(flat.begin(), flat.end());
+  blob.max_value = *std::max_element(flat.begin(), flat.end());
+  blob.codes.resize(flat.size());
+  const double range = blob.max_value - blob.min_value;
+  if (range <= 0.0) {
+    // Constant vector: all codes zero.
+    std::fill(blob.codes.begin(), blob.codes.end(), 0);
+    return blob;
+  }
+  for (size_t i = 0; i < flat.size(); ++i) {
+    const double normalized = (flat[i] - blob.min_value) / range;
+    blob.codes[i] = static_cast<uint8_t>(
+        std::lround(std::clamp(normalized, 0.0, 1.0) * 255.0));
+  }
+  return blob;
+}
+
+std::vector<nn::Scalar> DequantizeFlat(const QuantizedBlob& blob) {
+  std::vector<nn::Scalar> flat(blob.codes.size());
+  const double range = blob.max_value - blob.min_value;
+  for (size_t i = 0; i < blob.codes.size(); ++i) {
+    flat[i] = static_cast<nn::Scalar>(
+        blob.min_value + range * (blob.codes[i] / 255.0));
+  }
+  return flat;
+}
+
+double QuantizationStep(const QuantizedBlob& blob) {
+  return (blob.max_value - blob.min_value) / 255.0 / 2.0;
+}
+
+}  // namespace lighttr::fl

@@ -1,0 +1,49 @@
+// Serverless cyclic training — the w/o_FL ablation of paper Fig. 7:
+// clients train locally and pass their parameters around a ring instead
+// of aggregating on a central server.
+#ifndef LIGHTTR_FL_CYCLIC_TRAINER_H_
+#define LIGHTTR_FL_CYCLIC_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "fl/comm_stats.h"
+#include "fl/recovery_model.h"
+#include "nn/optimizer.h"
+#include "traj/workload.h"
+
+namespace lighttr::fl {
+
+/// Options for CyclicExchangeTrainer.
+struct CyclicTrainerOptions {
+  int rounds = 10;
+  int local_epochs = 2;
+  double learning_rate = 1e-3;
+  uint64_t seed = 7;
+};
+
+/// Ring-exchange decentralized training without a central server.
+class CyclicExchangeTrainer {
+ public:
+  CyclicExchangeTrainer(ModelFactory factory,
+                        const std::vector<traj::ClientDataset>* clients,
+                        CyclicTrainerOptions options);
+
+  /// Runs the configured rounds; each round every client trains locally
+  /// and then adopts the parameters of its ring predecessor.
+  CommStats Run();
+
+  /// The model that finished the final round (used for evaluation).
+  RecoveryModel* final_model() { return models_.back().get(); }
+
+ private:
+  const std::vector<traj::ClientDataset>* clients_;
+  CyclicTrainerOptions options_;
+  Rng rng_;
+  std::vector<std::unique_ptr<RecoveryModel>> models_;
+  std::vector<std::unique_ptr<nn::Optimizer>> optimizers_;
+};
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_CYCLIC_TRAINER_H_

@@ -1,0 +1,122 @@
+#include "fl/federated_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace lighttr::fl {
+
+double PlainLocalUpdate::Update(int /*client_index*/, RecoveryModel* model,
+                                nn::Optimizer* optimizer,
+                                const traj::ClientDataset& data, int epochs,
+                                Rng* rng) {
+  LocalTrainOptions options;
+  options.epochs = epochs;
+  return TrainLocal(model, optimizer, data.train, options, rng);
+}
+
+FederatedTrainer::FederatedTrainer(
+    ModelFactory factory, const std::vector<traj::ClientDataset>* clients,
+    FederatedTrainerOptions options)
+    : clients_(clients), options_(options), rng_(options.seed) {
+  LIGHTTR_CHECK(clients != nullptr);
+  LIGHTTR_CHECK(!clients->empty());
+  LIGHTTR_CHECK_GT(options_.client_fraction, 0.0);
+  LIGHTTR_CHECK_LE(options_.client_fraction, 1.0);
+  LIGHTTR_CHECK_GE(options_.rounds, 1);
+  LIGHTTR_CHECK_GE(options_.local_epochs, 1);
+
+  Rng init_rng = rng_.Fork();
+  global_model_ = factory(&init_rng);
+  LIGHTTR_CHECK(global_model_ != nullptr);
+  for (size_t i = 0; i < clients->size(); ++i) {
+    Rng client_rng = rng_.Fork();
+    client_models_.push_back(factory(&client_rng));
+    // All replicas must agree on the parameter layout.
+    LIGHTTR_CHECK_EQ(client_models_.back()->params().NumScalars(),
+                     global_model_->params().NumScalars());
+    client_optimizers_.push_back(std::make_unique<nn::AdamOptimizer>(
+        static_cast<nn::Scalar>(options_.learning_rate)));
+  }
+}
+
+FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
+  PlainLocalUpdate plain;
+  if (strategy == nullptr) strategy = &plain;
+
+  const int num_clients = static_cast<int>(clients_->size());
+  const int sampled = std::max(
+      1, static_cast<int>(std::llround(options_.client_fraction *
+                                       static_cast<double>(num_clients))));
+  const int64_t wire_bytes = global_model_->params().WireBytes();
+
+  FederatedRunResult result;
+  for (int round = 1; round <= options_.rounds; ++round) {
+    Stopwatch watch;
+    // Algorithm 3 line 2: randomly select C clients.
+    const std::vector<size_t> selected = rng_.SampleWithoutReplacement(
+        static_cast<size_t>(num_clients), static_cast<size_t>(sampled));
+
+    // Lines 3-10: download, local training, upload.
+    const std::string global_blob = global_model_->params().Serialize();
+    const std::vector<nn::Scalar> global_flat =
+        global_model_->params().Flatten();
+    std::vector<std::vector<nn::Scalar>> uploads;
+    double loss_sum = 0.0;
+    for (size_t client_index : selected) {
+      RecoveryModel* client = client_models_[client_index].get();
+      LIGHTTR_CHECK_OK(client->params().Deserialize(global_blob));
+      result.comm.bytes_downlink += wire_bytes;
+      ++result.comm.messages;
+
+      Rng update_rng = rng_.Fork();
+      loss_sum += strategy->Update(static_cast<int>(client_index), client,
+                                   client_optimizers_[client_index].get(),
+                                   (*clients_)[client_index],
+                                   options_.local_epochs, &update_rng);
+
+      std::vector<nn::Scalar> upload = client->params().Flatten();
+      if (options_.privacy.enabled()) {
+        Rng noise_rng = rng_.Fork();
+        upload =
+            PrivatizeUpload(upload, global_flat, options_.privacy, &noise_rng);
+      }
+      if (options_.quantize_uploads) {
+        const QuantizedBlob blob = QuantizeFlat(upload);
+        result.comm.bytes_uplink += blob.WireBytes();
+        upload = DequantizeFlat(blob);
+      } else {
+        result.comm.bytes_uplink += wire_bytes;
+      }
+      uploads.push_back(std::move(upload));
+      ++result.comm.messages;
+    }
+
+    // Line 11: theta_s <- (1/C) sum theta_ci.
+    global_model_->params().AssignFlat(nn::AverageFlat(uploads));
+    ++result.comm.rounds;
+
+    // Telemetry: validation accuracy of the new global model over a
+    // bounded sample of client validation sets.
+    double valid_acc = 0.0;
+    {
+      std::vector<traj::IncompleteTrajectory> pool;
+      for (const traj::ClientDataset& client : *clients_) {
+        for (const auto& trajectory : client.valid) {
+          pool.push_back(trajectory);
+          if (pool.size() >= 40) break;
+        }
+        if (pool.size() >= 40) break;
+      }
+      valid_acc = EvaluateSegmentAccuracy(global_model_.get(), pool);
+    }
+    result.history.push_back(RoundRecord{
+        round, loss_sum / static_cast<double>(selected.size()), valid_acc,
+        watch.ElapsedSeconds()});
+  }
+  return result;
+}
+
+}  // namespace lighttr::fl

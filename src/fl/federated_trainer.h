@@ -1,0 +1,101 @@
+// The federated training loop (paper Algorithm 3, Fig. 2(b)):
+// server-orchestrated rounds with client sampling, local updates, and
+// FedAvg parameter aggregation, with exact communication accounting.
+#ifndef LIGHTTR_FL_FEDERATED_TRAINER_H_
+#define LIGHTTR_FL_FEDERATED_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "fl/comm_stats.h"
+#include "fl/compression.h"
+#include "fl/local_trainer.h"
+#include "fl/privacy.h"
+#include "fl/recovery_model.h"
+#include "nn/optimizer.h"
+#include "traj/workload.h"
+
+namespace lighttr::fl {
+
+/// Strategy object for the client-side update of one round. The default
+/// performs plain local epochs (FedAvg); LightTR substitutes its
+/// meta-knowledge enhanced local training (Algorithm 2).
+class LocalUpdateStrategy {
+ public:
+  virtual ~LocalUpdateStrategy() = default;
+
+  /// Runs the local update for client `client_index`; returns the mean
+  /// training loss.
+  virtual double Update(int client_index, RecoveryModel* model,
+                        nn::Optimizer* optimizer,
+                        const traj::ClientDataset& data, int epochs,
+                        Rng* rng) = 0;
+};
+
+/// Plain FedAvg local update: `epochs` passes of task-loss SGD.
+class PlainLocalUpdate : public LocalUpdateStrategy {
+ public:
+  double Update(int client_index, RecoveryModel* model,
+                nn::Optimizer* optimizer, const traj::ClientDataset& data,
+                int epochs, Rng* rng) override;
+};
+
+/// Options for FederatedTrainer.
+struct FederatedTrainerOptions {
+  int rounds = 10;
+  double client_fraction = 1.0;  // fraction sampled per round (Fig. 6)
+  int local_epochs = 2;          // E of Algorithm 3
+  double learning_rate = 1e-3;   // paper Sec. V-A4
+  uint64_t seed = 7;
+  /// Optional DP-style upload protection (clip + Gaussian noise).
+  PrivacyConfig privacy;
+  /// Quantize uploads to 8 bits per weight (4x less uplink traffic).
+  bool quantize_uploads = false;
+};
+
+/// Per-round telemetry (drives the convergence analysis of Fig. 5).
+struct RoundRecord {
+  int round = 0;
+  double mean_train_loss = 0.0;
+  double global_valid_accuracy = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Outcome of a federated run.
+struct FederatedRunResult {
+  CommStats comm;
+  std::vector<RoundRecord> history;
+};
+
+/// Simulates horizontal federated learning in-process: one global model
+/// on the "server", one persistent model + optimizer per client.
+class FederatedTrainer {
+ public:
+  FederatedTrainer(ModelFactory factory,
+                   const std::vector<traj::ClientDataset>* clients,
+                   FederatedTrainerOptions options);
+
+  /// Runs `options.rounds` rounds with `strategy` (defaults to plain
+  /// FedAvg when null).
+  FederatedRunResult Run(LocalUpdateStrategy* strategy = nullptr);
+
+  /// The global model (valid after construction; trained after Run).
+  RecoveryModel* global_model() { return global_model_.get(); }
+
+  /// Client models (for ablations and tests).
+  RecoveryModel* client_model(int i) { return client_models_[i].get(); }
+  int num_clients() const { return static_cast<int>(client_models_.size()); }
+
+ private:
+  const std::vector<traj::ClientDataset>* clients_;
+  FederatedTrainerOptions options_;
+  Rng rng_;
+  std::unique_ptr<RecoveryModel> global_model_;
+  std::vector<std::unique_ptr<RecoveryModel>> client_models_;
+  std::vector<std::unique_ptr<nn::Optimizer>> client_optimizers_;
+};
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_FEDERATED_TRAINER_H_

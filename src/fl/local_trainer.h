@@ -1,0 +1,43 @@
+// Client-side local training and evaluation primitives.
+#ifndef LIGHTTR_FL_LOCAL_TRAINER_H_
+#define LIGHTTR_FL_LOCAL_TRAINER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fl/recovery_model.h"
+#include "nn/optimizer.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::fl {
+
+/// Options for one local-training call.
+struct LocalTrainOptions {
+  int epochs = 1;
+  /// Distillation weight lambda of Eq. 17; 0 disables distillation.
+  double lambda = 0.0;
+  /// Teacher (meta-learner) for knowledge distillation; may be null.
+  RecoveryModel* teacher = nullptr;
+};
+
+/// Trains `model` on `data` for options.epochs epochs, one optimizer step
+/// per trajectory. When a teacher and lambda > 0 are supplied, the total
+/// loss is Eq. 17: L_local + lambda * ||f_tea(T) - f_stu(T)||^2.
+/// Returns the mean per-trajectory loss of the final epoch.
+double TrainLocal(RecoveryModel* model, nn::Optimizer* optimizer,
+                  const std::vector<traj::IncompleteTrajectory>& data,
+                  const LocalTrainOptions& options, Rng* rng);
+
+/// Fraction of missing points whose predicted road segment equals the
+/// ground truth — the "acc" used by Algorithms 1 and 2. Grad-free.
+double EvaluateSegmentAccuracy(
+    RecoveryModel* model,
+    const std::vector<traj::IncompleteTrajectory>& data);
+
+/// Mean task loss over `data` without updating parameters. Grad-free.
+double EvaluateMeanLoss(RecoveryModel* model,
+                        const std::vector<traj::IncompleteTrajectory>& data);
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_LOCAL_TRAINER_H_

@@ -1,0 +1,43 @@
+#include "fl/privacy.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lighttr::fl {
+
+double DeltaNorm(const std::vector<nn::Scalar>& a,
+                 const std::vector<nn::Scalar>& b) {
+  LIGHTTR_CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+std::vector<nn::Scalar> PrivatizeUpload(
+    const std::vector<nn::Scalar>& upload,
+    const std::vector<nn::Scalar>& reference, const PrivacyConfig& config,
+    Rng* rng) {
+  LIGHTTR_CHECK_EQ(upload.size(), reference.size());
+  if (!config.enabled()) return upload;
+  LIGHTTR_CHECK(rng != nullptr);
+  LIGHTTR_CHECK_GE(config.noise_multiplier, 0.0);
+
+  const double norm = DeltaNorm(upload, reference);
+  const double scale =
+      norm > config.clip_norm ? config.clip_norm / norm : 1.0;
+  const double sigma = config.noise_multiplier * config.clip_norm;
+
+  std::vector<nn::Scalar> out(upload.size());
+  for (size_t i = 0; i < upload.size(); ++i) {
+    double delta = (upload[i] - reference[i]) * scale;
+    if (sigma > 0.0) delta += rng->Normal(0.0, sigma);
+    out[i] = reference[i] + static_cast<nn::Scalar>(delta);
+  }
+  return out;
+}
+
+}  // namespace lighttr::fl

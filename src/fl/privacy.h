@@ -1,0 +1,40 @@
+// Differential-privacy-style upload protection (extension; the paper
+// cites DP federated learning [20] as the privacy-hardening direction):
+// each client's model delta is clipped in L2 norm and perturbed with
+// Gaussian noise before upload, in the style of DP-FedAvg.
+#ifndef LIGHTTR_FL_PRIVACY_H_
+#define LIGHTTR_FL_PRIVACY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace lighttr::fl {
+
+/// Parameters of the Gaussian mechanism applied to client uploads.
+struct PrivacyConfig {
+  /// L2 clipping bound C on the client's model delta. <= 0 disables
+  /// clipping (and with noise_multiplier 0, the mechanism entirely).
+  double clip_norm = 0.0;
+  /// Noise standard deviation as a multiple of clip_norm (sigma = z * C).
+  double noise_multiplier = 0.0;
+
+  bool enabled() const { return clip_norm > 0.0; }
+};
+
+/// Applies the Gaussian mechanism to an upload: clips (upload - reference)
+/// to clip_norm and adds N(0, (z*C)^2) noise per coordinate, returning
+/// reference + clipped_noisy_delta. `reference` is the round's global
+/// model (the delta is what leaks information).
+std::vector<nn::Scalar> PrivatizeUpload(const std::vector<nn::Scalar>& upload,
+                                        const std::vector<nn::Scalar>& reference,
+                                        const PrivacyConfig& config, Rng* rng);
+
+/// L2 norm of (a - b); exposed for tests and accounting.
+double DeltaNorm(const std::vector<nn::Scalar>& a,
+                 const std::vector<nn::Scalar>& b);
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_PRIVACY_H_

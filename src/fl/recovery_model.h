@@ -1,0 +1,61 @@
+// The model interface every trajectory-recovery network implements.
+//
+// LightTR's LTE model and all baselines (FC, RNN, MTrajRec, RNTrajRec)
+// expose the same surface so a single federated harness trains and
+// evaluates any of them.
+#ifndef LIGHTTR_FL_RECOVERY_MODEL_H_
+#define LIGHTTR_FL_RECOVERY_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::fl {
+
+/// Result of a differentiable forward pass over one trajectory.
+struct ForwardResult {
+  /// Task loss L_local (Eq. 13): cross-entropy + mu * MSE, 1x1 tensor.
+  nn::Tensor loss;
+  /// Hidden representation over the missing steps ([n_missing, hidden]),
+  /// used as the distillation signal of Eq. 16. May be undefined for
+  /// models that do not support distillation.
+  nn::Tensor representation;
+};
+
+/// A trainable trajectory-recovery network.
+class RecoveryModel {
+ public:
+  virtual ~RecoveryModel() = default;
+
+  /// Human-readable name ("LightTR", "FC+FL", ...).
+  virtual const std::string& name() const = 0;
+
+  /// The trainable parameters (FedAvg exchanges these).
+  virtual nn::ParameterSet& params() = 0;
+
+  /// Builds the loss graph for one trajectory. `training` enables
+  /// dropout; `rng` may be null when !training.
+  virtual ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                                bool training, Rng* rng) = 0;
+
+  /// Recovers the positions of all points (observed steps are returned
+  /// as-is; missing steps are predicted). Runs grad-free.
+  virtual std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) = 0;
+};
+
+/// Creates identical-architecture model replicas (server + each client).
+/// Implementations must build parameters in a deterministic order so
+/// that flattened parameter vectors are interchangeable across replicas.
+using ModelFactory = std::function<std::unique_ptr<RecoveryModel>(Rng* rng)>;
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_RECOVERY_MODEL_H_

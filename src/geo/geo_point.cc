@@ -1,0 +1,30 @@
+#include "geo/geo_point.h"
+
+#include <algorithm>
+
+namespace lighttr::geo {
+
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlng / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters *
+         std::asin(std::sqrt(std::clamp(h, 0.0, 1.0)));
+}
+
+double EquirectangularMeters(const GeoPoint& a, const GeoPoint& b) {
+  const double mean_lat = 0.5 * (a.lat + b.lat) * kDegToRad;
+  const double x = (b.lng - a.lng) * kDegToRad * std::cos(mean_lat);
+  const double y = (b.lat - a.lat) * kDegToRad;
+  return kEarthRadiusMeters * std::sqrt(x * x + y * y);
+}
+
+GeoPoint Lerp(const GeoPoint& a, const GeoPoint& b, double t) {
+  return {a.lat + (b.lat - a.lat) * t, a.lng + (b.lng - a.lng) * t};
+}
+
+}  // namespace lighttr::geo

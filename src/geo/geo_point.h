@@ -1,0 +1,71 @@
+// GPS points and geodesic distance utilities (paper Definition 2).
+#ifndef LIGHTTR_GEO_GEO_POINT_H_
+#define LIGHTTR_GEO_GEO_POINT_H_
+
+#include <cmath>
+
+namespace lighttr::geo {
+
+/// Mean Earth radius in meters (spherical model).
+inline constexpr double kEarthRadiusMeters = 6371000.0;
+
+inline constexpr double kDegToRad = M_PI / 180.0;
+
+/// A GPS point `p = <lat, lng>` in decimal degrees (Definition 2). The
+/// paper's optional payload gamma (address etc.) is carried by callers.
+struct GeoPoint {
+  double lat = 0.0;
+  double lng = 0.0;
+
+  friend bool operator==(const GeoPoint& a, const GeoPoint& b) {
+    return a.lat == b.lat && a.lng == b.lng;
+  }
+};
+
+/// Great-circle (haversine) distance between two points, in meters.
+double HaversineMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Fast flat-earth (equirectangular) distance approximation in meters.
+/// Accurate to <0.1% for city-scale separations; used in inner loops
+/// (map-matching candidate scoring, constraint masks).
+double EquirectangularMeters(const GeoPoint& a, const GeoPoint& b);
+
+/// Linear interpolation between two points (t in [0, 1]).
+GeoPoint Lerp(const GeoPoint& a, const GeoPoint& b, double t);
+
+/// Projects lat/lng to local planar meters around a reference origin.
+///
+/// City-scale experiments (tens of km) are well within the validity of the
+/// equirectangular projection, and planar coordinates make point-to-segment
+/// projection exact and cheap.
+class LocalProjection {
+ public:
+  explicit LocalProjection(const GeoPoint& origin)
+      : origin_(origin), cos_lat_(std::cos(origin.lat * kDegToRad)) {}
+
+  /// Planar position of `p` in meters relative to the origin.
+  struct Xy {
+    double x = 0.0;
+    double y = 0.0;
+  };
+
+  Xy ToXy(const GeoPoint& p) const {
+    return {(p.lng - origin_.lng) * kDegToRad * kEarthRadiusMeters * cos_lat_,
+            (p.lat - origin_.lat) * kDegToRad * kEarthRadiusMeters};
+  }
+
+  GeoPoint FromXy(const Xy& xy) const {
+    return {origin_.lat + xy.y / (kDegToRad * kEarthRadiusMeters),
+            origin_.lng + xy.x / (kDegToRad * kEarthRadiusMeters * cos_lat_)};
+  }
+
+  const GeoPoint& origin() const { return origin_; }
+
+ private:
+  GeoPoint origin_;
+  double cos_lat_;
+};
+
+}  // namespace lighttr::geo
+
+#endif  // LIGHTTR_GEO_GEO_POINT_H_

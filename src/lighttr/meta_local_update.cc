@@ -1,0 +1,69 @@
+#include "lighttr/meta_local_update.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "fl/local_trainer.h"
+
+namespace lighttr::core {
+
+MetaLocalUpdate::MetaLocalUpdate(fl::RecoveryModel* teacher,
+                                 MetaLocalOptions options)
+    : teacher_(teacher), options_(options) {
+  LIGHTTR_CHECK_GE(options_.lambda0, 0.0);
+}
+
+double MetaLocalUpdate::DynamicLambda(double lambda0, double teacher_acc,
+                                      double student_acc) {
+  const double exponent =
+      std::min(1.0, (teacher_acc - student_acc) * 5.0) - 1.0;
+  return lambda0 * std::pow(10.0, exponent);
+}
+
+double MetaLocalUpdate::Update(int client_index, fl::RecoveryModel* model,
+                               nn::Optimizer* optimizer,
+                               const traj::ClientDataset& data, int epochs,
+                               Rng* rng) {
+  // Algorithm 2 line 1: start without guidance.
+  double lambda = 0.0;
+  double teacher_acc = 0.0;
+  if (teacher_ != nullptr) {
+    auto it = teacher_acc_cache_.find(client_index);
+    if (it == teacher_acc_cache_.end()) {
+      teacher_acc = fl::EvaluateSegmentAccuracy(teacher_, data.valid);
+      teacher_acc_cache_.emplace(client_index, teacher_acc);
+    } else {
+      teacher_acc = it->second;
+    }
+  }
+
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    fl::LocalTrainOptions local;
+    local.epochs = 1;
+    local.lambda = lambda;
+    local.teacher = (lambda > 0.0) ? teacher_ : nullptr;
+    last_loss = fl::TrainLocal(model, optimizer, data.train, local, rng);
+
+    if (teacher_ == nullptr) continue;
+    // Lines 6-12: compare teacher and student on local validation data
+    // and set lambda for the next epoch.
+    const double student_acc =
+        fl::EvaluateSegmentAccuracy(model, data.valid);
+    if (teacher_acc <= student_acc) {
+      lambda = 0.0;  // the teacher has nothing to offer this client
+    } else {
+      lambda = DynamicLambda(options_.lambda0, teacher_acc, student_acc);
+    }
+    // l_t guards against over-guidance: once the student itself clears
+    // the threshold, guidance is reduced to zero (Sec. V-B7 observes
+    // that excessive guidance degrades recovery).
+    if (student_acc >= options_.l_t && teacher_acc <= student_acc) {
+      lambda = 0.0;
+    }
+  }
+  return last_loss;
+}
+
+}  // namespace lighttr::core

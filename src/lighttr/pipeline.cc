@@ -1,0 +1,35 @@
+#include "lighttr/pipeline.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+
+namespace lighttr::core {
+
+LightTrPipeline::LightTrPipeline(
+    const traj::TrajectoryEncoder* encoder,
+    const std::vector<traj::ClientDataset>* clients, LightTrOptions options)
+    : encoder_(encoder), clients_(clients), options_(options) {
+  LIGHTTR_CHECK(encoder != nullptr);
+  LIGHTTR_CHECK(clients != nullptr);
+  const LteConfig lte = options_.lte;
+  const traj::TrajectoryEncoder* enc = encoder_;
+  factory_ = [enc, lte](Rng* rng) {
+    return std::make_unique<LteModel>(enc, lte, rng);
+  };
+  trainer_ = std::make_unique<fl::FederatedTrainer>(factory_, clients_,
+                                                    options_.federated);
+}
+
+LightTrResult LightTrPipeline::Train() {
+  LightTrResult result;
+  if (options_.use_teacher) {
+    Stopwatch watch;
+    teacher_ = TrainTeacher(factory_, *clients_, options_.teacher);
+    result.teacher_seconds = watch.ElapsedSeconds();
+  }
+  MetaLocalUpdate strategy(teacher_.get(), options_.meta);
+  result.federated = trainer_->Run(options_.use_teacher ? &strategy : nullptr);
+  return result;
+}
+
+}  // namespace lighttr::core

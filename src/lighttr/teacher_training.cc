@@ -1,0 +1,66 @@
+#include "lighttr/teacher_training.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "fl/local_trainer.h"
+#include "nn/optimizer.h"
+
+namespace lighttr::core {
+
+std::unique_ptr<fl::RecoveryModel> TrainTeacher(
+    const fl::ModelFactory& factory,
+    const std::vector<traj::ClientDataset>& clients,
+    const TeacherTrainingOptions& options) {
+  LIGHTTR_CHECK(!clients.empty());
+  LIGHTTR_CHECK_GE(options.cycles, 1);
+  LIGHTTR_CHECK_GE(options.epochs_per_client, 1);
+  LIGHTTR_CHECK_GT(options.data_fraction, 0.0);
+  LIGHTTR_CHECK_LE(options.data_fraction, 1.0);
+
+  Rng rng(options.seed);
+  Rng teacher_rng = rng.Fork();
+  std::unique_ptr<fl::RecoveryModel> teacher = factory(&teacher_rng);
+  // The frozen snapshot used as the distillation reference when the
+  // incoming knowledge is worth preserving.
+  Rng snapshot_rng = rng.Fork();
+  std::unique_ptr<fl::RecoveryModel> snapshot = factory(&snapshot_rng);
+  nn::AdamOptimizer optimizer(static_cast<nn::Scalar>(options.learning_rate));
+
+  // Per-client training subsets ("a part of its local data").
+  std::vector<std::vector<traj::IncompleteTrajectory>> subsets(clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    const auto& train = clients[i].train;
+    const size_t take = std::max<size_t>(
+        1, static_cast<size_t>(options.data_fraction *
+                               static_cast<double>(train.size())));
+    subsets[i].assign(train.begin(),
+                      train.begin() + static_cast<long>(
+                                          std::min(take, train.size())));
+  }
+
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    for (size_t i = 0; i < clients.size(); ++i) {
+      // Alg. 1 lines 4-10: decide whether the incoming knowledge is
+      // useful for this client.
+      const double incoming_acc =
+          fl::EvaluateSegmentAccuracy(teacher.get(), clients[i].valid);
+
+      fl::LocalTrainOptions local;
+      local.epochs = options.epochs_per_client;
+      if (incoming_acc >= options.l_t) {
+        // Useful: preserve it via Eq. 17 against a frozen snapshot.
+        LIGHTTR_CHECK_OK(
+            snapshot->params().Deserialize(teacher->params().Serialize()));
+        local.teacher = snapshot.get();
+        local.lambda = options.lambda0;
+      }
+      Rng update_rng = rng.Fork();
+      fl::TrainLocal(teacher.get(), &optimizer, subsets[i], local,
+                     &update_rng);
+    }
+  }
+  return teacher;
+}
+
+}  // namespace lighttr::core

@@ -1,0 +1,42 @@
+#include "mapmatch/greedy_map_matcher.h"
+
+#include "geo/grid.h"
+
+namespace lighttr::mapmatch {
+
+GreedyMapMatcher::GreedyMapMatcher(const roadnet::SegmentIndex& index,
+                                   GreedyOptions options)
+    : index_(index), options_(options) {
+  LIGHTTR_CHECK_GT(options_.candidate_radius_m, 0.0);
+  LIGHTTR_CHECK_GE(options_.radius_doublings, 0);
+  LIGHTTR_CHECK_GT(options_.epsilon_s, 0.0);
+}
+
+Result<traj::MatchedTrajectory> GreedyMapMatcher::Match(
+    const traj::RawTrajectory& raw) const {
+  if (raw.points.empty()) {
+    return Status::InvalidArgument("empty trajectory");
+  }
+  traj::MatchedTrajectory matched;
+  matched.driver_id = raw.driver_id;
+  matched.epsilon_s = options_.epsilon_s;
+  const double t0 = raw.points[0].t;
+  for (const traj::RawPoint& point : raw.points) {
+    double radius = options_.candidate_radius_m;
+    std::vector<roadnet::SegmentIndex::Candidate> candidates;
+    for (int attempt = 0; attempt <= options_.radius_doublings; ++attempt) {
+      candidates = index_.Nearby(point.position, radius);
+      if (!candidates.empty()) break;
+      radius *= 2.0;
+    }
+    if (candidates.empty()) {
+      return Status::NotFound("GPS point has no road candidate in range");
+    }
+    matched.points.push_back(traj::MatchedPoint{
+        candidates.front().projection.position, point.t,
+        geo::TimeBin(point.t, t0, options_.epsilon_s)});
+  }
+  return matched;
+}
+
+}  // namespace lighttr::mapmatch

@@ -1,0 +1,36 @@
+// Greedy nearest-segment map matching — the simple baseline the HMM
+// matcher is measured against: each GPS point is snapped independently
+// to its nearest road segment, ignoring route continuity.
+#ifndef LIGHTTR_MAPMATCH_GREEDY_MAP_MATCHER_H_
+#define LIGHTTR_MAPMATCH_GREEDY_MAP_MATCHER_H_
+
+#include "common/status.h"
+#include "roadnet/segment_index.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::mapmatch {
+
+/// Options for GreedyMapMatcher.
+struct GreedyOptions {
+  double candidate_radius_m = 80.0;
+  int radius_doublings = 2;
+  double epsilon_s = 15.0;
+};
+
+/// Point-independent nearest-segment matcher.
+class GreedyMapMatcher {
+ public:
+  GreedyMapMatcher(const roadnet::SegmentIndex& index, GreedyOptions options);
+
+  /// Matches each point to its nearest segment. Returns NotFound when a
+  /// point has no candidate within the maximum search radius.
+  Result<traj::MatchedTrajectory> Match(const traj::RawTrajectory& raw) const;
+
+ private:
+  const roadnet::SegmentIndex& index_;
+  GreedyOptions options_;
+};
+
+}  // namespace lighttr::mapmatch
+
+#endif  // LIGHTTR_MAPMATCH_GREEDY_MAP_MATCHER_H_

@@ -1,0 +1,140 @@
+#include "mapmatch/hmm_map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "roadnet/shortest_path.h"
+
+namespace lighttr::mapmatch {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+HmmMapMatcher::HmmMapMatcher(const roadnet::SegmentIndex& index,
+                             HmmOptions options)
+    : index_(index), options_(options) {
+  LIGHTTR_CHECK_GT(options_.candidate_radius_m, 0.0);
+  LIGHTTR_CHECK_GE(options_.radius_doublings, 0);
+  LIGHTTR_CHECK_GE(options_.max_candidates, 1);
+  LIGHTTR_CHECK_GT(options_.emission_sigma_m, 0.0);
+  LIGHTTR_CHECK_GT(options_.transition_beta_m, 0.0);
+  LIGHTTR_CHECK_GT(options_.epsilon_s, 0.0);
+}
+
+Result<traj::MatchedTrajectory> HmmMapMatcher::Match(
+    const traj::RawTrajectory& raw) const {
+  if (raw.points.empty()) {
+    return Status::InvalidArgument("empty trajectory");
+  }
+  const roadnet::RoadNetwork& network = index_.network();
+  const size_t n = raw.points.size();
+
+  // 1. Candidate generation with radius fallback.
+  std::vector<std::vector<roadnet::SegmentIndex::Candidate>> candidates(n);
+  for (size_t i = 0; i < n; ++i) {
+    double radius = options_.candidate_radius_m;
+    for (int attempt = 0; attempt <= options_.radius_doublings; ++attempt) {
+      candidates[i] = index_.Nearby(raw.points[i].position, radius);
+      if (!candidates[i].empty()) break;
+      radius *= 2.0;
+    }
+    if (candidates[i].empty()) {
+      return Status::NotFound("GPS point has no road candidate in range");
+    }
+    if (static_cast<int>(candidates[i].size()) > options_.max_candidates) {
+      candidates[i].resize(options_.max_candidates);
+    }
+  }
+
+  // 2. Viterbi over the candidate lattice.
+  const double inv_2sigma2 =
+      1.0 / (2.0 * options_.emission_sigma_m * options_.emission_sigma_m);
+  auto emission_logp = [&](const roadnet::SegmentIndex::Candidate& c) {
+    return -c.projection.distance_m * c.projection.distance_m * inv_2sigma2;
+  };
+
+  roadnet::DijkstraEngine engine(network);
+  std::vector<std::vector<double>> score(n);
+  std::vector<std::vector<int>> backpointer(n);
+  score[0].resize(candidates[0].size());
+  backpointer[0].assign(candidates[0].size(), -1);
+  for (size_t j = 0; j < candidates[0].size(); ++j) {
+    score[0][j] = emission_logp(candidates[0][j]);
+  }
+
+  for (size_t i = 1; i < n; ++i) {
+    const double line_m = geo::EquirectangularMeters(
+        raw.points[i - 1].position, raw.points[i].position);
+    score[i].assign(candidates[i].size(), kNegInf);
+    backpointer[i].assign(candidates[i].size(), -1);
+    for (size_t j = 0; j < candidates[i].size(); ++j) {
+      const double em = emission_logp(candidates[i][j]);
+      for (size_t k = 0; k < candidates[i - 1].size(); ++k) {
+        if (score[i - 1][k] == kNegInf) continue;
+        const double route_m = roadnet::DirectedTravelDistance(
+            network, engine, candidates[i - 1][k].projection.position,
+            candidates[i][j].projection.position);
+        if (route_m == roadnet::kUnreachable) continue;
+        const double tr =
+            -std::abs(route_m - line_m) / options_.transition_beta_m;
+        const double total = score[i - 1][k] + tr + em;
+        if (total > score[i][j]) {
+          score[i][j] = total;
+          backpointer[i][j] = static_cast<int>(k);
+        }
+      }
+    }
+    // If every transition was unreachable, restart the chain at this point
+    // (standard HMM-breaking behaviour for disconnected candidates).
+    bool any = false;
+    for (double s : score[i]) any = any || (s != kNegInf);
+    if (!any) {
+      for (size_t j = 0; j < candidates[i].size(); ++j) {
+        score[i][j] = emission_logp(candidates[i][j]);
+        backpointer[i][j] = -1;
+      }
+    }
+  }
+
+  // 3. Backtrace.
+  std::vector<int> best(n, -1);
+  {
+    size_t argmax = 0;
+    for (size_t j = 1; j < score[n - 1].size(); ++j) {
+      if (score[n - 1][j] > score[n - 1][argmax]) argmax = j;
+    }
+    best[n - 1] = static_cast<int>(argmax);
+  }
+  for (size_t i = n - 1; i > 0; --i) {
+    int prev = backpointer[i][static_cast<size_t>(best[i])];
+    if (prev < 0) {
+      // Chain restart: pick the locally best previous candidate.
+      size_t argmax = 0;
+      for (size_t j = 1; j < score[i - 1].size(); ++j) {
+        if (score[i - 1][j] > score[i - 1][argmax]) argmax = j;
+      }
+      prev = static_cast<int>(argmax);
+    }
+    best[i - 1] = prev;
+  }
+
+  // 4. Emit the matched trajectory.
+  traj::MatchedTrajectory matched;
+  matched.driver_id = raw.driver_id;
+  matched.epsilon_s = options_.epsilon_s;
+  const double t0 = raw.points[0].t;
+  matched.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& cand = candidates[i][static_cast<size_t>(best[i])];
+    matched.points.push_back(traj::MatchedPoint{
+        cand.projection.position, raw.points[i].t,
+        geo::TimeBin(raw.points[i].t, t0, options_.epsilon_s)});
+  }
+  return matched;
+}
+
+}  // namespace lighttr::mapmatch

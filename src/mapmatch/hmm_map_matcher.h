@@ -1,0 +1,47 @@
+// HMM map matching (the preprocessing step of paper Sec. IV-B1).
+//
+// Classic Hidden-Markov-Model matcher in the style of Newson & Krumm /
+// the DHN preprocessing the paper references: candidate road positions
+// come from a spatial index, emission probabilities are Gaussian in the
+// perpendicular GPS error, transition probabilities penalise the gap
+// between route distance and great-circle distance, and the most likely
+// joint assignment is decoded with Viterbi.
+#ifndef LIGHTTR_MAPMATCH_HMM_MAP_MATCHER_H_
+#define LIGHTTR_MAPMATCH_HMM_MAP_MATCHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "roadnet/segment_index.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::mapmatch {
+
+/// Tunables for HmmMapMatcher.
+struct HmmOptions {
+  double candidate_radius_m = 80.0;  // initial candidate search radius
+  int radius_doublings = 2;          // fallbacks when no candidate is found
+  int max_candidates = 8;            // per point, nearest first
+  double emission_sigma_m = 25.0;    // GPS error scale (Gaussian)
+  double transition_beta_m = 60.0;   // route-vs-line gap scale (exponential)
+  double epsilon_s = 15.0;           // sampling rate for tid computation
+};
+
+/// Matches raw GPS trajectories onto a road network.
+class HmmMapMatcher {
+ public:
+  HmmMapMatcher(const roadnet::SegmentIndex& index, HmmOptions options);
+
+  /// Matches one trajectory. Returns InvalidArgument for empty input and
+  /// NotFound when some point has no road candidate within the maximum
+  /// search radius.
+  Result<traj::MatchedTrajectory> Match(const traj::RawTrajectory& raw) const;
+
+ private:
+  const roadnet::SegmentIndex& index_;
+  HmmOptions options_;
+};
+
+}  // namespace lighttr::mapmatch
+
+#endif  // LIGHTTR_MAPMATCH_HMM_MAP_MATCHER_H_

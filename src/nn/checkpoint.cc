@@ -1,0 +1,19 @@
+#include "nn/checkpoint.h"
+
+#include "common/check.h"
+#include "common/file_util.h"
+
+namespace lighttr::nn {
+
+Status SaveCheckpoint(const std::string& path, const ParameterSet& params) {
+  return WriteFile(path, params.Serialize());
+}
+
+Status LoadCheckpoint(const std::string& path, ParameterSet* params) {
+  LIGHTTR_CHECK(params != nullptr);
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  return params->Deserialize(contents.value());
+}
+
+}  // namespace lighttr::nn

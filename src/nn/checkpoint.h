@@ -1,0 +1,21 @@
+// Model checkpointing: persist a ParameterSet to disk and restore it
+// into a same-architecture model (deployment / resume path).
+#ifndef LIGHTTR_NN_CHECKPOINT_H_
+#define LIGHTTR_NN_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/parameter.h"
+
+namespace lighttr::nn {
+
+/// Writes the parameters to `path` (float32 wire format).
+Status SaveCheckpoint(const std::string& path, const ParameterSet& params);
+
+/// Restores parameters from `path`; names and shapes must match.
+Status LoadCheckpoint(const std::string& path, ParameterSet* params);
+
+}  // namespace lighttr::nn
+
+#endif  // LIGHTTR_NN_CHECKPOINT_H_

@@ -1,0 +1,13 @@
+#include "nn/flops.h"
+
+namespace lighttr::nn {
+
+namespace {
+int64_t g_flops = 0;
+}  // namespace
+
+void AddFlops(int64_t n) { g_flops += n; }
+
+int64_t TotalFlops() { return g_flops; }
+
+}  // namespace lighttr::nn

@@ -1,0 +1,31 @@
+// Global floating-point-operation accounting (paper Fig. 5(b)).
+//
+// The matrix kernels and element-wise ops report their work here; scoped
+// counters measure the FLOPs of a region (e.g., one training epoch).
+// The program is single-threaded by design, so a plain counter suffices.
+#ifndef LIGHTTR_NN_FLOPS_H_
+#define LIGHTTR_NN_FLOPS_H_
+
+#include <cstdint>
+
+namespace lighttr::nn {
+
+/// Adds `n` floating point operations to the global counter.
+void AddFlops(int64_t n);
+
+/// Total FLOPs recorded since program start.
+int64_t TotalFlops();
+
+/// Measures FLOPs executed between construction and Elapsed().
+class ScopedFlopCount {
+ public:
+  ScopedFlopCount() : start_(TotalFlops()) {}
+  int64_t Elapsed() const { return TotalFlops() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace lighttr::nn
+
+#endif  // LIGHTTR_NN_FLOPS_H_

@@ -1,0 +1,124 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lighttr::nn {
+
+Dense::Dense(size_t in_dim, size_t out_dim, const std::string& prefix,
+             ParameterSet* params, Rng* rng) {
+  LIGHTTR_CHECK(params != nullptr);
+  LIGHTTR_CHECK_GE(in_dim, 1u);
+  LIGHTTR_CHECK_GE(out_dim, 1u);
+  w_ = Tensor::Variable(Matrix::Xavier(in_dim, out_dim, rng));
+  b_ = Tensor::Variable(Matrix::Zeros(1, out_dim));
+  params->Register(prefix + ".w", w_);
+  params->Register(prefix + ".b", b_);
+}
+
+Tensor Dense::Forward(const Tensor& x) const {
+  return AddRowBroadcast(MatMul(x, w_), b_);
+}
+
+GruCell::GruCell(size_t input_dim, size_t hidden_dim,
+                 const std::string& prefix, ParameterSet* params, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      gate_r_(hidden_dim + input_dim, hidden_dim, prefix + ".r", params, rng),
+      gate_z_(hidden_dim + input_dim, hidden_dim, prefix + ".z", params, rng),
+      gate_h_(hidden_dim + input_dim, hidden_dim, prefix + ".h", params, rng) {}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h_prev) const {
+  LIGHTTR_CHECK_EQ(h_prev.cols(), hidden_dim_);
+  const Tensor hx = ConcatCols(h_prev, x);
+  const Tensor r = Sigmoid(gate_r_.Forward(hx));
+  const Tensor z = Sigmoid(gate_z_.Forward(hx));
+  const Tensor gated = ConcatCols(Mul(r, h_prev), x);
+  const Tensor h_tilde = Tanh(gate_h_.Forward(gated));
+  // h = (1 - z) * h_prev + z * h~  ==  h_prev + z * (h~ - h_prev)
+  return Add(h_prev, Mul(z, Sub(h_tilde, h_prev)));
+}
+
+Tensor GruCell::InitialState() const {
+  return Tensor::Constant(Matrix::Zeros(1, hidden_dim_));
+}
+
+LstmCell::LstmCell(size_t input_dim, size_t hidden_dim,
+                   const std::string& prefix, ParameterSet* params, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      gate_i_(hidden_dim + input_dim, hidden_dim, prefix + ".i", params, rng),
+      gate_f_(hidden_dim + input_dim, hidden_dim, prefix + ".f", params, rng),
+      gate_o_(hidden_dim + input_dim, hidden_dim, prefix + ".o", params, rng),
+      gate_g_(hidden_dim + input_dim, hidden_dim, prefix + ".g", params,
+              rng) {}
+
+LstmCell::State LstmCell::Forward(const Tensor& x,
+                                  const State& previous) const {
+  LIGHTTR_CHECK_EQ(previous.h.cols(), hidden_dim_);
+  LIGHTTR_CHECK_EQ(previous.c.cols(), hidden_dim_);
+  const Tensor hx = ConcatCols(previous.h, x);
+  const Tensor i = Sigmoid(gate_i_.Forward(hx));
+  const Tensor f = Sigmoid(gate_f_.Forward(hx));
+  const Tensor o = Sigmoid(gate_o_.Forward(hx));
+  const Tensor g = Tanh(gate_g_.Forward(hx));
+  State next;
+  next.c = Add(Mul(f, previous.c), Mul(i, g));
+  next.h = Mul(o, Tanh(next.c));
+  return next;
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{Tensor::Constant(Matrix::Zeros(1, hidden_dim_)),
+               Tensor::Constant(Matrix::Zeros(1, hidden_dim_))};
+}
+
+RnnCell::RnnCell(size_t input_dim, size_t hidden_dim,
+                 const std::string& prefix, ParameterSet* params, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      cell_(hidden_dim + input_dim, hidden_dim, prefix + ".cell", params,
+            rng) {}
+
+Tensor RnnCell::Forward(const Tensor& x, const Tensor& h_prev) const {
+  LIGHTTR_CHECK_EQ(h_prev.cols(), hidden_dim_);
+  return Tanh(cell_.Forward(ConcatCols(h_prev, x)));
+}
+
+Tensor RnnCell::InitialState() const {
+  return Tensor::Constant(Matrix::Zeros(1, hidden_dim_));
+}
+
+Embedding::Embedding(size_t vocab, size_t dim, const std::string& prefix,
+                     ParameterSet* params, Rng* rng) {
+  LIGHTTR_CHECK(params != nullptr);
+  // Small-range init, as customary for embeddings.
+  table_ = Tensor::Variable(Matrix::RandomUniform(vocab, dim, 0.1, rng));
+  params->Register(prefix + ".table", table_);
+}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  return EmbeddingLookup(table_, ids);
+}
+
+CausalConv1d::CausalConv1d(size_t in_dim, size_t out_dim, size_t kernel,
+                           const std::string& prefix, ParameterSet* params,
+                           Rng* rng)
+    : kernel_(kernel),
+      dense_(in_dim * kernel, out_dim, prefix + ".conv", params, rng) {
+  LIGHTTR_CHECK_GE(kernel, 1u);
+}
+
+Tensor CausalConv1d::Forward(const Tensor& x) const {
+  return dense_.Forward(Im2RowCausal(x, kernel_));
+}
+
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v) {
+  LIGHTTR_CHECK_EQ(q.cols(), k.cols());
+  LIGHTTR_CHECK_EQ(k.rows(), v.rows());
+  const auto d = static_cast<Scalar>(q.cols());
+  const Tensor scores =
+      Scale(MatMul(q, Transpose(k)), Scalar{1} / std::sqrt(d));
+  return MatMul(SoftmaxRows(scores), v);
+}
+
+}  // namespace lighttr::nn

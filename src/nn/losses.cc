@@ -1,0 +1,97 @@
+#include "nn/losses.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "nn/flops.h"
+
+namespace lighttr::nn {
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& targets,
+                           const Matrix* logit_bias) {
+  const size_t n = logits.rows();
+  const size_t classes = logits.cols();
+  LIGHTTR_CHECK_EQ(targets.size(), n);
+  if (logit_bias != nullptr) {
+    LIGHTTR_CHECK(logit_bias->SameShape(logits.value()));
+  }
+
+  // Probabilities are cached for the backward pass.
+  auto probs = std::make_shared<Matrix>(n, classes);
+  Scalar total_loss{0};
+  for (size_t r = 0; r < n; ++r) {
+    LIGHTTR_CHECK_GE(targets[r], 0);
+    LIGHTTR_CHECK_LT(static_cast<size_t>(targets[r]), classes);
+    Scalar row_max = -std::numeric_limits<Scalar>::infinity();
+    for (size_t c = 0; c < classes; ++c) {
+      Scalar z = logits.value()(r, c);
+      if (logit_bias != nullptr) z += (*logit_bias)(r, c);
+      (*probs)(r, c) = z;
+      row_max = std::max(row_max, z);
+    }
+    Scalar denom{0};
+    for (size_t c = 0; c < classes; ++c) {
+      (*probs)(r, c) = std::exp((*probs)(r, c) - row_max);
+      denom += (*probs)(r, c);
+    }
+    for (size_t c = 0; c < classes; ++c) (*probs)(r, c) /= denom;
+    const Scalar p = (*probs)(r, static_cast<size_t>(targets[r]));
+    total_loss += -std::log(std::max(p, Scalar{1e-12}));
+  }
+  AddFlops(static_cast<int64_t>(6 * n * classes));
+
+  Matrix out(1, 1);
+  out(0, 0) = total_loss / static_cast<Scalar>(n);
+  return Tensor::MakeOp(
+      std::move(out), {logits}, [logits, targets, probs](TensorNode& self) {
+        if (!logits.requires_grad()) return;
+        const Scalar g = self.grad(0, 0) / static_cast<Scalar>(targets.size());
+        Matrix& lg = logits.grad();
+        for (size_t r = 0; r < probs->rows(); ++r) {
+          for (size_t c = 0; c < probs->cols(); ++c) {
+            Scalar delta = (*probs)(r, c);
+            if (c == static_cast<size_t>(targets[r])) delta -= Scalar{1};
+            lg(r, c) += g * delta;
+          }
+        }
+        AddFlops(static_cast<int64_t>(2 * probs->size()));
+      });
+}
+
+Tensor MseLoss(const Tensor& pred, const Matrix& target) {
+  LIGHTTR_CHECK(pred.value().SameShape(target));
+  const size_t n = pred.value().size();
+  Scalar total{0};
+  for (size_t i = 0; i < n; ++i) {
+    const Scalar d = pred.value().data()[i] - target.data()[i];
+    total += d * d;
+  }
+  AddFlops(static_cast<int64_t>(3 * n));
+  Matrix out(1, 1);
+  out(0, 0) = total / static_cast<Scalar>(n);
+  return Tensor::MakeOp(std::move(out), {pred}, [pred, target](TensorNode& self) {
+    if (!pred.requires_grad()) return;
+    const size_t n = pred.value().size();
+    const Scalar g = self.grad(0, 0) * Scalar{2} / static_cast<Scalar>(n);
+    Matrix& pg = pred.grad();
+    for (size_t i = 0; i < n; ++i) {
+      pg.data()[i] += g * (pred.value().data()[i] - target.data()[i]);
+    }
+    AddFlops(static_cast<int64_t>(3 * n));
+  });
+}
+
+size_t ArgmaxRow(const Matrix& m, size_t r) {
+  LIGHTTR_CHECK_LT(r, m.rows());
+  LIGHTTR_CHECK_GE(m.cols(), 1u);
+  size_t best = 0;
+  for (size_t c = 1; c < m.cols(); ++c) {
+    if (m(r, c) > m(r, best)) best = c;
+  }
+  return best;
+}
+
+}  // namespace lighttr::nn

@@ -1,0 +1,113 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+
+#include "nn/flops.h"
+
+namespace lighttr::nn {
+
+Matrix Matrix::RandomUniform(size_t rows, size_t cols, Scalar range,
+                             Rng* rng) {
+  LIGHTTR_CHECK(rng != nullptr);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.data_.size(); ++i) {
+    m.data_[i] = static_cast<Scalar>(rng->Uniform(-range, range));
+  }
+  return m;
+}
+
+Matrix Matrix::Xavier(size_t fan_in, size_t fan_out, Rng* rng) {
+  const Scalar range = std::sqrt(Scalar{6} / static_cast<Scalar>(fan_in + fan_out));
+  return RandomUniform(fan_in, fan_out, range, rng);
+}
+
+Matrix Matrix::RowVector(const std::vector<Scalar>& values) {
+  Matrix m(1, values.size());
+  for (size_t i = 0; i < values.size(); ++i) m.data_[i] = values[i];
+  return m;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  LIGHTTR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, Scalar scale) {
+  LIGHTTR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+Scalar Matrix::SquaredNorm() const {
+  Scalar total{0};
+  for (Scalar x : data_) total += x * x;
+  return total;
+}
+
+Matrix MatMulValues(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  MatMulAccumulate(a, b, &c);
+  return c;
+}
+
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  LIGHTTR_CHECK_EQ(a.cols(), b.rows());
+  LIGHTTR_CHECK_EQ(c->rows(), a.rows());
+  LIGHTTR_CHECK_EQ(c->cols(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  AddFlops(static_cast<int64_t>(2 * m * k * n));
+  // i-k-j loop order: streams through b and c rows contiguously.
+  for (size_t i = 0; i < m; ++i) {
+    Scalar* crow = c->data() + i * n;
+    const Scalar* arow = a.data() + i * k;
+    for (size_t p = 0; p < k; ++p) {
+      const Scalar av = arow[p];
+      if (av == Scalar{0}) continue;
+      const Scalar* brow = b.data() + p * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  LIGHTTR_CHECK_EQ(a.rows(), b.rows());
+  LIGHTTR_CHECK_EQ(c->rows(), a.cols());
+  LIGHTTR_CHECK_EQ(c->cols(), b.cols());
+  const size_t m = a.cols();
+  const size_t k = a.rows();
+  const size_t n = b.cols();
+  AddFlops(static_cast<int64_t>(2 * m * k * n));
+  for (size_t p = 0; p < k; ++p) {
+    const Scalar* arow = a.data() + p * m;
+    const Scalar* brow = b.data() + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const Scalar av = arow[i];
+      if (av == Scalar{0}) continue;
+      Scalar* crow = c->data() + i * n;
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
+  LIGHTTR_CHECK_EQ(a.cols(), b.cols());
+  LIGHTTR_CHECK_EQ(c->rows(), a.rows());
+  LIGHTTR_CHECK_EQ(c->cols(), b.rows());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.rows();
+  AddFlops(static_cast<int64_t>(2 * m * k * n));
+  for (size_t i = 0; i < m; ++i) {
+    const Scalar* arow = a.data() + i * k;
+    Scalar* crow = c->data() + i * n;
+    for (size_t j = 0; j < n; ++j) {
+      const Scalar* brow = b.data() + j * k;
+      Scalar acc{0};
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace lighttr::nn

@@ -1,0 +1,99 @@
+// Dense row-major matrix — the numeric storage type of the nn library.
+#ifndef LIGHTTR_NN_MATRIX_H_
+#define LIGHTTR_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lighttr::nn {
+
+/// Numeric type of all network math. Double keeps finite-difference
+/// gradient checks tight; at these model sizes it is not slower than
+/// float on scalar CPU code.
+using Scalar = double;
+
+/// A dense (rows x cols) row-major matrix of Scalars.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, Scalar{0}) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  static Matrix Full(size_t rows, size_t cols, Scalar value) {
+    Matrix m(rows, cols);
+    for (Scalar& x : m.data_) x = value;
+    return m;
+  }
+
+  /// I.i.d. uniform entries in [-range, range].
+  static Matrix RandomUniform(size_t rows, size_t cols, Scalar range,
+                              Rng* rng);
+
+  /// Xavier/Glorot uniform initialisation for a (fan_in x fan_out) weight.
+  static Matrix Xavier(size_t fan_in, size_t fan_out, Rng* rng);
+
+  /// Builds a 1 x values.size() row vector.
+  static Matrix RowVector(const std::vector<Scalar>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  Scalar& operator()(size_t r, size_t c) {
+    LIGHTTR_CHECK_LT(r, rows_);
+    LIGHTTR_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  Scalar operator()(size_t r, size_t c) const {
+    LIGHTTR_CHECK_LT(r, rows_);
+    LIGHTTR_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Scalar* data() { return data_.data(); }
+  const Scalar* data() const { return data_.data(); }
+
+  void Fill(Scalar value) {
+    for (Scalar& x : data_) x = value;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// this += other (element-wise; shapes must match).
+  void AddInPlace(const Matrix& other);
+
+  /// this += scale * other.
+  void AddScaled(const Matrix& other, Scalar scale);
+
+  /// Frobenius-norm squared.
+  Scalar SquaredNorm() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<Scalar> data_;
+};
+
+/// c = a * b (shapes [m,k] x [k,n]).
+Matrix MatMulValues(const Matrix& a, const Matrix& b);
+
+/// c += a * b without allocating.
+void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// c += a^T * b.
+void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// c += a * b^T.
+void MatMulTransBAccumulate(const Matrix& a, const Matrix& b, Matrix* c);
+
+}  // namespace lighttr::nn
+
+#endif  // LIGHTTR_NN_MATRIX_H_

@@ -1,0 +1,485 @@
+#include "nn/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/flops.h"
+
+namespace lighttr::nn {
+
+namespace {
+
+// Shorthand: number of elements, for element-wise FLOP accounting.
+int64_t Elems(const Matrix& m) { return static_cast<int64_t>(m.size()); }
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  LIGHTTR_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddInPlace(b.value());
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(std::move(out), {a, b}, [a, b](TensorNode& self) {
+    if (a.requires_grad()) a.grad().AddInPlace(self.grad);
+    if (b.requires_grad()) b.grad().AddInPlace(self.grad);
+  });
+}
+
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
+  LIGHTTR_CHECK_EQ(bias.rows(), 1u);
+  LIGHTTR_CHECK_EQ(bias.cols(), x.cols());
+  Matrix out = x.value();
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) out(r, c) += bias.value()(0, c);
+  }
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(
+      std::move(out), {x, bias}, [x, bias](TensorNode& self) {
+        if (x.requires_grad()) x.grad().AddInPlace(self.grad);
+        if (bias.requires_grad()) {
+          Matrix& bg = bias.grad();
+          for (size_t r = 0; r < self.grad.rows(); ++r) {
+            for (size_t c = 0; c < self.grad.cols(); ++c) {
+              bg(0, c) += self.grad(r, c);
+            }
+          }
+        }
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  LIGHTTR_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  out.AddScaled(b.value(), Scalar{-1});
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(std::move(out), {a, b}, [a, b](TensorNode& self) {
+    if (a.requires_grad()) a.grad().AddInPlace(self.grad);
+    if (b.requires_grad()) b.grad().AddScaled(self.grad, Scalar{-1});
+  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  LIGHTTR_CHECK(a.value().SameShape(b.value()));
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.value().data()[i];
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(std::move(out), {a, b}, [a, b](TensorNode& self) {
+    const size_t n = self.grad.size();
+    if (a.requires_grad()) {
+      Matrix& ag = a.grad();
+      for (size_t i = 0; i < n; ++i) {
+        ag.data()[i] += self.grad.data()[i] * b.value().data()[i];
+      }
+    }
+    if (b.requires_grad()) {
+      Matrix& bg = b.grad();
+      for (size_t i = 0; i < n; ++i) {
+        bg.data()[i] += self.grad.data()[i] * a.value().data()[i];
+      }
+    }
+    AddFlops(2 * static_cast<int64_t>(n));
+  });
+}
+
+Tensor Scale(const Tensor& a, Scalar s) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(std::move(out), {a}, [a, s](TensorNode& self) {
+    if (a.requires_grad()) a.grad().AddScaled(self.grad, s);
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Matrix out = MatMulValues(a.value(), b.value());
+  return Tensor::MakeOp(std::move(out), {a, b}, [a, b](TensorNode& self) {
+    if (a.requires_grad()) {
+      MatMulTransBAccumulate(self.grad, b.value(), &a.grad());
+    }
+    if (b.requires_grad()) {
+      MatMulTransAAccumulate(a.value(), self.grad, &b.grad());
+    }
+  });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = Scalar{1} / (Scalar{1} + std::exp(-out.data()[i]));
+  }
+  AddFlops(4 * Elems(out));
+  return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      const Scalar y = self.value.data()[i];
+      ag.data()[i] += self.grad.data()[i] * y * (Scalar{1} - y);
+    }
+    AddFlops(3 * static_cast<int64_t>(self.grad.size()));
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  AddFlops(4 * Elems(out));
+  return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      const Scalar y = self.value.data()[i];
+      ag.data()[i] += self.grad.data()[i] * (Scalar{1} - y * y);
+    }
+    AddFlops(3 * static_cast<int64_t>(self.grad.size()));
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < Scalar{0}) out.data()[i] = Scalar{0};
+  }
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t i = 0; i < self.grad.size(); ++i) {
+      if (self.value.data()[i] > Scalar{0}) {
+        ag.data()[i] += self.grad.data()[i];
+      }
+    }
+  });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  LIGHTTR_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(r, c);
+    for (size_t c = 0; c < b.cols(); ++c) {
+      out(r, a.cols() + c) = b.value()(r, c);
+    }
+  }
+  const size_t na = a.cols();
+  return Tensor::MakeOp(std::move(out), {a, b}, [a, b, na](TensorNode& self) {
+    if (a.requires_grad()) {
+      Matrix& ag = a.grad();
+      for (size_t r = 0; r < ag.rows(); ++r) {
+        for (size_t c = 0; c < ag.cols(); ++c) ag(r, c) += self.grad(r, c);
+      }
+    }
+    if (b.requires_grad()) {
+      Matrix& bg = b.grad();
+      for (size_t r = 0; r < bg.rows(); ++r) {
+        for (size_t c = 0; c < bg.cols(); ++c) {
+          bg(r, c) += self.grad(r, na + c);
+        }
+      }
+    }
+  });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  LIGHTTR_CHECK(!parts.empty());
+  const size_t cols = parts[0].cols();
+  size_t rows = 0;
+  for (const Tensor& p : parts) {
+    LIGHTTR_CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  Matrix out(rows, cols);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    for (size_t r = 0; r < p.rows(); ++r) {
+      for (size_t c = 0; c < cols; ++c) out(offset + r, c) = p.value()(r, c);
+    }
+    offset += p.rows();
+  }
+  return Tensor::MakeOp(std::move(out), parts, [parts](TensorNode& self) {
+    size_t offset = 0;
+    for (const Tensor& p : parts) {
+      if (p.requires_grad()) {
+        Matrix& pg = p.grad();
+        for (size_t r = 0; r < p.rows(); ++r) {
+          for (size_t c = 0; c < pg.cols(); ++c) {
+            pg(r, c) += self.grad(offset + r, c);
+          }
+        }
+      }
+      offset += p.rows();
+    }
+  });
+}
+
+Tensor SliceCols(const Tensor& a, size_t begin, size_t len) {
+  LIGHTTR_CHECK_LE(begin + len, a.cols());
+  Matrix out(a.rows(), len);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < len; ++c) out(r, c) = a.value()(r, begin + c);
+  }
+  return Tensor::MakeOp(std::move(out), {a}, [a, begin](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t r = 0; r < self.grad.rows(); ++r) {
+      for (size_t c = 0; c < self.grad.cols(); ++c) {
+        ag(r, begin + c) += self.grad(r, c);
+      }
+    }
+  });
+}
+
+Tensor SliceRows(const Tensor& a, size_t begin, size_t len) {
+  LIGHTTR_CHECK_LE(begin + len, a.rows());
+  Matrix out(len, a.cols());
+  for (size_t r = 0; r < len; ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) out(r, c) = a.value()(begin + r, c);
+  }
+  return Tensor::MakeOp(std::move(out), {a}, [a, begin](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t r = 0; r < self.grad.rows(); ++r) {
+      for (size_t c = 0; c < self.grad.cols(); ++c) {
+        ag(begin + r, c) += self.grad(r, c);
+      }
+    }
+  });
+}
+
+Tensor Transpose(const Tensor& a) {
+  Matrix out(a.cols(), a.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out(c, r) = a.value()(r, c);
+  }
+  return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t r = 0; r < self.grad.rows(); ++r) {
+      for (size_t c = 0; c < self.grad.cols(); ++c) {
+        ag(c, r) += self.grad(r, c);
+      }
+    }
+  });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Matrix out = a.value();
+  for (size_t r = 0; r < out.rows(); ++r) {
+    Scalar row_max = out(r, 0);
+    for (size_t c = 1; c < out.cols(); ++c) {
+      row_max = std::max(row_max, out(r, c));
+    }
+    Scalar denom{0};
+    for (size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = std::exp(out(r, c) - row_max);
+      denom += out(r, c);
+    }
+    for (size_t c = 0; c < out.cols(); ++c) out(r, c) /= denom;
+  }
+  AddFlops(5 * Elems(out));
+  return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t r = 0; r < self.grad.rows(); ++r) {
+      Scalar dot{0};
+      for (size_t c = 0; c < self.grad.cols(); ++c) {
+        dot += self.grad(r, c) * self.value(r, c);
+      }
+      for (size_t c = 0; c < self.grad.cols(); ++c) {
+        ag(r, c) += self.value(r, c) * (self.grad(r, c) - dot);
+      }
+    }
+    AddFlops(4 * static_cast<int64_t>(self.grad.size()));
+  });
+}
+
+Tensor Sum(const Tensor& a) {
+  Matrix out(1, 1);
+  Scalar total{0};
+  for (size_t i = 0; i < a.value().size(); ++i) total += a.value().data()[i];
+  out(0, 0) = total;
+  AddFlops(Elems(a.value()));
+  return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    const Scalar g = self.grad(0, 0);
+    Matrix& ag = a.grad();
+    for (size_t i = 0; i < ag.size(); ++i) ag.data()[i] += g;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  const auto n = static_cast<Scalar>(a.value().size());
+  return Scale(Sum(a), Scalar{1} / n);
+}
+
+Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng) {
+  LIGHTTR_CHECK_GE(p, 0.0);
+  LIGHTTR_CHECK_LT(p, 1.0);
+  if (!training || p == 0.0) return a;
+  LIGHTTR_CHECK(rng != nullptr);
+  const Scalar keep_scale = Scalar{1} / static_cast<Scalar>(1.0 - p);
+  auto mask = std::make_shared<std::vector<Scalar>>(a.value().size());
+  Matrix out = a.value();
+  for (size_t i = 0; i < out.size(); ++i) {
+    const Scalar m = rng->Bernoulli(p) ? Scalar{0} : keep_scale;
+    (*mask)[i] = m;
+    out.data()[i] *= m;
+  }
+  AddFlops(Elems(out));
+  return Tensor::MakeOp(std::move(out), {a}, [a, mask](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    for (size_t i = 0; i < ag.size(); ++i) {
+      ag.data()[i] += self.grad.data()[i] * (*mask)[i];
+    }
+  });
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  LIGHTTR_CHECK(!ids.empty());
+  const size_t dim = table.cols();
+  Matrix out(ids.size(), dim);
+  for (size_t r = 0; r < ids.size(); ++r) {
+    LIGHTTR_CHECK_GE(ids[r], 0);
+    LIGHTTR_CHECK_LT(static_cast<size_t>(ids[r]), table.rows());
+    for (size_t c = 0; c < dim; ++c) {
+      out(r, c) = table.value()(static_cast<size_t>(ids[r]), c);
+    }
+  }
+  return Tensor::MakeOp(std::move(out), {table}, [table, ids](TensorNode& self) {
+    if (!table.requires_grad()) return;
+    Matrix& tg = table.grad();
+    for (size_t r = 0; r < ids.size(); ++r) {
+      for (size_t c = 0; c < tg.cols(); ++c) {
+        tg(static_cast<size_t>(ids[r]), c) += self.grad(r, c);
+      }
+    }
+  });
+}
+
+Tensor LayerNormRows(const Tensor& a, Scalar epsilon) {
+  const size_t rows = a.rows();
+  const size_t cols = a.cols();
+  LIGHTTR_CHECK_GE(cols, 1u);
+  Matrix out(rows, cols);
+  // Cache per-row mean and inverse stddev for the backward pass.
+  auto stats = std::make_shared<Matrix>(rows, 2);
+  for (size_t r = 0; r < rows; ++r) {
+    Scalar mean{0};
+    for (size_t c = 0; c < cols; ++c) mean += a.value()(r, c);
+    mean /= static_cast<Scalar>(cols);
+    Scalar var{0};
+    for (size_t c = 0; c < cols; ++c) {
+      const Scalar d = a.value()(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<Scalar>(cols);
+    const Scalar inv_std = Scalar{1} / std::sqrt(var + epsilon);
+    (*stats)(r, 0) = mean;
+    (*stats)(r, 1) = inv_std;
+    for (size_t c = 0; c < cols; ++c) {
+      out(r, c) = (a.value()(r, c) - mean) * inv_std;
+    }
+  }
+  AddFlops(static_cast<int64_t>(6 * rows * cols));
+  return Tensor::MakeOp(std::move(out), {a}, [a, stats](TensorNode& self) {
+    if (!a.requires_grad()) return;
+    Matrix& ag = a.grad();
+    const size_t cols = ag.cols();
+    const auto n = static_cast<Scalar>(cols);
+    for (size_t r = 0; r < ag.rows(); ++r) {
+      const Scalar inv_std = (*stats)(r, 1);
+      // dL/dx = inv_std * (g - mean(g) - y * mean(g * y))
+      Scalar g_mean{0};
+      Scalar gy_mean{0};
+      for (size_t c = 0; c < cols; ++c) {
+        g_mean += self.grad(r, c);
+        gy_mean += self.grad(r, c) * self.value(r, c);
+      }
+      g_mean /= n;
+      gy_mean /= n;
+      for (size_t c = 0; c < cols; ++c) {
+        ag(r, c) += inv_std * (self.grad(r, c) - g_mean -
+                               self.value(r, c) * gy_mean);
+      }
+    }
+    AddFlops(static_cast<int64_t>(8 * ag.size()));
+  });
+}
+
+Tensor Im2RowCausal(const Tensor& x, size_t kernel) {
+  LIGHTTR_CHECK_GE(kernel, 1u);
+  const size_t steps = x.rows();
+  const size_t channels = x.cols();
+  Matrix out(steps, kernel * channels);
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t j = 0; j < kernel; ++j) {
+      if (t + j + 1 < kernel) continue;  // zero padding before step 0
+      const size_t src = t + j + 1 - kernel;
+      for (size_t c = 0; c < channels; ++c) {
+        out(t, j * channels + c) = x.value()(src, c);
+      }
+    }
+  }
+  return Tensor::MakeOp(std::move(out), {x}, [x, kernel](TensorNode& self) {
+    if (!x.requires_grad()) return;
+    Matrix& xg = x.grad();
+    const size_t channels = xg.cols();
+    for (size_t t = 0; t < xg.rows(); ++t) {
+      for (size_t j = 0; j < kernel; ++j) {
+        if (t + j + 1 < kernel) continue;
+        const size_t src = t + j + 1 - kernel;
+        for (size_t c = 0; c < channels; ++c) {
+          xg(src, c) += self.grad(t, j * channels + c);
+        }
+      }
+    }
+  });
+}
+
+Tensor CandidateLogits(const Tensor& h, const Tensor& w, const Tensor& b,
+                       const std::vector<int>& candidates) {
+  LIGHTTR_CHECK_EQ(h.rows(), 1u);
+  LIGHTTR_CHECK_EQ(h.cols(), w.rows());
+  LIGHTTR_CHECK_EQ(b.rows(), 1u);
+  LIGHTTR_CHECK_EQ(b.cols(), w.cols());
+  LIGHTTR_CHECK(!candidates.empty());
+  const size_t hidden = h.cols();
+  Matrix out(1, candidates.size());
+  for (size_t k = 0; k < candidates.size(); ++k) {
+    const auto cls = static_cast<size_t>(candidates[k]);
+    LIGHTTR_CHECK_LT(cls, w.cols());
+    Scalar acc = b.value()(0, cls);
+    for (size_t i = 0; i < hidden; ++i) {
+      acc += h.value()(0, i) * w.value()(i, cls);
+    }
+    out(0, k) = acc;
+  }
+  AddFlops(static_cast<int64_t>(2 * hidden * candidates.size()));
+  return Tensor::MakeOp(
+      std::move(out), {h, w, b}, [h, w, b, candidates](TensorNode& self) {
+        const size_t hidden = h.cols();
+        for (size_t k = 0; k < candidates.size(); ++k) {
+          const Scalar g = self.grad(0, k);
+          if (g == Scalar{0}) continue;
+          const auto cls = static_cast<size_t>(candidates[k]);
+          if (h.requires_grad()) {
+            Matrix& hg = h.grad();
+            for (size_t i = 0; i < hidden; ++i) {
+              hg(0, i) += g * w.value()(i, cls);
+            }
+          }
+          if (w.requires_grad()) {
+            Matrix& wg = w.grad();
+            for (size_t i = 0; i < hidden; ++i) {
+              wg(i, cls) += g * h.value()(0, i);
+            }
+          }
+          if (b.requires_grad()) b.grad()(0, cls) += g;
+        }
+        AddFlops(static_cast<int64_t>(4 * hidden * candidates.size()));
+      });
+}
+
+}  // namespace lighttr::nn

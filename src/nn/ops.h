@@ -1,0 +1,95 @@
+// Differentiable operations on Tensors.
+//
+// Every function returns a new Tensor whose backward closure accumulates
+// gradients into its inputs. Shapes are validated with LIGHTTR_CHECK
+// (shape errors are programming errors, not runtime conditions).
+#ifndef LIGHTTR_NN_OPS_H_
+#define LIGHTTR_NN_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace lighttr::nn {
+
+/// Element-wise a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// x + bias with bias broadcast across rows; x is [m,n], bias [1,n].
+Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias);
+
+/// Element-wise a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Element-wise (Hadamard) product a * b (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// s * a for a compile-time-constant scalar s.
+Tensor Scale(const Tensor& a, Scalar s);
+
+/// Matrix product a ([m,k]) x b ([k,n]).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Element-wise logistic sigmoid.
+Tensor Sigmoid(const Tensor& a);
+
+/// Element-wise hyperbolic tangent.
+Tensor Tanh(const Tensor& a);
+
+/// Element-wise max(x, 0).
+Tensor Relu(const Tensor& a);
+
+/// Horizontal concatenation [a | b]; equal row counts.
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Vertical concatenation of tensors with equal column counts. Used to
+/// assemble per-step row vectors into a [T, n] sequence matrix.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Columns [begin, begin+len) of a.
+Tensor SliceCols(const Tensor& a, size_t begin, size_t len);
+
+/// Rows [begin, begin+len) of a.
+Tensor SliceRows(const Tensor& a, size_t begin, size_t len);
+
+/// a^T.
+Tensor Transpose(const Tensor& a);
+
+/// Row-wise softmax (used by attention).
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Sum of all entries, as a 1x1 tensor.
+Tensor Sum(const Tensor& a);
+
+/// Mean of all entries, as a 1x1 tensor.
+Tensor Mean(const Tensor& a);
+
+/// Inverted dropout. Identity when !training or p == 0.
+Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng);
+
+/// Gathers rows of `table` ([V,D]) at `ids`, giving [ids.size(), D].
+/// Backward scatter-adds into the table rows.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+
+/// Row-wise layer normalisation (no learned affine): each row is
+/// centred and scaled to unit variance (epsilon-stabilised).
+Tensor LayerNormRows(const Tensor& a, Scalar epsilon = Scalar{1e-5});
+
+/// Causal temporal im2row: stacks each row of x ([T, C]) with its k-1
+/// predecessors (zero-padded at the start) into [T, k*C]. A Dense layer
+/// on the result is a causal 1-D convolution — the CNN-based ST-operator
+/// of paper Table II.
+Tensor Im2RowCausal(const Tensor& x, size_t kernel);
+
+/// Logits restricted to candidate classes: h ([1,H]) against columns
+/// `candidates` of W ([H,C]) plus b ([1,C]) entries, giving [1,K].
+/// This is the fast path of the constraint mask layer: only candidate
+/// road segments get logits, cutting the output-projection cost from
+/// O(H*C) to O(H*K).
+Tensor CandidateLogits(const Tensor& h, const Tensor& w, const Tensor& b,
+                       const std::vector<int>& candidates);
+
+}  // namespace lighttr::nn
+
+#endif  // LIGHTTR_NN_OPS_H_

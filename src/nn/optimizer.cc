@@ -1,0 +1,109 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lighttr::nn {
+
+void ClipGradientsByGlobalNorm(ParameterSet* params, Scalar max_norm) {
+  if (max_norm <= Scalar{0}) return;
+  Scalar total{0};
+  for (size_t i = 0; i < params->size(); ++i) {
+    total += params->tensor(i).grad().SquaredNorm();
+  }
+  const Scalar norm = std::sqrt(total);
+  if (norm <= max_norm) return;
+  const Scalar scale = max_norm / norm;
+  for (size_t i = 0; i < params->size(); ++i) {
+    Matrix& g = params->tensor(i).grad();
+    for (size_t j = 0; j < g.size(); ++j) g.data()[j] *= scale;
+  }
+}
+
+SgdOptimizer::SgdOptimizer(Scalar learning_rate, Scalar momentum,
+                           Scalar clip_norm)
+    : learning_rate_(learning_rate),
+      momentum_(momentum),
+      clip_norm_(clip_norm) {
+  LIGHTTR_CHECK_GT(learning_rate, Scalar{0});
+  LIGHTTR_CHECK_GE(momentum, Scalar{0});
+  LIGHTTR_CHECK_LT(momentum, Scalar{1});
+}
+
+void SgdOptimizer::Step(ParameterSet* params) {
+  LIGHTTR_CHECK(params != nullptr);
+  ClipGradientsByGlobalNorm(params, clip_norm_);
+  if (velocity_.empty() && momentum_ > Scalar{0}) {
+    for (size_t i = 0; i < params->size(); ++i) {
+      const Matrix& value = params->tensor(i).value();
+      velocity_.emplace_back(value.rows(), value.cols());
+    }
+  }
+  for (size_t i = 0; i < params->size(); ++i) {
+    Matrix& value = params->tensor(i).mutable_value();
+    const Matrix& grad = params->tensor(i).grad();
+    if (momentum_ > Scalar{0}) {
+      Matrix& vel = velocity_[i];
+      LIGHTTR_CHECK(vel.SameShape(value));
+      for (size_t j = 0; j < value.size(); ++j) {
+        vel.data()[j] = momentum_ * vel.data()[j] - learning_rate_ * grad.data()[j];
+        value.data()[j] += vel.data()[j];
+      }
+    } else {
+      value.AddScaled(grad, -learning_rate_);
+    }
+  }
+  params->ZeroGrads();
+}
+
+AdamOptimizer::AdamOptimizer(Scalar learning_rate, Scalar beta1, Scalar beta2,
+                             Scalar epsilon, Scalar clip_norm,
+                             Scalar weight_decay)
+    : learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      clip_norm_(clip_norm),
+      weight_decay_(weight_decay) {
+  LIGHTTR_CHECK_GT(learning_rate, Scalar{0});
+  LIGHTTR_CHECK_GT(epsilon, Scalar{0});
+}
+
+void AdamOptimizer::Step(ParameterSet* params) {
+  LIGHTTR_CHECK(params != nullptr);
+  ClipGradientsByGlobalNorm(params, clip_norm_);
+  if (m_.empty()) {
+    for (size_t i = 0; i < params->size(); ++i) {
+      const Matrix& value = params->tensor(i).value();
+      m_.emplace_back(value.rows(), value.cols());
+      v_.emplace_back(value.rows(), value.cols());
+    }
+  }
+  LIGHTTR_CHECK_EQ(m_.size(), params->size());
+  ++step_count_;
+  const Scalar bc1 =
+      Scalar{1} - std::pow(beta1_, static_cast<Scalar>(step_count_));
+  const Scalar bc2 =
+      Scalar{1} - std::pow(beta2_, static_cast<Scalar>(step_count_));
+  for (size_t i = 0; i < params->size(); ++i) {
+    Matrix& value = params->tensor(i).mutable_value();
+    const Matrix& grad = params->tensor(i).grad();
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      const Scalar g = grad.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (Scalar{1} - beta1_) * g;
+      v.data()[j] = beta2_ * v.data()[j] + (Scalar{1} - beta2_) * g * g;
+      const Scalar m_hat = m.data()[j] / bc1;
+      const Scalar v_hat = v.data()[j] / bc2;
+      value.data()[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+      if (weight_decay_ > Scalar{0}) {
+        value.data()[j] -= learning_rate_ * weight_decay_ * value.data()[j];
+      }
+    }
+  }
+  params->ZeroGrads();
+}
+
+}  // namespace lighttr::nn

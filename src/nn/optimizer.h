@@ -1,0 +1,73 @@
+// First-order optimizers over ParameterSets: SGD (with momentum) and Adam.
+#ifndef LIGHTTR_NN_OPTIMIZER_H_
+#define LIGHTTR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace lighttr::nn {
+
+/// Applies accumulated gradients to parameters. Call Step() after
+/// Backward(); gradients are zeroed by the optimizer at the end of Step.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Updates every parameter in `params` from its gradient, then zeroes
+  /// the gradients.
+  virtual void Step(ParameterSet* params) = 0;
+};
+
+/// Stochastic gradient descent with optional classical momentum and
+/// gradient clipping by global norm.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(Scalar learning_rate, Scalar momentum = Scalar{0},
+                        Scalar clip_norm = Scalar{0});
+
+  void Step(ParameterSet* params) override;
+
+  Scalar learning_rate() const { return learning_rate_; }
+  void set_learning_rate(Scalar lr) { learning_rate_ = lr; }
+
+ private:
+  Scalar learning_rate_;
+  Scalar momentum_;
+  Scalar clip_norm_;  // 0 disables clipping
+  std::vector<Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional clipping.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(Scalar learning_rate, Scalar beta1 = Scalar{0.9},
+                         Scalar beta2 = Scalar{0.999},
+                         Scalar epsilon = Scalar{1e-8},
+                         Scalar clip_norm = Scalar{5},
+                         Scalar weight_decay = Scalar{1e-4});
+
+  void Step(ParameterSet* params) override;
+
+  Scalar learning_rate() const { return learning_rate_; }
+  void set_learning_rate(Scalar lr) { learning_rate_ = lr; }
+
+ private:
+  Scalar learning_rate_;
+  Scalar beta1_;
+  Scalar beta2_;
+  Scalar epsilon_;
+  Scalar clip_norm_;
+  Scalar weight_decay_;  // decoupled (AdamW-style); 0 disables
+  int64_t step_count_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`
+/// (no-op when max_norm <= 0 or the norm is already within bounds).
+void ClipGradientsByGlobalNorm(ParameterSet* params, Scalar max_norm);
+
+}  // namespace lighttr::nn
+
+#endif  // LIGHTTR_NN_OPTIMIZER_H_

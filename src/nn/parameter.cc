@@ -1,0 +1,174 @@
+#include "nn/parameter.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace lighttr::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'T', 'R', '1'};
+
+void AppendBytes(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+bool ReadBytes(const std::string& in, size_t* offset, void* data, size_t n) {
+  if (*offset + n > in.size()) return false;
+  std::memcpy(data, in.data() + *offset, n);
+  *offset += n;
+  return true;
+}
+
+}  // namespace
+
+void ParameterSet::Register(std::string name, Tensor tensor) {
+  LIGHTTR_CHECK(tensor.defined());
+  LIGHTTR_CHECK(tensor.requires_grad());
+  for (const auto& [existing, unused] : items_) {
+    LIGHTTR_CHECK(existing != name);
+  }
+  items_.emplace_back(std::move(name), std::move(tensor));
+}
+
+const Tensor& ParameterSet::Get(const std::string& name) const {
+  for (const auto& [existing, tensor] : items_) {
+    if (existing == name) return tensor;
+  }
+  LIGHTTR_CHECK(false && "parameter not found");
+  return items_.front().second;  // unreachable
+}
+
+int64_t ParameterSet::NumScalars() const {
+  int64_t total = 0;
+  for (const auto& [name, tensor] : items_) {
+    total += static_cast<int64_t>(tensor.value().size());
+  }
+  return total;
+}
+
+std::vector<Scalar> ParameterSet::Flatten() const {
+  std::vector<Scalar> flat;
+  flat.reserve(static_cast<size_t>(NumScalars()));
+  for (const auto& [name, tensor] : items_) {
+    const Matrix& m = tensor.value();
+    flat.insert(flat.end(), m.data(), m.data() + m.size());
+  }
+  return flat;
+}
+
+void ParameterSet::AssignFlat(const std::vector<Scalar>& flat) {
+  LIGHTTR_CHECK_EQ(static_cast<int64_t>(flat.size()), NumScalars());
+  size_t offset = 0;
+  for (auto& [name, tensor] : items_) {
+    Matrix& m = tensor.mutable_value();
+    std::memcpy(m.data(), flat.data() + offset, m.size() * sizeof(Scalar));
+    offset += m.size();
+  }
+}
+
+void ParameterSet::ZeroGrads() {
+  for (auto& [name, tensor] : items_) tensor.ZeroGrad();
+}
+
+int64_t ParameterSet::WireBytes() const {
+  // 4 bytes per scalar (float32 wire format) plus per-tensor headers.
+  int64_t bytes = sizeof(kMagic) + sizeof(uint32_t);
+  for (const auto& [name, tensor] : items_) {
+    bytes += sizeof(uint32_t) + static_cast<int64_t>(name.size());
+    bytes += 2 * sizeof(uint32_t);
+    bytes += static_cast<int64_t>(tensor.value().size()) * sizeof(float);
+  }
+  return bytes;
+}
+
+std::string ParameterSet::Serialize() const {
+  std::string out;
+  out.reserve(static_cast<size_t>(WireBytes()));
+  AppendBytes(&out, kMagic, sizeof(kMagic));
+  const auto count = static_cast<uint32_t>(items_.size());
+  AppendBytes(&out, &count, sizeof(count));
+  for (const auto& [name, tensor] : items_) {
+    const auto name_len = static_cast<uint32_t>(name.size());
+    AppendBytes(&out, &name_len, sizeof(name_len));
+    AppendBytes(&out, name.data(), name.size());
+    const Matrix& m = tensor.value();
+    const auto rows = static_cast<uint32_t>(m.rows());
+    const auto cols = static_cast<uint32_t>(m.cols());
+    AppendBytes(&out, &rows, sizeof(rows));
+    AppendBytes(&out, &cols, sizeof(cols));
+    for (size_t i = 0; i < m.size(); ++i) {
+      const auto v = static_cast<float>(m.data()[i]);
+      AppendBytes(&out, &v, sizeof(v));
+    }
+  }
+  return out;
+}
+
+Status ParameterSet::Deserialize(const std::string& bytes) {
+  size_t offset = 0;
+  char magic[4];
+  if (!ReadBytes(bytes, &offset, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad parameter blob magic");
+  }
+  uint32_t count = 0;
+  if (!ReadBytes(bytes, &offset, &count, sizeof(count))) {
+    return Status::InvalidArgument("truncated parameter blob");
+  }
+  if (count != items_.size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (auto& [name, tensor] : items_) {
+    uint32_t name_len = 0;
+    if (!ReadBytes(bytes, &offset, &name_len, sizeof(name_len))) {
+      return Status::InvalidArgument("truncated parameter blob");
+    }
+    std::string read_name(name_len, '\0');
+    if (!ReadBytes(bytes, &offset, read_name.data(), name_len)) {
+      return Status::InvalidArgument("truncated parameter blob");
+    }
+    if (read_name != name) {
+      return Status::InvalidArgument("parameter name mismatch: expected " +
+                                     name + ", got " + read_name);
+    }
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    if (!ReadBytes(bytes, &offset, &rows, sizeof(rows)) ||
+        !ReadBytes(bytes, &offset, &cols, sizeof(cols))) {
+      return Status::InvalidArgument("truncated parameter blob");
+    }
+    Matrix& m = tensor.mutable_value();
+    if (rows != m.rows() || cols != m.cols()) {
+      return Status::InvalidArgument("parameter shape mismatch for " + name);
+    }
+    for (size_t i = 0; i < m.size(); ++i) {
+      float v = 0.0f;
+      if (!ReadBytes(bytes, &offset, &v, sizeof(v))) {
+        return Status::InvalidArgument("truncated parameter blob");
+      }
+      m.data()[i] = static_cast<Scalar>(v);
+    }
+  }
+  if (offset != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes in parameter blob");
+  }
+  return Status::Ok();
+}
+
+std::vector<Scalar> AverageFlat(
+    const std::vector<std::vector<Scalar>>& flats) {
+  LIGHTTR_CHECK(!flats.empty());
+  const size_t n = flats[0].size();
+  std::vector<Scalar> avg(n, Scalar{0});
+  for (const auto& flat : flats) {
+    LIGHTTR_CHECK_EQ(flat.size(), n);
+    for (size_t i = 0; i < n; ++i) avg[i] += flat[i];
+  }
+  const auto inv = Scalar{1} / static_cast<Scalar>(flats.size());
+  for (Scalar& x : avg) x *= inv;
+  return avg;
+}
+
+}  // namespace lighttr::nn

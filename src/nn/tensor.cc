@@ -1,0 +1,96 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace lighttr::nn {
+
+namespace {
+uint64_t g_sequence = 0;
+int g_no_grad_depth = 0;
+}  // namespace
+
+NoGradScope::NoGradScope() { ++g_no_grad_depth; }
+NoGradScope::~NoGradScope() { --g_no_grad_depth; }
+bool NoGradScope::Active() { return g_no_grad_depth > 0; }
+
+Tensor Tensor::Constant(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  node->sequence = ++g_sequence;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::Variable(Matrix value) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  node->sequence = ++g_sequence;
+  return Tensor(std::move(node));
+}
+
+Tensor Tensor::MakeOp(Matrix value, std::vector<Tensor> parents,
+                      std::function<void(TensorNode&)> backward_fn) {
+  bool needs_grad = false;
+  for (const Tensor& p : parents) {
+    LIGHTTR_CHECK(p.defined());
+    needs_grad = needs_grad || p.requires_grad();
+  }
+  if (NoGradScope::Active()) needs_grad = false;
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->sequence = ++g_sequence;
+  node->requires_grad = needs_grad;
+  if (needs_grad) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(node));
+}
+
+Scalar Tensor::ScalarValue() const {
+  LIGHTTR_CHECK_EQ(rows(), 1u);
+  LIGHTTR_CHECK_EQ(cols(), 1u);
+  return node_->value(0, 0);
+}
+
+void Tensor::Backward() {
+  LIGHTTR_CHECK(defined());
+  LIGHTTR_CHECK_EQ(node_->value.size(), 1u);
+  if (!node_->requires_grad) return;  // graph has no trainable leaves
+
+  // Collect reachable nodes (iterative DFS to survive deep BPTT graphs).
+  std::vector<TensorNode*> reachable;
+  std::unordered_set<TensorNode*> visited;
+  std::vector<TensorNode*> stack{node_.get()};
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    TensorNode* current = stack.back();
+    stack.pop_back();
+    reachable.push_back(current);
+    for (const Tensor& parent : current->parents) {
+      TensorNode* p = parent.node();
+      if (p->requires_grad && visited.insert(p).second) {
+        stack.push_back(p);
+      }
+    }
+  }
+
+  // Creation order is a valid topological order of the dynamic graph.
+  std::sort(reachable.begin(), reachable.end(),
+            [](const TensorNode* a, const TensorNode* b) {
+              return a->sequence > b->sequence;
+            });
+
+  node_->EnsureGrad()(0, 0) += Scalar{1};
+  for (TensorNode* current : reachable) {
+    if (current->backward_fn && !current->grad.empty()) {
+      current->backward_fn(*current);
+    }
+  }
+}
+
+}  // namespace lighttr::nn

@@ -1,0 +1,45 @@
+#include "roadnet/astar.h"
+
+#include <queue>
+#include <vector>
+
+#include "geo/geo_point.h"
+
+namespace lighttr::roadnet {
+
+AStarResult AStarDistance(const RoadNetwork& network, VertexId u, VertexId v) {
+  LIGHTTR_CHECK(network.finalized());
+  AStarResult result;
+  const geo::GeoPoint target = network.vertex(v).position;
+  auto heuristic = [&](VertexId x) {
+    return geo::HaversineMeters(network.vertex(x).position, target);
+  };
+
+  std::vector<double> g(network.num_vertices(), kUnreachable);
+  // (f = g + h, vertex) min-heap.
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> open;
+  g[u] = 0.0;
+  open.push({heuristic(u), u});
+  while (!open.empty()) {
+    const auto [f, x] = open.top();
+    open.pop();
+    if (f > g[x] + heuristic(x) + 1e-9) continue;  // stale entry
+    ++result.expanded_vertices;
+    if (x == v) {
+      result.distance_m = g[x];
+      return result;
+    }
+    for (SegmentId e : network.OutSegments(x)) {
+      const Segment& seg = network.segment(e);
+      const double ng = g[x] + seg.length_m;
+      if (ng < g[seg.to]) {
+        g[seg.to] = ng;
+        open.push({ng + heuristic(seg.to), seg.to});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lighttr::roadnet

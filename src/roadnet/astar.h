@@ -1,0 +1,25 @@
+// A* point-to-point shortest path with a great-circle admissible
+// heuristic — typically expands far fewer vertices than Dijkstra on
+// road networks (engineering alternative; results are identical).
+#ifndef LIGHTTR_ROADNET_ASTAR_H_
+#define LIGHTTR_ROADNET_ASTAR_H_
+
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace lighttr::roadnet {
+
+/// Result of an A* query, including search-effort accounting.
+struct AStarResult {
+  double distance_m = kUnreachable;
+  int64_t expanded_vertices = 0;
+};
+
+/// Directed shortest-path distance from u to v. The haversine distance
+/// to the target is an admissible heuristic (roads are never shorter
+/// than the great circle), so the result equals Dijkstra's exactly.
+AStarResult AStarDistance(const RoadNetwork& network, VertexId u, VertexId v);
+
+}  // namespace lighttr::roadnet
+
+#endif  // LIGHTTR_ROADNET_ASTAR_H_

@@ -1,0 +1,76 @@
+#include "roadnet/segment_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace lighttr::roadnet {
+
+namespace {
+
+// Expands the network bounding box slightly so border segments and noisy
+// points near the edge stay in range.
+geo::GeoPoint Pad(const geo::GeoPoint& p, double dlat, double dlng) {
+  return {p.lat + dlat, p.lng + dlng};
+}
+
+}  // namespace
+
+SegmentIndex::SegmentIndex(const RoadNetwork& network, double cell_meters)
+    : network_(network),
+      grid_(Pad(network.min_corner(), -0.01, -0.01),
+            Pad(network.max_corner(), 0.01, 0.01), cell_meters) {
+  LIGHTTR_CHECK(network.finalized());
+  buckets_.assign(static_cast<size_t>(grid_.num_cells()), {});
+  for (SegmentId e = 0; e < network.num_segments(); ++e) {
+    const Segment& seg = network.segment(e);
+    const geo::GeoPoint& a = network.vertex(seg.from).position;
+    const geo::GeoPoint& b = network.vertex(seg.to).position;
+    // Rasterize along the segment at half-cell pitch, inserting into each
+    // visited cell (segments are straight lines, so this covers them).
+    const int steps = std::max(
+        1, static_cast<int>(std::ceil(seg.length_m / (cell_meters / 2.0))));
+    int64_t last_cell = -1;
+    for (int s = 0; s <= steps; ++s) {
+      const geo::GeoPoint p = geo::Lerp(a, b, static_cast<double>(s) / steps);
+      const int64_t cell = grid_.CellId(grid_.CellOf(p));
+      if (cell != last_cell) {
+        buckets_[static_cast<size_t>(cell)].push_back(e);
+        last_cell = cell;
+      }
+    }
+  }
+}
+
+std::vector<SegmentIndex::Candidate> SegmentIndex::Nearby(
+    const geo::GeoPoint& p, double radius_m) const {
+  LIGHTTR_CHECK_GT(radius_m, 0.0);
+  const geo::GridCell center = grid_.CellOf(p);
+  const int32_t ring =
+      static_cast<int32_t>(std::ceil(radius_m / grid_.cell_meters())) + 1;
+
+  std::unordered_set<SegmentId> seen;
+  std::vector<Candidate> candidates;
+  for (int32_t dy = -ring; dy <= ring; ++dy) {
+    for (int32_t dx = -ring; dx <= ring; ++dx) {
+      const int32_t x = center.x + dx;
+      const int32_t y = center.y + dy;
+      if (x < 0 || x >= grid_.cols() || y < 0 || y >= grid_.rows()) continue;
+      for (SegmentId e : buckets_[static_cast<size_t>(
+               grid_.CellId(geo::GridCell{x, y}))]) {
+        if (!seen.insert(e).second) continue;
+        Projection proj = network_.ProjectOntoSegment(e, p);
+        if (proj.distance_m <= radius_m) {
+          candidates.push_back(Candidate{e, proj});
+        }
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.projection.distance_m < b.projection.distance_m;
+            });
+  return candidates;
+}
+
+}  // namespace lighttr::roadnet

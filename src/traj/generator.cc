@@ -1,0 +1,131 @@
+#include "traj/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "roadnet/shortest_path.h"
+
+namespace lighttr::traj {
+
+TrajectoryGenerator::TrajectoryGenerator(const roadnet::RoadNetwork& network)
+    : network_(network) {
+  LIGHTTR_CHECK(network.finalized());
+  LIGHTTR_CHECK_GE(network.num_segments(), 1);
+}
+
+roadnet::VertexId TrajectoryGenerator::PickStartVertex(
+    const GeneratorOptions& options, roadnet::VertexId home, Rng* rng) const {
+  const int32_t n = network_.num_vertices();
+  if (home < 0 || home >= n) {
+    return static_cast<roadnet::VertexId>(rng->UniformInt(0, n - 1));
+  }
+  const geo::GeoPoint home_pos = network_.vertex(home).position;
+  // Rejection-sample vertices near home; fall back to home itself.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto v = static_cast<roadnet::VertexId>(rng->UniformInt(0, n - 1));
+    if (geo::EquirectangularMeters(network_.vertex(v).position, home_pos) <=
+        options.home_radius_m) {
+      return v;
+    }
+  }
+  return home;
+}
+
+Result<std::vector<roadnet::SegmentId>> TrajectoryGenerator::BuildRoute(
+    roadnet::VertexId start, double min_length_m, Rng* rng) const {
+  std::vector<roadnet::SegmentId> route;
+  double total_m = 0.0;
+  roadnet::VertexId cursor = start;
+  const int32_t n = network_.num_vertices();
+
+  for (int leg = 0; leg < 32 && total_m < min_length_m; ++leg) {
+    // Prefer far-away destinations: long shortest-path legs make the
+    // trajectory locally shortest between any two of its points, which
+    // keeps the recovery problem well-posed (real trips behave the same
+    // way — drivers rarely detour within a couple of kilometers).
+    roadnet::VertexId target = roadnet::kInvalidVertex;
+    double best_distance = -1.0;
+    const geo::GeoPoint cursor_pos = network_.vertex(cursor).position;
+    for (int probe = 0; probe < 8; ++probe) {
+      const auto v = static_cast<roadnet::VertexId>(rng->UniformInt(0, n - 1));
+      if (v == cursor) continue;
+      const double d =
+          geo::EquirectangularMeters(network_.vertex(v).position, cursor_pos);
+      if (d > best_distance) {
+        best_distance = d;
+        target = v;
+      }
+    }
+    if (target == roadnet::kInvalidVertex) continue;
+    auto leg_route = roadnet::VertexRoute(network_, cursor, target);
+    if (!leg_route.ok()) continue;  // unreachable target; try another
+    for (roadnet::SegmentId e : leg_route.value()) {
+      route.push_back(e);
+      total_m += network_.segment(e).length_m;
+    }
+    cursor = target;
+  }
+  if (total_m < min_length_m) {
+    return Status::FailedPrecondition(
+        "network too small or disconnected for the requested route length");
+  }
+  return route;
+}
+
+Result<MatchedTrajectory> TrajectoryGenerator::Generate(
+    const GeneratorOptions& options, roadnet::VertexId home, Rng* rng) const {
+  LIGHTTR_CHECK(rng != nullptr);
+  LIGHTTR_CHECK_GE(options.min_points, 2);
+  LIGHTTR_CHECK_GE(options.max_points, options.min_points);
+  LIGHTTR_CHECK_GT(options.epsilon_s, 0.0);
+  LIGHTTR_CHECK_GT(options.speed_mps_min, 0.0);
+  LIGHTTR_CHECK_GE(options.speed_mps_max, options.speed_mps_min);
+
+  const int num_points = static_cast<int>(
+      rng->UniformInt(options.min_points, options.max_points));
+  const double cruise =
+      rng->Uniform(options.speed_mps_min, options.speed_mps_max);
+  // Budget route length for the worst-case jittered speed, plus slack.
+  const double needed_m = cruise * (1.0 + options.speed_jitter) *
+                              options.epsilon_s * (num_points - 1) +
+                          50.0;
+
+  const roadnet::VertexId start = PickStartVertex(options, home, rng);
+  auto route_result = BuildRoute(start, needed_m, rng);
+  if (!route_result.ok()) return route_result.status();
+  const std::vector<roadnet::SegmentId>& route = route_result.value();
+
+  // Cumulative length at the start of each route segment.
+  std::vector<double> cum(route.size() + 1, 0.0);
+  for (size_t i = 0; i < route.size(); ++i) {
+    cum[i + 1] = cum[i] + network_.segment(route[i]).length_m;
+  }
+
+  MatchedTrajectory out;
+  out.epsilon_s = options.epsilon_s;
+  out.points.reserve(num_points);
+  double travelled = 0.0;
+  size_t seg_idx = 0;
+  for (int k = 0; k < num_points; ++k) {
+    if (k > 0) {
+      const double step_speed =
+          cruise * (1.0 + rng->Uniform(-options.speed_jitter,
+                                       options.speed_jitter));
+      travelled += step_speed * options.epsilon_s;
+    }
+    // Never run off the end of the route.
+    travelled = std::min(travelled, cum.back() - 1e-6);
+    while (seg_idx + 1 < route.size() && travelled >= cum[seg_idx + 1]) {
+      ++seg_idx;
+    }
+    const roadnet::SegmentId seg = route[seg_idx];
+    const double seg_len = network_.segment(seg).length_m;
+    const double ratio =
+        std::clamp((travelled - cum[seg_idx]) / seg_len, 0.0, 1.0);
+    out.points.push_back(MatchedPoint{
+        roadnet::PointPosition{seg, ratio}, k * options.epsilon_s, k});
+  }
+  return out;
+}
+
+}  // namespace lighttr::traj

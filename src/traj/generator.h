@@ -1,0 +1,61 @@
+// Route-following synthetic trajectory generator.
+//
+// Substitutes for the proprietary Tdrive/Geolife GPS feeds: vehicles draw
+// realistic routes (chained shortest paths between random destinations),
+// move at a per-trajectory cruise speed with per-step jitter, and are
+// sampled every epsilon seconds to produce map-matched trajectories
+// (Definition 5). Raw noisy GPS views are derived via ToRawTrajectory.
+#ifndef LIGHTTR_TRAJ_GENERATOR_H_
+#define LIGHTTR_TRAJ_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::traj {
+
+/// Tunables for trajectory synthesis.
+struct GeneratorOptions {
+  double epsilon_s = 15.0;      // sampling rate (Definition 4)
+  double speed_mps_min = 6.0;   // cruise speed range
+  double speed_mps_max = 16.0;
+  double speed_jitter = 0.10;   // per-step multiplicative speed noise
+  int min_points = 24;          // trajectory length range (points)
+  int max_points = 40;
+  double home_radius_m = 1500.0;  // start-vertex bias radius around home
+};
+
+/// Generates map-matched trajectories on a fixed road network.
+class TrajectoryGenerator {
+ public:
+  explicit TrajectoryGenerator(const roadnet::RoadNetwork& network);
+
+  /// Generates one trajectory. If `home` is a valid vertex, the route
+  /// starts near it (spatial Non-IID-ness across clients, Definition 7).
+  /// Fails only on pathological networks where no long-enough route exists.
+  Result<MatchedTrajectory> Generate(const GeneratorOptions& options,
+                                     roadnet::VertexId home, Rng* rng) const;
+
+  const roadnet::RoadNetwork& network() const { return network_; }
+
+ private:
+  /// Picks a start vertex, biased to within options.home_radius_m of
+  /// `home` when valid.
+  roadnet::VertexId PickStartVertex(const GeneratorOptions& options,
+                                    roadnet::VertexId home, Rng* rng) const;
+
+  /// Builds a route (segment sequence) of at least `min_length_m` meters
+  /// starting at `start` by chaining shortest paths to random targets.
+  Result<std::vector<roadnet::SegmentId>> BuildRoute(roadnet::VertexId start,
+                                                     double min_length_m,
+                                                     Rng* rng) const;
+
+  const roadnet::RoadNetwork& network_;
+};
+
+}  // namespace lighttr::traj
+
+#endif  // LIGHTTR_TRAJ_GENERATOR_H_

@@ -1,0 +1,63 @@
+#include "traj/stats.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+#include "roadnet/shortest_path.h"
+
+namespace lighttr::traj {
+
+DatasetStats ComputeDatasetStats(
+    const roadnet::RoadNetwork& network,
+    const std::vector<IncompleteTrajectory>& trajectories) {
+  DatasetStats stats;
+  roadnet::DijkstraEngine engine(network);
+  std::unordered_set<int64_t> drivers;
+  int64_t observed = 0;
+  double seconds = 0.0;
+  for (const IncompleteTrajectory& trajectory : trajectories) {
+    ++stats.trajectories;
+    stats.points += static_cast<int64_t>(trajectory.size());
+    drivers.insert(trajectory.ground_truth.driver_id);
+    if (stats.epsilon_s == 0.0) {
+      stats.epsilon_s = trajectory.ground_truth.epsilon_s;
+    }
+    for (bool kept : trajectory.observed) observed += kept ? 1 : 0;
+    const auto& points = trajectory.ground_truth.points;
+    for (size_t i = 1; i < points.size(); ++i) {
+      const double leg = roadnet::DirectedTravelDistance(
+          network, engine, points[i - 1].position, points[i].position);
+      if (leg != roadnet::kUnreachable) {
+        stats.total_length_km += leg / 1000.0;
+        seconds += points[i].t - points[i - 1].t;
+      }
+    }
+  }
+  stats.drivers = static_cast<int64_t>(drivers.size());
+  if (stats.trajectories > 0) {
+    stats.mean_points_per_trajectory =
+        static_cast<double>(stats.points) /
+        static_cast<double>(stats.trajectories);
+  }
+  if (seconds > 0.0) {
+    stats.mean_speed_mps = stats.total_length_km * 1000.0 / seconds;
+  }
+  if (stats.points > 0) {
+    stats.observed_fraction =
+        static_cast<double>(observed) / static_cast<double>(stats.points);
+  }
+  return stats;
+}
+
+DatasetStats ComputeWorkloadStats(const roadnet::RoadNetwork& network,
+                                  const std::vector<ClientDataset>& clients) {
+  std::vector<IncompleteTrajectory> pooled;
+  for (const ClientDataset& client : clients) {
+    pooled.insert(pooled.end(), client.train.begin(), client.train.end());
+    pooled.insert(pooled.end(), client.valid.begin(), client.valid.end());
+    pooled.insert(pooled.end(), client.test.begin(), client.test.end());
+  }
+  return ComputeDatasetStats(network, pooled);
+}
+
+}  // namespace lighttr::traj

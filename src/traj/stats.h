@@ -1,0 +1,39 @@
+// Dataset statistics (paper Table III analog): trajectory counts, total
+// length, point counts, speed and sampling-rate summaries of a workload.
+#ifndef LIGHTTR_TRAJ_STATS_H_
+#define LIGHTTR_TRAJ_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+#include "traj/workload.h"
+
+namespace lighttr::traj {
+
+/// Aggregate statistics of a trajectory dataset.
+struct DatasetStats {
+  int64_t trajectories = 0;
+  int64_t points = 0;
+  int64_t drivers = 0;          // distinct driver ids
+  double total_length_km = 0.0; // sum of along-route travel
+  double mean_points_per_trajectory = 0.0;
+  double mean_speed_mps = 0.0;
+  double epsilon_s = 0.0;       // sampling rate (common to the dataset)
+  double observed_fraction = 0.0;  // kept points / all points
+};
+
+/// Computes statistics over a set of incomplete trajectories. Lengths are
+/// measured along the road network between consecutive points.
+DatasetStats ComputeDatasetStats(
+    const roadnet::RoadNetwork& network,
+    const std::vector<IncompleteTrajectory>& trajectories);
+
+/// Convenience: pools every split of every client.
+DatasetStats ComputeWorkloadStats(const roadnet::RoadNetwork& network,
+                                  const std::vector<ClientDataset>& clients);
+
+}  // namespace lighttr::traj
+
+#endif  // LIGHTTR_TRAJ_STATS_H_

@@ -1,0 +1,53 @@
+#include "traj/trajectory.h"
+
+#include <cmath>
+
+namespace lighttr::traj {
+
+RawTrajectory ToRawTrajectory(const roadnet::RoadNetwork& network,
+                              const MatchedTrajectory& matched,
+                              double noise_m, Rng* rng) {
+  LIGHTTR_CHECK_GE(noise_m, 0.0);
+  if (noise_m > 0.0) LIGHTTR_CHECK(rng != nullptr);
+  RawTrajectory raw;
+  raw.driver_id = matched.driver_id;
+  raw.points.reserve(matched.points.size());
+  for (const MatchedPoint& mp : matched.points) {
+    geo::GeoPoint p = network.PositionToPoint(mp.position);
+    if (noise_m > 0.0) {
+      const geo::LocalProjection plane(p);
+      const geo::LocalProjection::Xy noisy{rng->Normal(0.0, noise_m),
+                                           rng->Normal(0.0, noise_m)};
+      p = plane.FromXy(noisy);
+    }
+    raw.points.push_back(RawPoint{p, mp.t});
+  }
+  return raw;
+}
+
+Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
+                                 const MatchedTrajectory& trajectory) {
+  if (trajectory.points.empty()) {
+    return Status::InvalidArgument("trajectory has no points");
+  }
+  if (trajectory.epsilon_s <= 0.0) {
+    return Status::InvalidArgument("epsilon must be positive");
+  }
+  for (size_t i = 0; i < trajectory.points.size(); ++i) {
+    const MatchedPoint& mp = trajectory.points[i];
+    if (mp.position.segment < 0 ||
+        mp.position.segment >= network.num_segments()) {
+      return Status::InvalidArgument("point references invalid segment");
+    }
+    if (mp.position.ratio < 0.0 || mp.position.ratio > 1.0) {
+      return Status::InvalidArgument("moving ratio outside [0, 1]");
+    }
+    if (i > 0 && trajectory.points[i].tid != trajectory.points[i - 1].tid + 1) {
+      return Status::InvalidArgument(
+          "tid must increase by exactly 1 between consecutive points");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lighttr::traj

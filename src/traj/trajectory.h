@@ -1,0 +1,90 @@
+// Trajectory data model (paper Definitions 3, 5, 6):
+// raw GPS trajectories, map-matched epsilon-sampling-rate trajectories,
+// and incomplete trajectories with an observation mask.
+#ifndef LIGHTTR_TRAJ_TRAJECTORY_H_
+#define LIGHTTR_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "geo/geo_point.h"
+#include "roadnet/road_network.h"
+
+namespace lighttr::traj {
+
+/// A raw GPS sample (p_i, t_i) of Definition 3.
+struct RawPoint {
+  geo::GeoPoint position;
+  double t = 0.0;  // seconds
+};
+
+/// A raw (possibly low-sampling-rate) trajectory tau (Definition 3).
+struct RawTrajectory {
+  std::vector<RawPoint> points;
+  int64_t driver_id = 0;
+};
+
+/// A map-matched trajectory point (p~_i, t_i): road segment + moving
+/// ratio at a timestamp, plus its time bin tid (Eq. 4).
+struct MatchedPoint {
+  roadnet::PointPosition position;
+  double t = 0.0;
+  int64_t tid = 0;
+};
+
+/// A map-matched epsilon-sampling-rate trajectory T (Definition 5): one
+/// point per sampling interval, tid strictly increasing by 1.
+struct MatchedTrajectory {
+  std::vector<MatchedPoint> points;
+  double epsilon_s = 0.0;  // sampling rate (Definition 4)
+  int64_t driver_id = 0;
+
+  size_t size() const { return points.size(); }
+};
+
+/// An incomplete map-matched trajectory T_icp (Definition 6): the full
+/// ground truth plus an observation mask. `observed[i]` is true for
+/// points kept after keep-ratio downsampling; the recovery task is to
+/// predict position at every masked index.
+struct IncompleteTrajectory {
+  MatchedTrajectory ground_truth;
+  std::vector<bool> observed;
+
+  /// Indices of the observed (kept) points, ascending.
+  std::vector<size_t> ObservedIndices() const {
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < observed.size(); ++i) {
+      if (observed[i]) idx.push_back(i);
+    }
+    return idx;
+  }
+
+  /// Indices of the missing (to recover) points, ascending.
+  std::vector<size_t> MissingIndices() const {
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < observed.size(); ++i) {
+      if (!observed[i]) idx.push_back(i);
+    }
+    return idx;
+  }
+
+  size_t size() const { return ground_truth.size(); }
+};
+
+/// Converts a matched trajectory back to raw GPS points, optionally adding
+/// isotropic Gaussian noise of `noise_m` meters (simulated GPS error).
+RawTrajectory ToRawTrajectory(const roadnet::RoadNetwork& network,
+                              const MatchedTrajectory& matched,
+                              double noise_m, Rng* rng);
+
+/// Validates Definition 5 invariants: consecutive tids differ by one,
+/// ratios are within [0, 1], and segments are valid ids.
+Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
+                                 const MatchedTrajectory& trajectory);
+
+}  // namespace lighttr::traj
+
+#endif  // LIGHTTR_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,106 @@
+#include "traj/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traj/downsample.h"
+
+namespace lighttr::traj {
+
+WorkloadProfile TdriveLikeProfile() {
+  WorkloadProfile profile;
+  profile.name = "Tdrive-like";
+  profile.generator.min_points = 20;
+  profile.generator.max_points = 32;
+  profile.generator.speed_mps_min = 7.0;   // taxis, urban arterials
+  profile.generator.speed_mps_max = 17.0;
+  profile.generator.epsilon_s = 15.0;
+  profile.gps_noise_m = 30.0;              // sparse/noisy regime
+  profile.trajectories_per_client = 20;
+  return profile;
+}
+
+WorkloadProfile GeolifeLikeProfile() {
+  WorkloadProfile profile;
+  profile.name = "Geolife-like";
+  profile.generator.min_points = 26;
+  profile.generator.max_points = 40;
+  profile.generator.speed_mps_min = 5.0;   // mixed-mode mobility
+  profile.generator.speed_mps_max = 14.0;
+  profile.generator.epsilon_s = 15.0;
+  profile.gps_noise_m = 15.0;              // data-sufficient regime
+  profile.trajectories_per_client = 30;
+  return profile;
+}
+
+std::vector<ClientDataset> GenerateFederatedWorkload(
+    const roadnet::RoadNetwork& network, const WorkloadProfile& profile,
+    const FederatedWorkloadOptions& options, Rng* rng) {
+  LIGHTTR_CHECK(rng != nullptr);
+  LIGHTTR_CHECK_GE(options.num_clients, 1);
+  LIGHTTR_CHECK_GT(options.keep_ratio, 0.0);
+  LIGHTTR_CHECK_LE(options.keep_ratio, 1.0);
+  LIGHTTR_CHECK_GT(options.train_frac + options.valid_frac, 0.0);
+  LIGHTTR_CHECK_LT(options.train_frac + options.valid_frac, 1.0);
+
+  const TrajectoryGenerator generator(network);
+  std::vector<ClientDataset> clients;
+  clients.reserve(options.num_clients);
+
+  for (int c = 0; c < options.num_clients; ++c) {
+    ClientDataset client;
+    client.home = static_cast<roadnet::VertexId>(
+        rng->UniformInt(0, network.num_vertices() - 1));
+
+    std::vector<IncompleteTrajectory> all;
+    all.reserve(profile.trajectories_per_client);
+    int failures = 0;
+    while (static_cast<int>(all.size()) < profile.trajectories_per_client) {
+      auto traj = generator.Generate(profile.generator, client.home, rng);
+      if (!traj.ok()) {
+        // A handful of failed route draws is normal on tiny test networks;
+        // a systematic failure indicates a broken network.
+        LIGHTTR_CHECK_LT(++failures, 1000);
+        continue;
+      }
+      MatchedTrajectory matched = std::move(traj).value();
+      matched.driver_id = c;
+      all.push_back(MakeIncomplete(std::move(matched), options.keep_ratio, rng));
+    }
+
+    const size_t n = all.size();
+    size_t n_train = static_cast<size_t>(
+        std::llround(options.train_frac * static_cast<double>(n)));
+    size_t n_valid = static_cast<size_t>(
+        std::llround(options.valid_frac * static_cast<double>(n)));
+    if (n >= 3) {
+      // Rounding must not starve any split: every client keeps at least
+      // one training, one validation, and one test trajectory.
+      n_train = std::max<size_t>(1, std::min(n_train, n - 2));
+      n_valid = std::max<size_t>(1, std::min(n_valid, n - n_train - 1));
+    }
+    LIGHTTR_CHECK_LE(n_train + n_valid, n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_train) {
+        client.train.push_back(std::move(all[i]));
+      } else if (i < n_train + n_valid) {
+        client.valid.push_back(std::move(all[i]));
+      } else {
+        client.test.push_back(std::move(all[i]));
+      }
+    }
+    clients.push_back(std::move(client));
+  }
+  return clients;
+}
+
+std::vector<IncompleteTrajectory> MergeTrainSets(
+    const std::vector<ClientDataset>& clients) {
+  std::vector<IncompleteTrajectory> merged;
+  for (const ClientDataset& client : clients) {
+    merged.insert(merged.end(), client.train.begin(), client.train.end());
+  }
+  return merged;
+}
+
+}  // namespace lighttr::traj

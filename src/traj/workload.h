@@ -1,0 +1,67 @@
+// Workload profiles and federated dataset construction.
+//
+// Substitutes the paper's Tdrive (sparse, noisy, many drivers) and
+// Geolife (data-sufficient, cleaner) datasets with synthetic profiles
+// that reproduce those regimes (see DESIGN.md, Substitutions).
+#ifndef LIGHTTR_TRAJ_WORKLOAD_H_
+#define LIGHTTR_TRAJ_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/road_network.h"
+#include "traj/generator.h"
+#include "traj/trajectory.h"
+
+namespace lighttr::traj {
+
+/// Describes a dataset regime (one row of paper Table III).
+struct WorkloadProfile {
+  std::string name;
+  GeneratorOptions generator;
+  double gps_noise_m = 20.0;        // raw-view GPS error
+  int trajectories_per_client = 24; // local dataset size (pre-split)
+};
+
+/// Sparse regime: fewer, shorter, noisier trajectories per client.
+WorkloadProfile TdriveLikeProfile();
+
+/// Data-sufficient regime: more, longer, cleaner trajectories per client.
+WorkloadProfile GeolifeLikeProfile();
+
+/// One platform center's local data (Definition 7), split 7:2:1.
+struct ClientDataset {
+  std::vector<IncompleteTrajectory> train;
+  std::vector<IncompleteTrajectory> valid;
+  std::vector<IncompleteTrajectory> test;
+  roadnet::VertexId home = roadnet::kInvalidVertex;
+
+  size_t TotalSize() const {
+    return train.size() + valid.size() + test.size();
+  }
+};
+
+/// Options for GenerateFederatedWorkload.
+struct FederatedWorkloadOptions {
+  int num_clients = 20;
+  double keep_ratio = 0.125;  // Sec. V-A5: 6.25% / 12.5% / 25%
+  double train_frac = 0.7;    // 7:2:1 split of Sec. V-A5
+  double valid_frac = 0.2;
+};
+
+/// Generates the decentralized datasets {T_1..T_N}: each client gets a
+/// home region (spatial Non-IID-ness) and `trajectories_per_client`
+/// trajectories, downsampled at `keep_ratio` and split 7:2:1.
+std::vector<ClientDataset> GenerateFederatedWorkload(
+    const roadnet::RoadNetwork& network, const WorkloadProfile& profile,
+    const FederatedWorkloadOptions& options, Rng* rng);
+
+/// Flattens client train splits into one centralized training set
+/// (for the centralized-baseline comparison of paper Table VI).
+std::vector<IncompleteTrajectory> MergeTrainSets(
+    const std::vector<ClientDataset>& clients);
+
+}  // namespace lighttr::traj
+
+#endif  // LIGHTTR_TRAJ_WORKLOAD_H_

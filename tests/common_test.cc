@@ -1,0 +1,208 @@
+// Unit tests for src/common: Status/Result, Rng, TablePrinter, file IO.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/file_util.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+namespace lighttr {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad keep ratio");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad keep ratio");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad keep ratio");
+}
+
+TEST(Status, EveryCodeHasName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kInternal, StatusCode::kIoError}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  auto inner = []() -> Status { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    LIGHTTR_RETURN_NOT_OK(inner());
+    return Status::Ok();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = Status::Internal("boom");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.UniformInt(0, 4);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 4);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(1.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 9000; ++i) {
+    ++counts[rng.WeightedIndex({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0] / 9000.0, 1.0 / 9.0, 0.02);
+  EXPECT_NEAR(counts[2] / 9000.0, 6.0 / 9.0, 0.02);
+}
+
+TEST(Rng, WeightedIndexSkipsZeroWeights) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.WeightedIndex({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 8);
+    ASSERT_EQ(sample.size(), 8u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 8u);
+    for (size_t idx : sample) EXPECT_LT(idx, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(8);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff = any_diff || (parent.Uniform() != child.Uniform());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"A", "LongHeader"});
+  table.AddRow({"xx", "1"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| A  | LongHeader |"), std::string::npos);
+  EXPECT_NE(out.find("| xx | 1          |"), std::string::npos);
+}
+
+TEST(TablePrinter, CsvEscaping) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a,b", "say \"hi\""});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::Fmt(0.12349, 3), "0.123");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+}
+
+TEST(FileUtil, WriteReadRoundtrip) {
+  const std::string path = "/tmp/lighttr_file_util_test.bin";
+  const std::string payload("bin\0ary\n", 8);
+  ASSERT_TRUE(WriteFile(path, payload).ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, ReadMissingFileFails) {
+  auto read = ReadFile("/tmp/definitely_missing_lighttr_file");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(Stopwatch, Monotonic) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace lighttr

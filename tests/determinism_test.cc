@@ -1,0 +1,103 @@
+// Reproducibility guarantees: every stochastic component is driven by an
+// explicit seed, so identical seeds must give bit-identical workloads and
+// identical end-to-end experiment results.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "roadnet/generators.h"
+
+namespace lighttr {
+namespace {
+
+TEST(Determinism, CityGenerationIsSeedDeterministic) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  roadnet::CityGridOptions options;
+  const roadnet::RoadNetwork a = roadnet::GenerateCityGrid(options, &rng_a);
+  const roadnet::RoadNetwork b = roadnet::GenerateCityGrid(options, &rng_b);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  for (roadnet::SegmentId e = 0; e < a.num_segments(); ++e) {
+    EXPECT_EQ(a.segment(e).from, b.segment(e).from);
+    EXPECT_EQ(a.segment(e).to, b.segment(e).to);
+    EXPECT_DOUBLE_EQ(a.segment(e).length_m, b.segment(e).length_m);
+  }
+}
+
+TEST(Determinism, WorkloadIsSeedDeterministic) {
+  eval::ExperimentEnv env(6, 6, 11);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 2;
+  const auto a = env.MakeWorkload(profile, workload, 13);
+  const auto b = env.MakeWorkload(profile, workload, 13);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    ASSERT_EQ(a[c].train.size(), b[c].train.size());
+    for (size_t i = 0; i < a[c].train.size(); ++i) {
+      const auto& ta = a[c].train[i];
+      const auto& tb = b[c].train[i];
+      ASSERT_EQ(ta.size(), tb.size());
+      EXPECT_EQ(ta.observed, tb.observed);
+      for (size_t p = 0; p < ta.size(); ++p) {
+        EXPECT_EQ(ta.ground_truth.points[p].position,
+                  tb.ground_truth.points[p].position);
+      }
+    }
+  }
+}
+
+TEST(Determinism, DifferentSeedsGiveDifferentWorkloads) {
+  eval::ExperimentEnv env(6, 6, 11);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 1;
+  const auto a = env.MakeWorkload(profile, workload, 13);
+  const auto b = env.MakeWorkload(profile, workload, 14);
+  bool any_difference = false;
+  for (size_t i = 0; i < a[0].train.size() && !any_difference; ++i) {
+    for (size_t p = 0; p < a[0].train[i].size(); ++p) {
+      if (!(a[0].train[i].ground_truth.points[p].position ==
+            b[0].train[i].ground_truth.points[p].position)) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Determinism, EndToEndExperimentIsReproducible) {
+  auto run_once = [] {
+    eval::ExperimentEnv env(6, 6, 17);
+    traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+    profile.trajectories_per_client = 8;
+    traj::FederatedWorkloadOptions workload;
+    workload.num_clients = 3;
+    workload.keep_ratio = 0.25;
+    const auto clients = env.MakeWorkload(profile, workload, 19);
+    eval::MethodRunOptions options;
+    options.fed.rounds = 2;
+    options.fed.local_epochs = 1;
+    options.max_test_trajectories = 8;
+    return eval::RunFederatedMethod(env, baselines::ModelKind::kLightTr,
+                                    clients, options);
+  };
+  const eval::MethodResult a = run_once();
+  const eval::MethodResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.metrics.recall, b.metrics.recall);
+  EXPECT_DOUBLE_EQ(a.metrics.precision, b.metrics.precision);
+  EXPECT_DOUBLE_EQ(a.metrics.mae_km, b.metrics.mae_km);
+  EXPECT_DOUBLE_EQ(a.metrics.rmse_km, b.metrics.rmse_km);
+  EXPECT_EQ(a.run.comm.TotalBytes(), b.run.comm.TotalBytes());
+  ASSERT_EQ(a.run.history.size(), b.run.history.size());
+  for (size_t r = 0; r < a.run.history.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a.run.history[r].mean_train_loss,
+                     b.run.history[r].mean_train_loss);
+  }
+}
+
+}  // namespace
+}  // namespace lighttr

@@ -1,0 +1,199 @@
+// Tests for the trajectory encoder: features, targets, candidates, the
+// constraint mask (Eq. 10/11), and route-based interpolation.
+#include <gtest/gtest.h>
+
+#include "roadnet/generators.h"
+#include "roadnet/segment_index.h"
+#include "traj/downsample.h"
+#include "traj/encoding.h"
+#include "traj/generator.h"
+#include "traj/workload.h"
+
+namespace lighttr::traj {
+namespace {
+
+class EncodingTest : public ::testing::Test {
+ protected:
+  EncodingTest() {
+    Rng rng(31);
+    roadnet::CityGridOptions options;
+    options.rows = 7;
+    options.cols = 7;
+    network_ = roadnet::GenerateCityGrid(options, &rng);
+    index_ = std::make_unique<roadnet::SegmentIndex>(network_);
+    encoder_ = std::make_unique<TrajectoryEncoder>(network_, *index_);
+  }
+
+  IncompleteTrajectory MakeSample(double keep_ratio = 0.25,
+                                  uint64_t seed = 32) {
+    Rng rng(seed);
+    const TrajectoryGenerator generator(network_);
+    auto result = generator.Generate({}, roadnet::kInvalidVertex, &rng);
+    EXPECT_TRUE(result.ok());
+    return MakeIncomplete(std::move(result).value(), keep_ratio, &rng);
+  }
+
+  roadnet::RoadNetwork network_;
+  std::unique_ptr<roadnet::SegmentIndex> index_;
+  std::unique_ptr<TrajectoryEncoder> encoder_;
+};
+
+TEST_F(EncodingTest, InputShapeAndRanges) {
+  const IncompleteTrajectory icp = MakeSample();
+  const nn::Matrix inputs = encoder_->EncodeInputs(icp);
+  EXPECT_EQ(inputs.rows(), icp.size());
+  EXPECT_EQ(inputs.cols(), TrajectoryEncoder::kFeatureDim);
+  for (size_t r = 0; r < inputs.rows(); ++r) {
+    for (size_t c = 0; c < inputs.cols(); ++c) {
+      EXPECT_GE(inputs(r, c), 0.0) << r << "," << c;
+      EXPECT_LE(inputs(r, c), 1.0) << r << "," << c;
+    }
+    EXPECT_EQ(inputs(r, 0), icp.observed[r] ? 1.0 : 0.0);
+  }
+}
+
+TEST_F(EncodingTest, TargetsMatchGroundTruth) {
+  const IncompleteTrajectory icp = MakeSample();
+  const auto targets = encoder_->EncodeTargets(icp);
+  ASSERT_EQ(targets.size(), icp.size());
+  for (size_t t = 0; t < targets.size(); ++t) {
+    EXPECT_EQ(targets[t].segment,
+              icp.ground_truth.points[t].position.segment);
+    EXPECT_DOUBLE_EQ(targets[t].ratio,
+                     icp.ground_truth.points[t].position.ratio);
+    EXPECT_EQ(targets[t].missing, !icp.observed[t]);
+  }
+}
+
+TEST_F(EncodingTest, CandidatesAlwaysContainTruth) {
+  const IncompleteTrajectory icp = MakeSample(0.125, 33);
+  for (size_t t = 0; t < icp.size(); ++t) {
+    const StepCandidates candidates = encoder_->CandidatesForStep(icp, t);
+    ASSERT_GE(candidates.target_index, 0);
+    ASSERT_LT(static_cast<size_t>(candidates.target_index),
+              candidates.segments.size());
+    EXPECT_EQ(candidates.segments[candidates.target_index],
+              icp.ground_truth.points[t].position.segment);
+    EXPECT_EQ(candidates.segments.size(), candidates.log_mask.size());
+  }
+}
+
+TEST_F(EncodingTest, MaskIsLogWeightNonPositiveNearZeroForTruthAtObserved) {
+  const IncompleteTrajectory icp = MakeSample(0.25, 34);
+  const double bonus = encoder_->options().route_prior_bonus;
+  for (size_t t = 0; t < icp.size(); ++t) {
+    const StepCandidates candidates = encoder_->CandidatesForStep(icp, t);
+    // Only the route-prior candidate may carry a positive (bonus) mask.
+    int positive = 0;
+    for (nn::Scalar mask : candidates.log_mask) {
+      EXPECT_LE(mask, bonus + 1e-12);
+      positive += mask > 1e-12 ? 1 : 0;
+    }
+    EXPECT_LE(positive, 1);
+    if (icp.observed[t]) {
+      // At observed points the estimate sits on the true segment, whose
+      // distance term vanishes (direction term may not for twins).
+      EXPECT_GE(candidates.log_mask[candidates.target_index], -4.5);
+    }
+  }
+}
+
+TEST_F(EncodingTest, InterpolatedPointIsExactAtObservedSteps) {
+  const IncompleteTrajectory icp = MakeSample(0.25, 35);
+  for (size_t t = 0; t < icp.size(); ++t) {
+    if (!icp.observed[t]) continue;
+    const geo::GeoPoint expected =
+        network_.PositionToPoint(icp.ground_truth.points[t].position);
+    EXPECT_NEAR(geo::HaversineMeters(encoder_->InterpolatedPoint(icp, t),
+                                     expected),
+                0.0, 0.01);
+  }
+}
+
+TEST_F(EncodingTest, RouteInterpolationRecoversConstantSpeedChainExactly) {
+  // A straight chain with a constant-speed trajectory: the route-based
+  // interpolation must land on the true segment with the true ratio.
+  const roadnet::RoadNetwork chain = roadnet::GenerateChain(20, 100.0);
+  const roadnet::SegmentIndex index(chain);
+  const TrajectoryEncoder encoder(chain, index);
+
+  MatchedTrajectory t;
+  t.epsilon_s = 10.0;
+  // 50 m per step eastward along the chain (segment k covers [100k, 100k+100]).
+  for (int i = 0; i < 16; ++i) {
+    const double meters = 50.0 * i;
+    const int vertex = static_cast<int>(meters / 100.0);
+    const double ratio = (meters - vertex * 100.0) / 100.0;
+    const roadnet::SegmentId seg = chain.FindSegment(vertex, vertex + 1);
+    ASSERT_NE(seg, roadnet::kInvalidSegment);
+    t.points.push_back(MatchedPoint{{seg, ratio}, i * 10.0, i});
+  }
+  IncompleteTrajectory icp;
+  icp.observed.assign(16, false);
+  icp.observed[0] = icp.observed[5] = icp.observed[10] = icp.observed[15] =
+      true;
+  icp.ground_truth = std::move(t);
+
+  for (size_t i = 0; i < 16; ++i) {
+    auto position = encoder.RouteInterpolatedPosition(icp, i);
+    ASSERT_TRUE(position.has_value()) << i;
+    EXPECT_EQ(position->segment,
+              icp.ground_truth.points[i].position.segment)
+        << i;
+    EXPECT_NEAR(position->ratio, icp.ground_truth.points[i].position.ratio,
+                1e-6)
+        << i;
+  }
+}
+
+TEST_F(EncodingTest, DirectionMaskPrefersTravelDirection) {
+  // On a two-way chain, the mask must rank the forward segment above its
+  // reverse twin at interior missing steps.
+  const roadnet::RoadNetwork chain = roadnet::GenerateChain(20, 100.0);
+  const roadnet::SegmentIndex index(chain);
+  const TrajectoryEncoder encoder(chain, index);
+
+  MatchedTrajectory t;
+  t.epsilon_s = 10.0;
+  for (int i = 0; i < 12; ++i) {
+    const double meters = 80.0 * i;
+    const int vertex = static_cast<int>(meters / 100.0);
+    const double ratio = (meters - vertex * 100.0) / 100.0;
+    const roadnet::SegmentId seg = chain.FindSegment(vertex, vertex + 1);
+    t.points.push_back(MatchedPoint{{seg, ratio}, i * 10.0, i});
+  }
+  IncompleteTrajectory icp;
+  icp.observed.assign(12, false);
+  icp.observed[0] = icp.observed[11] = true;
+  icp.ground_truth = std::move(t);
+
+  for (size_t i = 1; i < 11; ++i) {
+    const StepCandidates candidates = encoder_->CandidatesForStep(icp, i);
+    (void)candidates;
+    const StepCandidates chain_candidates = encoder.CandidatesForStep(icp, i);
+    const int truth = icp.ground_truth.points[i].position.segment;
+    const auto& seg = chain.segment(truth);
+    const roadnet::SegmentId reverse = chain.FindSegment(seg.to, seg.from);
+    double truth_mask = 1.0;
+    double reverse_mask = 1.0;
+    for (size_t k = 0; k < chain_candidates.segments.size(); ++k) {
+      if (chain_candidates.segments[k] == truth) {
+        truth_mask = chain_candidates.log_mask[k];
+      }
+      if (chain_candidates.segments[k] == reverse) {
+        reverse_mask = chain_candidates.log_mask[k];
+      }
+    }
+    EXPECT_LT(reverse_mask, truth_mask) << "step " << i;
+  }
+}
+
+TEST_F(EncodingTest, FullyObservedTrajectoryHasNoMissingTargets) {
+  IncompleteTrajectory icp = MakeSample(1.0, 36);
+  for (size_t i = 0; i < icp.size(); ++i) icp.observed[i] = true;
+  const auto targets = encoder_->EncodeTargets(icp);
+  for (const StepTarget& target : targets) EXPECT_FALSE(target.missing);
+}
+
+}  // namespace
+}  // namespace lighttr::traj

@@ -1,0 +1,338 @@
+// Tests for the extension features: DP upload privacy, quantized
+// communication, A* search, the greedy map-matching baseline, and the
+// LSTM / LayerNorm additions to nn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/compression.h"
+#include "fl/federated_trainer.h"
+#include "fl/privacy.h"
+#include "baselines/model_zoo.h"
+#include "mapmatch/greedy_map_matcher.h"
+#include "mapmatch/hmm_map_matcher.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+#include "roadnet/astar.h"
+#include "roadnet/generators.h"
+#include "roadnet/shortest_path.h"
+#include "traj/generator.h"
+
+namespace lighttr {
+namespace {
+
+// ---------------------------------------------------------------- privacy
+
+TEST(Privacy, DisabledIsIdentity) {
+  const std::vector<nn::Scalar> upload = {1.0, 2.0, 3.0};
+  const std::vector<nn::Scalar> reference = {0.0, 0.0, 0.0};
+  Rng rng(1);
+  EXPECT_EQ(fl::PrivatizeUpload(upload, reference, fl::PrivacyConfig{}, &rng),
+            upload);
+}
+
+TEST(Privacy, ClipsDeltaNorm) {
+  const std::vector<nn::Scalar> reference = {0.0, 0.0, 0.0, 0.0};
+  const std::vector<nn::Scalar> upload = {10.0, 0.0, 0.0, 0.0};
+  fl::PrivacyConfig config;
+  config.clip_norm = 2.0;
+  config.noise_multiplier = 0.0;
+  Rng rng(2);
+  const auto out = fl::PrivatizeUpload(upload, reference, config, &rng);
+  EXPECT_NEAR(fl::DeltaNorm(out, reference), 2.0, 1e-9);
+  EXPECT_NEAR(out[0], 2.0, 1e-9);  // direction preserved
+}
+
+TEST(Privacy, SmallDeltaNotScaledUp) {
+  const std::vector<nn::Scalar> reference = {1.0, 1.0};
+  const std::vector<nn::Scalar> upload = {1.1, 1.0};
+  fl::PrivacyConfig config;
+  config.clip_norm = 5.0;
+  Rng rng(3);
+  const auto out = fl::PrivatizeUpload(upload, reference, config, &rng);
+  EXPECT_NEAR(out[0], 1.1, 1e-12);
+}
+
+TEST(Privacy, NoiseHasConfiguredScale) {
+  const std::vector<nn::Scalar> reference(2000, 0.0);
+  const std::vector<nn::Scalar> upload(2000, 0.0);
+  fl::PrivacyConfig config;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 0.5;  // sigma = 0.5
+  Rng rng(4);
+  const auto out = fl::PrivatizeUpload(upload, reference, config, &rng);
+  double sq = 0.0;
+  for (nn::Scalar x : out) sq += x * x;
+  EXPECT_NEAR(std::sqrt(sq / 2000.0), 0.5, 0.05);
+}
+
+TEST(Privacy, DeltaNormIsEuclidean) {
+  EXPECT_NEAR(fl::DeltaNorm({3.0, 0.0}, {0.0, 4.0}), 5.0, 1e-12);
+}
+
+// ------------------------------------------------------------ compression
+
+TEST(Compression, RoundTripWithinQuantStep) {
+  Rng rng(5);
+  std::vector<nn::Scalar> flat(500);
+  for (nn::Scalar& x : flat) x = rng.Uniform(-3.0, 7.0);
+  const fl::QuantizedBlob blob = fl::QuantizeFlat(flat);
+  const auto back = fl::DequantizeFlat(blob);
+  ASSERT_EQ(back.size(), flat.size());
+  const double step = fl::QuantizationStep(blob);
+  for (size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(back[i], flat[i], step + 1e-12);
+  }
+}
+
+TEST(Compression, ConstantVectorExact) {
+  const std::vector<nn::Scalar> flat(10, 2.5);
+  const auto back = fl::DequantizeFlat(fl::QuantizeFlat(flat));
+  for (nn::Scalar x : back) EXPECT_DOUBLE_EQ(x, 2.5);
+}
+
+TEST(Compression, WireBytesAreQuarterOfFloat32) {
+  const std::vector<nn::Scalar> flat(1000, 1.0);
+  const fl::QuantizedBlob blob = fl::QuantizeFlat(flat);
+  EXPECT_EQ(blob.WireBytes(), 1000 + 2 * 8);
+  // vs 4000 bytes at float32: ~3.9x reduction.
+  EXPECT_LT(blob.WireBytes() * 3, 1000 * 4);
+}
+
+TEST(Compression, ExtremesRepresentable) {
+  const std::vector<nn::Scalar> flat = {-1.0, 0.0, 1.0};
+  const auto back = fl::DequantizeFlat(fl::QuantizeFlat(flat));
+  EXPECT_DOUBLE_EQ(back[0], -1.0);
+  EXPECT_DOUBLE_EQ(back[2], 1.0);
+}
+
+// ------------------------------------------------------------------ astar
+
+class AStarVsDijkstra : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AStarVsDijkstra, SameDistancesFewerExpansions) {
+  Rng rng(GetParam());
+  roadnet::CityGridOptions options;
+  options.rows = 8;
+  options.cols = 8;
+  const roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  roadnet::DijkstraEngine dijkstra(net);
+  Rng pick(GetParam() + 10);
+  int64_t total_expanded = 0;
+  int queries = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto u = static_cast<roadnet::VertexId>(
+        pick.UniformInt(0, net.num_vertices() - 1));
+    const auto v = static_cast<roadnet::VertexId>(
+        pick.UniformInt(0, net.num_vertices() - 1));
+    const roadnet::AStarResult astar = roadnet::AStarDistance(net, u, v);
+    const double expected = dijkstra.Distance(u, v);
+    if (expected == roadnet::kUnreachable) {
+      EXPECT_EQ(astar.distance_m, roadnet::kUnreachable);
+    } else {
+      EXPECT_NEAR(astar.distance_m, expected, 1e-6);
+    }
+    total_expanded += astar.expanded_vertices;
+    ++queries;
+  }
+  // The heuristic must keep mean expansions well below |V|.
+  EXPECT_LT(total_expanded / queries, net.num_vertices());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarVsDijkstra,
+                         ::testing::Values(31, 32, 33, 34));
+
+// ----------------------------------------------------------------- greedy
+
+TEST(GreedyMatcher, HmmAtLeastAsAccurateOnNoisyData) {
+  Rng rng(41);
+  roadnet::CityGridOptions options;
+  options.rows = 7;
+  options.cols = 7;
+  const roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  const roadnet::SegmentIndex index(net);
+  const traj::TrajectoryGenerator generator(net);
+  const mapmatch::HmmMapMatcher hmm(index, {});
+  const mapmatch::GreedyMapMatcher greedy(index, {});
+
+  double hmm_error = 0.0;
+  double greedy_error = 0.0;
+  int points = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    auto truth = generator.Generate({}, roadnet::kInvalidVertex, &rng);
+    ASSERT_TRUE(truth.ok());
+    const traj::RawTrajectory raw =
+        traj::ToRawTrajectory(net, truth.value(), 30.0, &rng);
+    auto hmm_match = hmm.Match(raw);
+    auto greedy_match = greedy.Match(raw);
+    ASSERT_TRUE(hmm_match.ok());
+    ASSERT_TRUE(greedy_match.ok());
+    for (size_t i = 0; i < raw.points.size(); ++i) {
+      const geo::GeoPoint expected =
+          net.PositionToPoint(truth.value().points[i].position);
+      hmm_error += geo::HaversineMeters(
+          net.PositionToPoint(hmm_match.value().points[i].position),
+          expected);
+      greedy_error += geo::HaversineMeters(
+          net.PositionToPoint(greedy_match.value().points[i].position),
+          expected);
+      ++points;
+    }
+  }
+  // Viterbi uses route continuity that the greedy matcher ignores.
+  EXPECT_LE(hmm_error / points, greedy_error / points + 1.0);
+}
+
+TEST(GreedyMatcher, RejectsEmptyAndFarInput) {
+  Rng rng(42);
+  roadnet::CityGridOptions options;
+  const roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  const roadnet::SegmentIndex index(net);
+  mapmatch::GreedyOptions greedy_options;
+  greedy_options.radius_doublings = 0;
+  greedy_options.candidate_radius_m = 30.0;
+  const mapmatch::GreedyMapMatcher greedy(index, greedy_options);
+  EXPECT_FALSE(greedy.Match(traj::RawTrajectory{}).ok());
+  traj::RawTrajectory far;
+  far.points.push_back({{0.0, 0.0}, 0.0});
+  EXPECT_FALSE(greedy.Match(far).ok());
+}
+
+// ------------------------------------------------------------- nn add-ons
+
+TEST(Lstm, StateShapesAndRange) {
+  nn::ParameterSet params;
+  Rng rng(51);
+  nn::LstmCell lstm(3, 4, "lstm", &params, &rng);
+  EXPECT_EQ(params.NumScalars(), 4 * ((3 + 4) * 4 + 4));
+  nn::LstmCell::State state = lstm.InitialState();
+  for (int step = 0; step < 4; ++step) {
+    state = lstm.Forward(
+        nn::Tensor::Constant(nn::Matrix::RandomUniform(1, 3, 2.0, &rng)),
+        state);
+    EXPECT_EQ(state.h.cols(), 4u);
+    EXPECT_EQ(state.c.cols(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_GT(state.h.value()(0, i), -1.0);
+      EXPECT_LT(state.h.value()(0, i), 1.0);
+    }
+  }
+}
+
+TEST(Lstm, GradCheckThroughTwoSteps) {
+  nn::ParameterSet params;
+  Rng rng(52);
+  nn::LstmCell lstm(2, 3, "lstm", &params, &rng);
+  nn::Tensor x = nn::Tensor::Variable(nn::Matrix::RandomUniform(1, 2, 0.8, &rng));
+
+  auto build_loss = [&] {
+    nn::LstmCell::State state = lstm.InitialState();
+    state = lstm.Forward(x, state);
+    state = lstm.Forward(x, state);
+    return nn::Mean(state.h);
+  };
+  nn::Tensor loss = build_loss();
+  x.ZeroGrad();
+  params.ZeroGrads();
+  loss.Backward();
+  const nn::Matrix analytic = x.grad();
+
+  const double eps = 1e-5;
+  for (size_t i = 0; i < 2; ++i) {
+    nn::Scalar* entry = x.mutable_value().data() + i;
+    const nn::Scalar saved = *entry;
+    *entry = saved + eps;
+    const double up = build_loss().ScalarValue();
+    *entry = saved - eps;
+    const double down = build_loss().ScalarValue();
+    *entry = saved;
+    EXPECT_NEAR((up - down) / (2 * eps), analytic.data()[i], 1e-6);
+  }
+}
+
+TEST(LayerNorm, RowsHaveZeroMeanUnitVariance) {
+  Rng rng(53);
+  const nn::Tensor x =
+      nn::Tensor::Constant(nn::Matrix::RandomUniform(4, 16, 3.0, &rng));
+  const nn::Matrix y = nn::LayerNormRows(x).value();
+  for (size_t r = 0; r < 4; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (size_t c = 0; c < 16; ++c) mean += y(r, c);
+    mean /= 16.0;
+    for (size_t c = 0; c < 16; ++c) var += (y(r, c) - mean) * (y(r, c) - mean);
+    var /= 16.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(54);
+  nn::Tensor x = nn::Tensor::Variable(nn::Matrix::RandomUniform(2, 5, 1.0, &rng));
+  Rng wrng(55);
+  const nn::Matrix w = nn::Matrix::RandomUniform(2, 5, 1.0, &wrng);
+  auto build_loss = [&] {
+    return nn::Mean(nn::Mul(nn::LayerNormRows(x), nn::Tensor::Constant(w)));
+  };
+  nn::Tensor loss = build_loss();
+  x.ZeroGrad();
+  loss.Backward();
+  const nn::Matrix analytic = x.grad();
+  const double eps = 1e-5;
+  for (size_t i = 0; i < x.value().size(); ++i) {
+    nn::Scalar* entry = x.mutable_value().data() + i;
+    const nn::Scalar saved = *entry;
+    *entry = saved + eps;
+    const double up = build_loss().ScalarValue();
+    *entry = saved - eps;
+    const double down = build_loss().ScalarValue();
+    *entry = saved;
+    EXPECT_NEAR((up - down) / (2 * eps), analytic.data()[i], 1e-6);
+  }
+}
+
+// -------------------------------------------- federated trainer plumbing
+
+TEST(FederatedExtensions, QuantizedUploadsReduceUplink) {
+  Rng rng(61);
+  roadnet::CityGridOptions city;
+  city.rows = 6;
+  city.cols = 6;
+  static roadnet::RoadNetwork net = roadnet::GenerateCityGrid(city, &rng);
+  static roadnet::SegmentIndex index(net);
+  static traj::TrajectoryEncoder encoder(net, index);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 2;
+  Rng data_rng(62);
+  const auto clients =
+      traj::GenerateFederatedWorkload(net, profile, workload, &data_rng);
+
+  const fl::ModelFactory factory =
+      baselines::MakeFactory(baselines::ModelKind::kLightTr, &encoder);
+
+  fl::FederatedTrainerOptions plain;
+  plain.rounds = 1;
+  plain.local_epochs = 1;
+  fl::FederatedTrainer trainer_plain(factory, &clients, plain);
+  const auto run_plain = trainer_plain.Run();
+
+  fl::FederatedTrainerOptions quantized = plain;
+  quantized.quantize_uploads = true;
+  quantized.privacy.clip_norm = 50.0;
+  quantized.privacy.noise_multiplier = 0.001;
+  fl::FederatedTrainer trainer_q(factory, &clients, quantized);
+  const auto run_q = trainer_q.Run();
+
+  EXPECT_LT(run_q.comm.bytes_uplink, run_plain.comm.bytes_uplink / 3);
+  EXPECT_EQ(run_q.comm.bytes_downlink, run_plain.comm.bytes_downlink);
+  // The trained global model must still be usable.
+  const auto recovered =
+      trainer_q.global_model()->Recover(clients[0].test[0]);
+  EXPECT_EQ(recovered.size(), clients[0].test[0].size());
+}
+
+}  // namespace
+}  // namespace lighttr

@@ -1,0 +1,204 @@
+// Tests for the federated substrate: local training, FedAvg rounds,
+// client sampling, communication accounting, and cyclic exchange.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fl/cyclic_trainer.h"
+#include "fl/federated_trainer.h"
+#include "fl/local_trainer.h"
+#include "nn/losses.h"
+#include "nn/ops.h"
+#include "roadnet/generators.h"
+#include "traj/downsample.h"
+#include "traj/generator.h"
+#include "traj/workload.h"
+
+namespace lighttr::fl {
+namespace {
+
+// A minimal RecoveryModel: a single scalar parameter w trained toward a
+// per-trajectory constant (driver_id), recovery reported as segment 0
+// with ratio clamp(w).
+class StubModel : public RecoveryModel {
+ public:
+  explicit StubModel(Rng* rng) {
+    w_ = nn::Tensor::Variable(
+        nn::Matrix::Full(1, 1, rng != nullptr ? rng->Uniform(-1, 1) : 0.0));
+    params_.Register("w", w_);
+  }
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                        bool /*training*/, Rng* /*rng*/) override {
+    nn::Matrix target(1, 1);
+    target(0, 0) = static_cast<nn::Scalar>(trajectory.ground_truth.driver_id);
+    ForwardResult result;
+    result.loss = nn::MseLoss(w_, target);
+    result.representation = w_;
+    return result;
+  }
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override {
+    std::vector<roadnet::PointPosition> out(trajectory.size());
+    for (size_t t = 0; t < trajectory.size(); ++t) {
+      out[t] = trajectory.observed[t]
+                   ? trajectory.ground_truth.points[t].position
+                   : roadnet::PointPosition{0, 0.0};
+    }
+    return out;
+  }
+
+  double weight() const { return w_.value()(0, 0); }
+
+ private:
+  std::string name_ = "Stub";
+  nn::ParameterSet params_;
+  nn::Tensor w_;
+};
+
+std::vector<traj::ClientDataset> MakeClients(int n, uint64_t seed,
+                                             int per_client = 6) {
+  Rng rng(seed);
+  roadnet::CityGridOptions options;
+  options.rows = 6;
+  options.cols = 6;
+  static roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = per_client;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = n;
+  return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+}
+
+TEST(TrainLocal, ReducesLossOnStub) {
+  auto clients = MakeClients(1, 1);
+  Rng rng(2);
+  StubModel model(&rng);
+  nn::AdamOptimizer optimizer(0.05);
+  LocalTrainOptions options;
+  options.epochs = 1;
+  Rng train_rng(3);
+  const double first =
+      TrainLocal(&model, &optimizer, clients[0].train, options, &train_rng);
+  options.epochs = 20;
+  const double later =
+      TrainLocal(&model, &optimizer, clients[0].train, options, &train_rng);
+  EXPECT_LT(later, first);
+}
+
+TEST(TrainLocal, DistillationPullsTowardTeacher) {
+  auto clients = MakeClients(1, 4);
+  Rng rng(5);
+  StubModel student(&rng);
+  StubModel teacher(nullptr);
+  // Teacher fixed at w = driver_id, i.e., already optimal.
+  teacher.params().AssignFlat(
+      {static_cast<nn::Scalar>(clients[0].train[0].ground_truth.driver_id)});
+
+  nn::AdamOptimizer optimizer(0.05);
+  LocalTrainOptions options;
+  options.epochs = 30;
+  options.teacher = &teacher;
+  options.lambda = 10.0;
+  Rng train_rng(6);
+  TrainLocal(&student, &optimizer, clients[0].train, options, &train_rng);
+  EXPECT_NEAR(student.weight(), teacher.weight(), 0.2);
+}
+
+TEST(EvaluateSegmentAccuracy, CountsOnlyMissingPoints) {
+  auto clients = MakeClients(1, 7);
+  Rng rng(8);
+  StubModel model(&rng);
+  // The stub predicts segment 0 everywhere; accuracy equals the share
+  // of missing points whose truth is segment 0.
+  int64_t missing = 0;
+  int64_t zeros = 0;
+  for (const auto& t : clients[0].test) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t.observed[i]) continue;
+      ++missing;
+      zeros += t.ground_truth.points[i].position.segment == 0 ? 1 : 0;
+    }
+  }
+  const double accuracy = EvaluateSegmentAccuracy(&model, clients[0].test);
+  ASSERT_GT(missing, 0);
+  EXPECT_NEAR(accuracy, static_cast<double>(zeros) / missing, 1e-12);
+}
+
+TEST(FederatedTrainer, AggregatesTowardClientMean) {
+  // Each client pulls w toward its driver_id (= client index); FedAvg
+  // must land near the mean of the client targets.
+  auto clients = MakeClients(4, 9);
+  FederatedTrainerOptions options;
+  options.rounds = 30;
+  options.local_epochs = 2;
+  options.learning_rate = 0.05;
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  trainer.Run();
+  auto* global = dynamic_cast<StubModel*>(trainer.global_model());
+  ASSERT_NE(global, nullptr);
+  EXPECT_NEAR(global->weight(), (0 + 1 + 2 + 3) / 4.0, 0.3);
+}
+
+TEST(FederatedTrainer, CommAccounting) {
+  auto clients = MakeClients(5, 10);
+  FederatedTrainerOptions options;
+  options.rounds = 3;
+  options.local_epochs = 1;
+  options.client_fraction = 0.6;  // -> 3 of 5 clients per round
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+  const int64_t wire = trainer.global_model()->params().WireBytes();
+  EXPECT_EQ(result.comm.rounds, 3);
+  EXPECT_EQ(result.comm.messages, 3 * 3 * 2);
+  EXPECT_EQ(result.comm.bytes_downlink, 3 * 3 * wire);
+  EXPECT_EQ(result.comm.bytes_uplink, 3 * 3 * wire);
+  EXPECT_EQ(result.history.size(), 3u);
+}
+
+TEST(FederatedTrainer, FractionOneUsesAllClients) {
+  auto clients = MakeClients(3, 11);
+  FederatedTrainerOptions options;
+  options.rounds = 1;
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+  EXPECT_EQ(result.comm.messages, 3 * 2);
+}
+
+TEST(CommStats, SimulatedSeconds) {
+  CommStats stats;
+  stats.bytes_downlink = 1000;
+  stats.bytes_uplink = 1000;
+  stats.messages = 4;
+  EXPECT_NEAR(stats.SimulatedSeconds(/*bytes_per_second=*/1000.0,
+                                     /*latency=*/0.5),
+              2.0 + 2.0, 1e-12);
+}
+
+TEST(CyclicTrainer, PropagatesParametersAroundRing) {
+  auto clients = MakeClients(3, 12);
+  CyclicTrainerOptions options;
+  options.rounds = 2;
+  options.local_epochs = 1;
+  options.learning_rate = 0.05;
+  CyclicExchangeTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const CommStats comm = trainer.Run();
+  EXPECT_EQ(comm.rounds, 2);
+  EXPECT_EQ(comm.messages, 2 * 3);
+  EXPECT_NE(trainer.final_model(), nullptr);
+}
+
+}  // namespace
+}  // namespace lighttr::fl

@@ -1,0 +1,138 @@
+// Cross-module integration tests: the raw-GPS -> HMM map matching ->
+// downsampling -> federated training -> recovery pipeline, and the
+// relative behaviours the paper's evaluation relies on.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+#include "fl/local_trainer.h"
+#include "mapmatch/hmm_map_matcher.h"
+#include "traj/downsample.h"
+#include "traj/generator.h"
+
+namespace lighttr {
+namespace {
+
+TEST(Integration, RawGpsThroughHmmIntoTraining) {
+  // Full preprocessing path of Sec. IV-B1: simulate noisy raw GPS,
+  // map-match with the HMM, downsample, then train and recover.
+  eval::ExperimentEnv env(6, 6, 81);
+  const traj::TrajectoryGenerator generator(env.network());
+  const mapmatch::HmmMapMatcher matcher(env.index(), {});
+
+  Rng rng(82);
+  std::vector<traj::IncompleteTrajectory> data;
+  while (data.size() < 10) {
+    auto matched = generator.Generate({}, roadnet::kInvalidVertex, &rng);
+    ASSERT_TRUE(matched.ok());
+    const traj::RawTrajectory raw =
+        traj::ToRawTrajectory(env.network(), matched.value(), 15.0, &rng);
+    auto rematched = matcher.Match(raw);
+    ASSERT_TRUE(rematched.ok());
+    ASSERT_TRUE(
+        traj::ValidateMatchedTrajectory(env.network(), rematched.value())
+            .ok());
+    data.push_back(
+        traj::MakeIncomplete(std::move(rematched).value(), 0.25, &rng));
+  }
+
+  Rng model_rng(83);
+  auto model = baselines::MakeFactory(baselines::ModelKind::kLightTr,
+                                      &env.encoder())(&model_rng);
+  nn::AdamOptimizer optimizer(3e-3);
+  fl::LocalTrainOptions options;
+  options.epochs = 3;
+  Rng train_rng(84);
+  const double loss =
+      fl::TrainLocal(model.get(), &optimizer, data, options, &train_rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  const auto recovered = model->Recover(data[0]);
+  EXPECT_EQ(recovered.size(), data[0].size());
+}
+
+TEST(Integration, MaskedModelBeatsUnmaskedBaseline) {
+  // The paper's central accuracy claim at miniature scale: LightTR must
+  // clearly outperform the full-vocabulary FC baseline under identical
+  // training budgets.
+  eval::ExperimentEnv env(7, 7, 85);
+  traj::WorkloadProfile profile = traj::GeolifeLikeProfile();
+  profile.trajectories_per_client = 14;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 4;
+  workload.keep_ratio = 0.125;
+  const auto clients = env.MakeWorkload(profile, workload, 86);
+
+  eval::MethodRunOptions options;
+  options.fed.rounds = 4;
+  options.fed.local_epochs = 2;
+  options.fed.learning_rate = 3e-3;
+  options.max_test_trajectories = 20;
+  const eval::MethodResult light = eval::RunFederatedMethod(
+      env, baselines::ModelKind::kLightTr, clients, options);
+  const eval::MethodResult fc = eval::RunFederatedMethod(
+      env, baselines::ModelKind::kFc, clients, options);
+
+  EXPECT_GT(light.metrics.recall, fc.metrics.recall);
+  EXPECT_LT(light.metrics.mae_km, fc.metrics.mae_km);
+}
+
+TEST(Integration, MoreObservationsNeverHurtMuch) {
+  // Keep ratio 25% must not be worse than 6.25% for LightTR (Table IV
+  // trend), with a small tolerance for noise at miniature scale.
+  eval::ExperimentEnv env(6, 6, 87);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 12;
+
+  auto run = [&](double keep) {
+    traj::FederatedWorkloadOptions workload;
+    workload.num_clients = 3;
+    workload.keep_ratio = keep;
+    const auto clients = env.MakeWorkload(profile, workload, 88);
+    eval::MethodRunOptions options;
+    options.fed.rounds = 3;
+    options.fed.local_epochs = 2;
+    options.fed.learning_rate = 3e-3;
+    options.max_test_trajectories = 16;
+    return eval::RunFederatedMethod(env, baselines::ModelKind::kLightTr,
+                                    clients, options);
+  };
+  const eval::MethodResult sparse = run(0.0625);
+  const eval::MethodResult dense = run(0.25);
+  EXPECT_GT(dense.metrics.recall, sparse.metrics.recall - 0.05);
+}
+
+TEST(Integration, FederatedGlobalModelMatchesClientArchitecture) {
+  // After FedAvg, the serialized global model must load into a freshly
+  // constructed replica (deployment path).
+  eval::ExperimentEnv env(6, 6, 89);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 2;
+  const auto clients = env.MakeWorkload(profile, workload, 90);
+
+  const fl::ModelFactory factory =
+      baselines::MakeFactory(baselines::ModelKind::kLightTr, &env.encoder());
+  fl::FederatedTrainerOptions options;
+  options.rounds = 1;
+  options.local_epochs = 1;
+  fl::FederatedTrainer trainer(factory, &clients, options);
+  trainer.Run();
+
+  Rng rng(91);
+  auto replica = factory(&rng);
+  EXPECT_TRUE(replica->params()
+                  .Deserialize(trainer.global_model()->params().Serialize())
+                  .ok());
+  // The replica must produce identical recoveries to the global model.
+  const auto& sample = clients[0].test[0];
+  const auto a = trainer.global_model()->Recover(sample);
+  const auto b = replica->Recover(sample);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].segment, b[i].segment);
+    EXPECT_NEAR(a[i].ratio, b[i].ratio, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace lighttr

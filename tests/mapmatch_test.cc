@@ -1,0 +1,120 @@
+// Tests for the HMM map matcher (Sec. IV-B1 preprocessing).
+#include <gtest/gtest.h>
+
+#include "mapmatch/hmm_map_matcher.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+
+namespace lighttr::mapmatch {
+namespace {
+
+roadnet::RoadNetwork TestCity(uint64_t seed = 41) {
+  Rng rng(seed);
+  roadnet::CityGridOptions options;
+  options.rows = 7;
+  options.cols = 7;
+  return roadnet::GenerateCityGrid(options, &rng);
+}
+
+TEST(HmmMapMatcher, EmptyTrajectoryRejected) {
+  const roadnet::RoadNetwork net = TestCity();
+  const roadnet::SegmentIndex index(net);
+  const HmmMapMatcher matcher(index, {});
+  EXPECT_FALSE(matcher.Match(traj::RawTrajectory{}).ok());
+}
+
+TEST(HmmMapMatcher, FarAwayPointRejected) {
+  const roadnet::RoadNetwork net = TestCity();
+  const roadnet::SegmentIndex index(net);
+  HmmOptions options;
+  options.candidate_radius_m = 50.0;
+  options.radius_doublings = 0;
+  const HmmMapMatcher matcher(index, options);
+  traj::RawTrajectory raw;
+  raw.points.push_back({{10.0, 10.0}, 0.0});  // nowhere near the city
+  const auto result = matcher.Match(raw);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HmmMapMatcher, NoiseFreeTrajectoryRecoveredClosely) {
+  const roadnet::RoadNetwork net = TestCity();
+  const roadnet::SegmentIndex index(net);
+  const traj::TrajectoryGenerator generator(net);
+  Rng rng(42);
+  auto matched = generator.Generate({}, roadnet::kInvalidVertex, &rng);
+  ASSERT_TRUE(matched.ok());
+  const traj::RawTrajectory raw =
+      traj::ToRawTrajectory(net, matched.value(), 0.0, nullptr);
+
+  const HmmMapMatcher matcher(index, {});
+  auto result = matcher.Match(raw);
+  ASSERT_TRUE(result.ok());
+  const traj::MatchedTrajectory& recovered = result.value();
+  ASSERT_EQ(recovered.size(), matched.value().size());
+  // Every matched point must sit within a few meters of the truth
+  // (segment ids can differ on twins/endpoints; geometry must not).
+  for (size_t i = 0; i < recovered.size(); ++i) {
+    const double d = geo::HaversineMeters(
+        net.PositionToPoint(recovered.points[i].position),
+        net.PositionToPoint(matched.value().points[i].position));
+    EXPECT_LT(d, 5.0) << "point " << i;
+  }
+}
+
+TEST(HmmMapMatcher, AssignsTimeBins) {
+  const roadnet::RoadNetwork net = TestCity();
+  const roadnet::SegmentIndex index(net);
+  const traj::TrajectoryGenerator generator(net);
+  Rng rng(43);
+  auto matched = generator.Generate({}, roadnet::kInvalidVertex, &rng);
+  ASSERT_TRUE(matched.ok());
+  const traj::RawTrajectory raw =
+      traj::ToRawTrajectory(net, matched.value(), 5.0, &rng);
+  const HmmMapMatcher matcher(index, {});
+  auto result = matcher.Match(raw);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 0; i < result.value().size(); ++i) {
+    EXPECT_EQ(result.value().points[i].tid, static_cast<int64_t>(i));
+  }
+}
+
+// Property: matching stays within a noise-dependent error bound.
+class HmmNoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HmmNoiseSweep, ErrorBoundedByNoise) {
+  const double noise = GetParam();
+  const roadnet::RoadNetwork net = TestCity(44);
+  const roadnet::SegmentIndex index(net);
+  const traj::TrajectoryGenerator generator(net);
+  Rng rng(45);
+  HmmOptions options;
+  options.emission_sigma_m = std::max(10.0, noise);
+  const HmmMapMatcher matcher(index, options);
+
+  double total_error = 0.0;
+  int points = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    auto matched = generator.Generate({}, roadnet::kInvalidVertex, &rng);
+    ASSERT_TRUE(matched.ok());
+    const traj::RawTrajectory raw =
+        traj::ToRawTrajectory(net, matched.value(), noise, &rng);
+    auto result = matcher.Match(raw);
+    ASSERT_TRUE(result.ok());
+    for (size_t i = 0; i < result.value().size(); ++i) {
+      total_error += geo::HaversineMeters(
+          net.PositionToPoint(result.value().points[i].position),
+          net.PositionToPoint(matched.value().points[i].position));
+      ++points;
+    }
+  }
+  // Matched error should be of the order of the GPS noise, not the
+  // candidate radius.
+  EXPECT_LT(total_error / points, 3.0 * noise + 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, HmmNoiseSweep,
+                         ::testing::Values(5.0, 15.0, 30.0, 50.0));
+
+}  // namespace
+}  // namespace lighttr::mapmatch

@@ -1,0 +1,173 @@
+// Tests for SGD/Adam optimizers, clipping, weight decay, and the
+// ParameterSet registry with its FedAvg helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/losses.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+
+namespace lighttr::nn {
+namespace {
+
+// Minimizes ||w - target||^2 and returns the final w.
+template <typename Opt>
+Matrix MinimizeQuadratic(Opt* optimizer, int steps) {
+  ParameterSet params;
+  Tensor w = Tensor::Variable(Matrix::Full(1, 3, 5.0));
+  params.Register("w", w);
+  Matrix target(1, 3);
+  target(0, 0) = 1.0;
+  target(0, 1) = -2.0;
+  target(0, 2) = 0.5;
+  for (int i = 0; i < steps; ++i) {
+    Tensor loss = MseLoss(w, target);
+    loss.Backward();
+    optimizer->Step(&params);
+  }
+  return w.value();
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  SgdOptimizer sgd(0.2);
+  const Matrix w = MinimizeQuadratic(&sgd, 200);
+  EXPECT_NEAR(w(0, 0), 1.0, 1e-3);
+  EXPECT_NEAR(w(0, 1), -2.0, 1e-3);
+}
+
+TEST(Sgd, MomentumConverges) {
+  SgdOptimizer sgd(0.05, /*momentum=*/0.9);
+  const Matrix w = MinimizeQuadratic(&sgd, 300);
+  EXPECT_NEAR(w(0, 2), 0.5, 1e-2);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  AdamOptimizer adam(0.1, 0.9, 0.999, 1e-8, /*clip_norm=*/0,
+                     /*weight_decay=*/0);
+  const Matrix w = MinimizeQuadratic(&adam, 400);
+  EXPECT_NEAR(w(0, 0), 1.0, 1e-2);
+  EXPECT_NEAR(w(0, 1), -2.0, 1e-2);
+}
+
+TEST(Adam, WeightDecayShrinksUnusedWeights) {
+  ParameterSet params;
+  Tensor w = Tensor::Variable(Matrix::Full(1, 1, 4.0));
+  params.Register("w", w);
+  AdamOptimizer adam(0.1, 0.9, 0.999, 1e-8, 0, /*weight_decay=*/0.5);
+  for (int i = 0; i < 10; ++i) {
+    w.grad();  // allocate zero grad: pure decay steps
+    adam.Step(&params);
+  }
+  EXPECT_LT(std::abs(w.value()(0, 0)), 4.0);
+}
+
+TEST(Optimizer, StepZeroesGradients) {
+  ParameterSet params;
+  Tensor w = Tensor::Variable(Matrix::Full(1, 2, 1.0));
+  params.Register("w", w);
+  Tensor loss = Mean(w);
+  loss.Backward();
+  SgdOptimizer sgd(0.1);
+  sgd.Step(&params);
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.0);
+}
+
+TEST(Clipping, ScalesDownLargeGradients) {
+  ParameterSet params;
+  Tensor w = Tensor::Variable(Matrix::Full(1, 4, 0.0));
+  params.Register("w", w);
+  Matrix& g = w.grad();
+  g.Fill(10.0);  // norm = 20
+  ClipGradientsByGlobalNorm(&params, 2.0);
+  EXPECT_NEAR(std::sqrt(w.grad().SquaredNorm()), 2.0, 1e-9);
+}
+
+TEST(Clipping, LeavesSmallGradientsAlone) {
+  ParameterSet params;
+  Tensor w = Tensor::Variable(Matrix::Full(1, 4, 0.0));
+  params.Register("w", w);
+  w.grad().Fill(0.1);
+  ClipGradientsByGlobalNorm(&params, 5.0);
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 0.1);
+}
+
+TEST(ParameterSet, FlattenAssignRoundTrip) {
+  ParameterSet params;
+  Rng rng(1);
+  Tensor a = Tensor::Variable(Matrix::RandomUniform(2, 3, 1.0, &rng));
+  Tensor b = Tensor::Variable(Matrix::RandomUniform(1, 4, 1.0, &rng));
+  params.Register("a", a);
+  params.Register("b", b);
+  EXPECT_EQ(params.NumScalars(), 10);
+
+  std::vector<Scalar> flat = params.Flatten();
+  ASSERT_EQ(flat.size(), 10u);
+  for (Scalar& x : flat) x += 1.0;
+  params.AssignFlat(flat);
+  EXPECT_EQ(params.Flatten(), flat);
+}
+
+TEST(ParameterSet, GetByName) {
+  ParameterSet params;
+  Tensor a = Tensor::Variable(Matrix::Full(1, 1, 7.0));
+  params.Register("only", a);
+  EXPECT_DOUBLE_EQ(params.Get("only").value()(0, 0), 7.0);
+}
+
+TEST(ParameterSet, SerializeDeserializeRoundTrip) {
+  auto build = [](uint64_t seed) {
+    auto params = std::make_unique<ParameterSet>();
+    Rng rng(seed);
+    params->Register("w1",
+                     Tensor::Variable(Matrix::RandomUniform(3, 3, 1.0, &rng)));
+    params->Register("w2",
+                     Tensor::Variable(Matrix::RandomUniform(1, 5, 1.0, &rng)));
+    return params;
+  };
+  auto source = build(1);
+  auto dest = build(2);
+  const std::string blob = source->Serialize();
+  EXPECT_EQ(static_cast<int64_t>(blob.size()), source->WireBytes());
+  ASSERT_TRUE(dest->Deserialize(blob).ok());
+  // float32 wire format: equality within float precision.
+  const auto a = source->Flatten();
+  const auto b = dest->Flatten();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6);
+  }
+}
+
+TEST(ParameterSet, DeserializeRejectsCorruption) {
+  ParameterSet params;
+  params.Register("w", Tensor::Variable(Matrix::Full(2, 2, 1.0)));
+  const std::string blob = params.Serialize();
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(params.Deserialize(bad_magic).ok());
+
+  EXPECT_FALSE(params.Deserialize(blob.substr(0, blob.size() - 3)).ok());
+  EXPECT_FALSE(params.Deserialize(blob + "zz").ok());
+
+  ParameterSet other_name;
+  other_name.Register("v", Tensor::Variable(Matrix::Full(2, 2, 1.0)));
+  EXPECT_FALSE(other_name.Deserialize(blob).ok());
+
+  ParameterSet other_shape;
+  other_shape.Register("w", Tensor::Variable(Matrix::Full(2, 3, 1.0)));
+  EXPECT_FALSE(other_shape.Deserialize(blob).ok());
+}
+
+TEST(ParameterSet, AverageFlatIsElementwiseMean) {
+  const std::vector<std::vector<Scalar>> flats = {
+      {1.0, 2.0, 3.0}, {3.0, 4.0, 5.0}, {5.0, 6.0, 7.0}};
+  const std::vector<Scalar> avg = AverageFlat(flats);
+  EXPECT_DOUBLE_EQ(avg[0], 3.0);
+  EXPECT_DOUBLE_EQ(avg[1], 4.0);
+  EXPECT_DOUBLE_EQ(avg[2], 5.0);
+}
+
+}  // namespace
+}  // namespace lighttr::nn

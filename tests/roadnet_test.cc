@@ -1,0 +1,306 @@
+// Unit and property tests for src/roadnet: graph construction, point
+// projection, shortest paths (vs brute force), generators, and the
+// segment spatial index.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "roadnet/generators.h"
+#include "roadnet/road_network.h"
+#include "roadnet/segment_index.h"
+#include "roadnet/shortest_path.h"
+
+namespace lighttr::roadnet {
+namespace {
+
+RoadNetwork TriangleNetwork() {
+  // v0 -> v1 -> v2 -> v0 one-way ring with known lengths.
+  RoadNetwork net;
+  const geo::LocalProjection plane({39.9, 116.4});
+  const VertexId v0 = net.AddVertex(plane.FromXy({0.0, 0.0}));
+  const VertexId v1 = net.AddVertex(plane.FromXy({300.0, 0.0}));
+  const VertexId v2 = net.AddVertex(plane.FromXy({300.0, 400.0}));
+  net.AddSegment(v0, v1);
+  net.AddSegment(v1, v2);
+  net.AddSegment(v2, v0);
+  net.Finalize();
+  return net;
+}
+
+TEST(RoadNetwork, SegmentLengthDefaultsToHaversine) {
+  const RoadNetwork net = TriangleNetwork();
+  EXPECT_NEAR(net.segment(0).length_m, 300.0, 1.0);
+  EXPECT_NEAR(net.segment(1).length_m, 400.0, 1.0);
+  EXPECT_NEAR(net.segment(2).length_m, 500.0, 1.0);  // 3-4-5 triangle
+}
+
+TEST(RoadNetwork, AdjacencyIndexes) {
+  const RoadNetwork net = TriangleNetwork();
+  ASSERT_EQ(net.OutSegments(0).size(), 1u);
+  EXPECT_EQ(net.segment(net.OutSegments(0)[0]).to, 1);
+  ASSERT_EQ(net.InSegments(0).size(), 1u);
+  EXPECT_EQ(net.segment(net.InSegments(0)[0]).from, 2);
+}
+
+TEST(RoadNetwork, FindSegment) {
+  const RoadNetwork net = TriangleNetwork();
+  EXPECT_EQ(net.FindSegment(0, 1), 0);
+  EXPECT_EQ(net.FindSegment(1, 0), kInvalidSegment);  // one-way
+}
+
+TEST(RoadNetwork, AddTwoWayCreatesBothDirections) {
+  RoadNetwork net;
+  const VertexId a = net.AddVertex({39.9, 116.4});
+  const VertexId b = net.AddVertex({39.91, 116.4});
+  net.AddTwoWay(a, b);
+  net.Finalize();
+  EXPECT_NE(net.FindSegment(a, b), kInvalidSegment);
+  EXPECT_NE(net.FindSegment(b, a), kInvalidSegment);
+  EXPECT_DOUBLE_EQ(net.segment(0).length_m, net.segment(1).length_m);
+}
+
+TEST(RoadNetwork, PositionToPointEndpoints) {
+  const RoadNetwork net = TriangleNetwork();
+  const geo::GeoPoint at_start = net.PositionToPoint({0, 0.0});
+  const geo::GeoPoint at_end = net.PositionToPoint({0, 1.0});
+  EXPECT_NEAR(geo::HaversineMeters(at_start, net.vertex(0).position), 0.0,
+              0.01);
+  EXPECT_NEAR(geo::HaversineMeters(at_end, net.vertex(1).position), 0.0,
+              0.01);
+}
+
+TEST(RoadNetwork, ProjectOntoSegmentPerpendicular) {
+  const RoadNetwork net = TriangleNetwork();
+  // A point 50 m "north" of the midpoint of segment 0 (which runs east).
+  const geo::LocalProjection plane(net.vertex(0).position);
+  const geo::GeoPoint probe = plane.FromXy({150.0, 50.0});
+  const Projection proj = net.ProjectOntoSegment(0, probe);
+  EXPECT_NEAR(proj.position.ratio, 0.5, 0.01);
+  EXPECT_NEAR(proj.distance_m, 50.0, 1.0);
+}
+
+TEST(RoadNetwork, ProjectOntoSegmentClampsToEndpoints) {
+  const RoadNetwork net = TriangleNetwork();
+  const geo::LocalProjection plane(net.vertex(0).position);
+  const Projection before = net.ProjectOntoSegment(0, plane.FromXy({-100.0, 10.0}));
+  EXPECT_DOUBLE_EQ(before.position.ratio, 0.0);
+  const Projection after = net.ProjectOntoSegment(0, plane.FromXy({500.0, 10.0}));
+  EXPECT_DOUBLE_EQ(after.position.ratio, 1.0);
+}
+
+TEST(ShortestPath, TriangleDistances) {
+  const RoadNetwork net = TriangleNetwork();
+  EXPECT_NEAR(VertexDistance(net, 0, 1), 300.0, 1.0);
+  EXPECT_NEAR(VertexDistance(net, 1, 0), 900.0, 2.0);  // must loop around
+  const auto dist = SingleSourceDistances(net, 0);
+  EXPECT_NEAR(dist[2], 700.0, 2.0);
+}
+
+TEST(ShortestPath, UnreachableIsInfinite) {
+  RoadNetwork net;
+  const VertexId a = net.AddVertex({39.9, 116.4});
+  const VertexId b = net.AddVertex({39.91, 116.4});
+  net.AddSegment(a, b);
+  net.Finalize();
+  EXPECT_EQ(VertexDistance(net, b, a), kUnreachable);
+  EXPECT_FALSE(VertexRoute(net, b, a).ok());
+}
+
+TEST(ShortestPath, RouteIsConnectedAndMatchesDistance) {
+  Rng rng(11);
+  CityGridOptions options;
+  options.rows = 6;
+  options.cols = 6;
+  const RoadNetwork net = GenerateCityGrid(options, &rng);
+  Rng pick(12);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto u =
+        static_cast<VertexId>(pick.UniformInt(0, net.num_vertices() - 1));
+    const auto v =
+        static_cast<VertexId>(pick.UniformInt(0, net.num_vertices() - 1));
+    if (u == v) continue;
+    auto route = VertexRoute(net, u, v);
+    ASSERT_TRUE(route.ok());
+    double total = 0.0;
+    VertexId cursor = u;
+    for (SegmentId e : route.value()) {
+      EXPECT_EQ(net.segment(e).from, cursor);
+      cursor = net.segment(e).to;
+      total += net.segment(e).length_m;
+    }
+    EXPECT_EQ(cursor, v);
+    EXPECT_NEAR(total, VertexDistance(net, u, v), 1e-6);
+  }
+}
+
+// Property: Dijkstra agrees with Floyd-Warshall on random small graphs.
+class DijkstraVsBruteForce : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraVsBruteForce, AllPairsAgree) {
+  Rng rng(GetParam());
+  RoadNetwork net;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    net.AddVertex({39.9 + 0.001 * i, 116.4 + 0.0013 * (i % 3)});
+  }
+  // Random directed edges with random (positive) lengths.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.Bernoulli(0.35)) {
+        net.AddSegment(i, j, rng.Uniform(10.0, 500.0));
+      }
+    }
+  }
+  if (net.num_segments() == 0) {
+    net.AddSegment(0, 1, 50.0);
+  }
+  net.Finalize();
+
+  // Floyd-Warshall reference.
+  std::vector<std::vector<double>> dist(
+      n, std::vector<double>(n, kUnreachable));
+  for (int i = 0; i < n; ++i) dist[i][i] = 0.0;
+  for (SegmentId e = 0; e < net.num_segments(); ++e) {
+    const Segment& seg = net.segment(e);
+    dist[seg.from][seg.to] =
+        std::min(dist[seg.from][seg.to], seg.length_m);
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (dist[i][k] != kUnreachable && dist[k][j] != kUnreachable) {
+          dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+        }
+      }
+    }
+  }
+
+  DijkstraEngine engine(net);
+  for (int i = 0; i < n; ++i) {
+    const auto single = SingleSourceDistances(net, i);
+    for (int j = 0; j < n; ++j) {
+      if (dist[i][j] == kUnreachable) {
+        EXPECT_EQ(single[j], kUnreachable);
+        EXPECT_EQ(engine.Distance(i, j), kUnreachable);
+      } else {
+        EXPECT_NEAR(single[j], dist[i][j], 1e-6);
+        EXPECT_NEAR(engine.Distance(i, j), dist[i][j], 1e-6);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraVsBruteForce,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TravelDistance, SameSegmentForward) {
+  const RoadNetwork net = TriangleNetwork();
+  EXPECT_NEAR(DirectedTravelDistance(net, {0, 0.2}, {0, 0.7}),
+              0.5 * net.segment(0).length_m, 1e-6);
+}
+
+TEST(TravelDistance, SameSegmentBackwardLoops) {
+  const RoadNetwork net = TriangleNetwork();
+  // Going "backwards" on a one-way segment requires the full loop.
+  const double d = DirectedTravelDistance(net, {0, 0.7}, {0, 0.2});
+  const double loop = net.segment(0).length_m + net.segment(1).length_m +
+                      net.segment(2).length_m;
+  EXPECT_NEAR(d, loop - 0.5 * net.segment(0).length_m, 1.0);
+}
+
+TEST(TravelDistance, ConstrainedDistanceIsMinOfDirections) {
+  const RoadNetwork net = TriangleNetwork();
+  const PointPosition a{0, 0.2};
+  const PointPosition b{0, 0.7};
+  EXPECT_NEAR(ConstrainedDistance(net, a, b),
+              std::min(DirectedTravelDistance(net, a, b),
+                       DirectedTravelDistance(net, b, a)),
+              1e-9);
+}
+
+TEST(TravelDistance, ZeroForIdenticalPositions) {
+  const RoadNetwork net = TriangleNetwork();
+  EXPECT_DOUBLE_EQ(ConstrainedDistance(net, {1, 0.4}, {1, 0.4}), 0.0);
+}
+
+TEST(Generators, CityGridStronglyConnected) {
+  Rng rng(13);
+  CityGridOptions options;
+  options.rows = 7;
+  options.cols = 7;
+  options.missing_prob = 0.15;
+  options.one_way_prob = 0.3;
+  const RoadNetwork net = GenerateCityGrid(options, &rng);
+  // The border ring guarantees reachability between all vertices.
+  const auto dist = SingleSourceDistances(net, 0);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    EXPECT_NE(dist[v], kUnreachable) << "vertex " << v;
+  }
+}
+
+TEST(Generators, CityGridSizes) {
+  Rng rng(14);
+  CityGridOptions options;
+  options.rows = 5;
+  options.cols = 6;
+  const RoadNetwork net = GenerateCityGrid(options, &rng);
+  EXPECT_EQ(net.num_vertices(), 30);
+  EXPECT_GT(net.num_segments(), 60);
+}
+
+TEST(Generators, ChainAndRing) {
+  const RoadNetwork chain = GenerateChain(5, 100.0);
+  EXPECT_EQ(chain.num_vertices(), 5);
+  EXPECT_EQ(chain.num_segments(), 8);
+  EXPECT_NEAR(VertexDistance(chain, 0, 4), 400.0, 2.0);
+
+  const RoadNetwork ring = GenerateRing(8, 500.0);
+  EXPECT_EQ(ring.num_vertices(), 8);
+  EXPECT_EQ(ring.num_segments(), 16);
+  const auto dist = SingleSourceDistances(ring, 0);
+  EXPECT_NE(dist[4], kUnreachable);
+}
+
+// Property: the spatial index returns exactly the segments a brute-force
+// scan finds within the radius.
+class SegmentIndexProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentIndexProperty, MatchesBruteForce) {
+  Rng rng(GetParam());
+  CityGridOptions options;
+  options.rows = 5;
+  options.cols = 5;
+  const RoadNetwork net = GenerateCityGrid(options, &rng);
+  const SegmentIndex index(net, /*cell_meters=*/150.0);
+
+  const geo::GeoPoint lo = net.min_corner();
+  const geo::GeoPoint hi = net.max_corner();
+  Rng pick(GetParam() + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    const geo::GeoPoint p{pick.Uniform(lo.lat, hi.lat),
+                          pick.Uniform(lo.lng, hi.lng)};
+    const double radius = pick.Uniform(50.0, 400.0);
+    const auto candidates = index.Nearby(p, radius);
+
+    std::set<SegmentId> from_index;
+    for (const auto& c : candidates) from_index.insert(c.segment);
+    std::set<SegmentId> brute;
+    for (SegmentId e = 0; e < net.num_segments(); ++e) {
+      if (net.ProjectOntoSegment(e, p).distance_m <= radius) brute.insert(e);
+    }
+    EXPECT_EQ(from_index, brute);
+    // Sorted nearest-first.
+    for (size_t i = 1; i < candidates.size(); ++i) {
+      EXPECT_LE(candidates[i - 1].projection.distance_m,
+                candidates[i].projection.distance_m);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentIndexProperty,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace lighttr::roadnet

@@ -1,0 +1,41 @@
+// End-to-end smoke: build a tiny city, generate a federated workload,
+// train LightTR for a couple of rounds, and check the metrics pipeline
+// produces sane numbers.
+#include <gtest/gtest.h>
+
+#include "eval/harness.h"
+
+namespace lighttr {
+namespace {
+
+TEST(Smoke, LightTrEndToEnd) {
+  eval::ExperimentEnv env(6, 6, /*seed=*/1);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 8;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 3;
+  workload.keep_ratio = 0.25;
+  const auto clients = env.MakeWorkload(profile, workload, /*seed=*/2);
+  ASSERT_EQ(clients.size(), 3u);
+
+  eval::MethodRunOptions options;
+  options.fed.rounds = 2;
+  options.fed.local_epochs = 1;
+  options.teacher.cycles = 1;
+  options.max_test_trajectories = 10;
+  const eval::MethodResult result = eval::RunFederatedMethod(
+      env, baselines::ModelKind::kLightTr, clients, options);
+
+  EXPECT_GT(result.metrics.recovered_points, 0);
+  EXPECT_GE(result.metrics.recall, 0.0);
+  EXPECT_LE(result.metrics.recall, 1.0);
+  EXPECT_GE(result.metrics.precision, 0.0);
+  EXPECT_LE(result.metrics.precision, 1.0);
+  EXPECT_GE(result.metrics.mae_km, 0.0);
+  EXPECT_GE(result.metrics.rmse_km, result.metrics.mae_km);
+  EXPECT_EQ(result.run.comm.rounds, 2);
+  EXPECT_GT(result.run.comm.TotalBytes(), 0);
+}
+
+}  // namespace
+}  // namespace lighttr

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_privacy_comm.dir/bench_ext_privacy_comm.cc.o"
+  "CMakeFiles/bench_ext_privacy_comm.dir/bench_ext_privacy_comm.cc.o.d"
+  "bench_ext_privacy_comm"
+  "bench_ext_privacy_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_privacy_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

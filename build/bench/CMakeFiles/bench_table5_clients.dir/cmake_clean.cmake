@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_clients.dir/bench_table5_clients.cc.o"
+  "CMakeFiles/bench_table5_clients.dir/bench_table5_clients.cc.o.d"
+  "bench_table5_clients"
+  "bench_table5_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

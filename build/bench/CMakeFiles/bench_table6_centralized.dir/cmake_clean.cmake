@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_centralized.dir/bench_table6_centralized.cc.o"
+  "CMakeFiles/bench_table6_centralized.dir/bench_table6_centralized.cc.o.d"
+  "bench_table6_centralized"
+  "bench_table6_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

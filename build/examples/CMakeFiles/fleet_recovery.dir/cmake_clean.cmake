@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_recovery.dir/fleet_recovery.cpp.o"
+  "CMakeFiles/fleet_recovery.dir/fleet_recovery.cpp.o.d"
+  "fleet_recovery"
+  "fleet_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matching_pipeline.dir/map_matching_pipeline.cpp.o"
+  "CMakeFiles/map_matching_pipeline.dir/map_matching_pipeline.cpp.o.d"
+  "map_matching_pipeline"
+  "map_matching_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matching_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/centralized_trainer.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/centralized_trainer.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/centralized_trainer.cc.o.d"
+  "/root/repo/src/baselines/fc_model.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/fc_model.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/fc_model.cc.o.d"
+  "/root/repo/src/baselines/model_zoo.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/model_zoo.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/model_zoo.cc.o.d"
+  "/root/repo/src/baselines/mt_head.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/mt_head.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/mt_head.cc.o.d"
+  "/root/repo/src/baselines/mtrajrec_model.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/mtrajrec_model.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/mtrajrec_model.cc.o.d"
+  "/root/repo/src/baselines/rnn_model.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/rnn_model.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/rnn_model.cc.o.d"
+  "/root/repo/src/baselines/rntrajrec_model.cc" "src/baselines/CMakeFiles/lighttr_baselines.dir/rntrajrec_model.cc.o" "gcc" "src/baselines/CMakeFiles/lighttr_baselines.dir/rntrajrec_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lighttr/CMakeFiles/lighttr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/lighttr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/lighttr_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lighttr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lighttr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/lighttr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lighttr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

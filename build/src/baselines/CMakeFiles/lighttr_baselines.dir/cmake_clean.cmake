@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_baselines.dir/centralized_trainer.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/centralized_trainer.cc.o.d"
+  "CMakeFiles/lighttr_baselines.dir/fc_model.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/fc_model.cc.o.d"
+  "CMakeFiles/lighttr_baselines.dir/model_zoo.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/model_zoo.cc.o.d"
+  "CMakeFiles/lighttr_baselines.dir/mt_head.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/mt_head.cc.o.d"
+  "CMakeFiles/lighttr_baselines.dir/mtrajrec_model.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/mtrajrec_model.cc.o.d"
+  "CMakeFiles/lighttr_baselines.dir/rnn_model.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/rnn_model.cc.o.d"
+  "CMakeFiles/lighttr_baselines.dir/rntrajrec_model.cc.o"
+  "CMakeFiles/lighttr_baselines.dir/rntrajrec_model.cc.o.d"
+  "liblighttr_baselines.a"
+  "liblighttr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_common.dir/file_util.cc.o"
+  "CMakeFiles/lighttr_common.dir/file_util.cc.o.d"
+  "CMakeFiles/lighttr_common.dir/rng.cc.o"
+  "CMakeFiles/lighttr_common.dir/rng.cc.o.d"
+  "CMakeFiles/lighttr_common.dir/status.cc.o"
+  "CMakeFiles/lighttr_common.dir/status.cc.o.d"
+  "CMakeFiles/lighttr_common.dir/table_printer.cc.o"
+  "CMakeFiles/lighttr_common.dir/table_printer.cc.o.d"
+  "liblighttr_common.a"
+  "liblighttr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_eval.dir/harness.cc.o"
+  "CMakeFiles/lighttr_eval.dir/harness.cc.o.d"
+  "CMakeFiles/lighttr_eval.dir/metrics.cc.o"
+  "CMakeFiles/lighttr_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/lighttr_eval.dir/scale.cc.o"
+  "CMakeFiles/lighttr_eval.dir/scale.cc.o.d"
+  "liblighttr_eval.a"
+  "liblighttr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_fl.dir/compression.cc.o"
+  "CMakeFiles/lighttr_fl.dir/compression.cc.o.d"
+  "CMakeFiles/lighttr_fl.dir/cyclic_trainer.cc.o"
+  "CMakeFiles/lighttr_fl.dir/cyclic_trainer.cc.o.d"
+  "CMakeFiles/lighttr_fl.dir/federated_trainer.cc.o"
+  "CMakeFiles/lighttr_fl.dir/federated_trainer.cc.o.d"
+  "CMakeFiles/lighttr_fl.dir/local_trainer.cc.o"
+  "CMakeFiles/lighttr_fl.dir/local_trainer.cc.o.d"
+  "CMakeFiles/lighttr_fl.dir/privacy.cc.o"
+  "CMakeFiles/lighttr_fl.dir/privacy.cc.o.d"
+  "liblighttr_fl.a"
+  "liblighttr_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_geo.dir/geo_point.cc.o"
+  "CMakeFiles/lighttr_geo.dir/geo_point.cc.o.d"
+  "CMakeFiles/lighttr_geo.dir/grid.cc.o"
+  "CMakeFiles/lighttr_geo.dir/grid.cc.o.d"
+  "liblighttr_geo.a"
+  "liblighttr_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lighttr/lte_model.cc" "src/lighttr/CMakeFiles/lighttr_core.dir/lte_model.cc.o" "gcc" "src/lighttr/CMakeFiles/lighttr_core.dir/lte_model.cc.o.d"
+  "/root/repo/src/lighttr/meta_local_update.cc" "src/lighttr/CMakeFiles/lighttr_core.dir/meta_local_update.cc.o" "gcc" "src/lighttr/CMakeFiles/lighttr_core.dir/meta_local_update.cc.o.d"
+  "/root/repo/src/lighttr/pipeline.cc" "src/lighttr/CMakeFiles/lighttr_core.dir/pipeline.cc.o" "gcc" "src/lighttr/CMakeFiles/lighttr_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/lighttr/teacher_training.cc" "src/lighttr/CMakeFiles/lighttr_core.dir/teacher_training.cc.o" "gcc" "src/lighttr/CMakeFiles/lighttr_core.dir/teacher_training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fl/CMakeFiles/lighttr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/lighttr_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lighttr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lighttr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/lighttr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lighttr_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

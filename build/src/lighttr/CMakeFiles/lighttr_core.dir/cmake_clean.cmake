@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_core.dir/lte_model.cc.o"
+  "CMakeFiles/lighttr_core.dir/lte_model.cc.o.d"
+  "CMakeFiles/lighttr_core.dir/meta_local_update.cc.o"
+  "CMakeFiles/lighttr_core.dir/meta_local_update.cc.o.d"
+  "CMakeFiles/lighttr_core.dir/pipeline.cc.o"
+  "CMakeFiles/lighttr_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/lighttr_core.dir/teacher_training.cc.o"
+  "CMakeFiles/lighttr_core.dir/teacher_training.cc.o.d"
+  "liblighttr_core.a"
+  "liblighttr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

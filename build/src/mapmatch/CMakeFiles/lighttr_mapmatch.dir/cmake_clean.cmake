@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_mapmatch.dir/greedy_map_matcher.cc.o"
+  "CMakeFiles/lighttr_mapmatch.dir/greedy_map_matcher.cc.o.d"
+  "CMakeFiles/lighttr_mapmatch.dir/hmm_map_matcher.cc.o"
+  "CMakeFiles/lighttr_mapmatch.dir/hmm_map_matcher.cc.o.d"
+  "liblighttr_mapmatch.a"
+  "liblighttr_mapmatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_mapmatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/lighttr_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/flops.cc" "src/nn/CMakeFiles/lighttr_nn.dir/flops.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/flops.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/lighttr_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/lighttr_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/nn/CMakeFiles/lighttr_nn.dir/matrix.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/matrix.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/lighttr_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/lighttr_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/nn/CMakeFiles/lighttr_nn.dir/parameter.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/parameter.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/lighttr_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/lighttr_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lighttr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/lighttr_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/flops.cc.o"
+  "CMakeFiles/lighttr_nn.dir/flops.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/layers.cc.o"
+  "CMakeFiles/lighttr_nn.dir/layers.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/losses.cc.o"
+  "CMakeFiles/lighttr_nn.dir/losses.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/matrix.cc.o"
+  "CMakeFiles/lighttr_nn.dir/matrix.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/ops.cc.o"
+  "CMakeFiles/lighttr_nn.dir/ops.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/optimizer.cc.o"
+  "CMakeFiles/lighttr_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/parameter.cc.o"
+  "CMakeFiles/lighttr_nn.dir/parameter.cc.o.d"
+  "CMakeFiles/lighttr_nn.dir/tensor.cc.o"
+  "CMakeFiles/lighttr_nn.dir/tensor.cc.o.d"
+  "liblighttr_nn.a"
+  "liblighttr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

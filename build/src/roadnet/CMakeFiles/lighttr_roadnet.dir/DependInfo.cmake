@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roadnet/astar.cc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/astar.cc.o" "gcc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/astar.cc.o.d"
+  "/root/repo/src/roadnet/generators.cc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/generators.cc.o" "gcc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/generators.cc.o.d"
+  "/root/repo/src/roadnet/road_network.cc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/road_network.cc.o" "gcc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/road_network.cc.o.d"
+  "/root/repo/src/roadnet/segment_index.cc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/segment_index.cc.o" "gcc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/segment_index.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/shortest_path.cc.o" "gcc" "src/roadnet/CMakeFiles/lighttr_roadnet.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/lighttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lighttr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

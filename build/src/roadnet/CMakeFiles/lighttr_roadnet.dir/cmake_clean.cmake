@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_roadnet.dir/astar.cc.o"
+  "CMakeFiles/lighttr_roadnet.dir/astar.cc.o.d"
+  "CMakeFiles/lighttr_roadnet.dir/generators.cc.o"
+  "CMakeFiles/lighttr_roadnet.dir/generators.cc.o.d"
+  "CMakeFiles/lighttr_roadnet.dir/road_network.cc.o"
+  "CMakeFiles/lighttr_roadnet.dir/road_network.cc.o.d"
+  "CMakeFiles/lighttr_roadnet.dir/segment_index.cc.o"
+  "CMakeFiles/lighttr_roadnet.dir/segment_index.cc.o.d"
+  "CMakeFiles/lighttr_roadnet.dir/shortest_path.cc.o"
+  "CMakeFiles/lighttr_roadnet.dir/shortest_path.cc.o.d"
+  "liblighttr_roadnet.a"
+  "liblighttr_roadnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_roadnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

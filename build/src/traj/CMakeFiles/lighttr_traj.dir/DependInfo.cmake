@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/downsample.cc" "src/traj/CMakeFiles/lighttr_traj.dir/downsample.cc.o" "gcc" "src/traj/CMakeFiles/lighttr_traj.dir/downsample.cc.o.d"
+  "/root/repo/src/traj/encoding.cc" "src/traj/CMakeFiles/lighttr_traj.dir/encoding.cc.o" "gcc" "src/traj/CMakeFiles/lighttr_traj.dir/encoding.cc.o.d"
+  "/root/repo/src/traj/generator.cc" "src/traj/CMakeFiles/lighttr_traj.dir/generator.cc.o" "gcc" "src/traj/CMakeFiles/lighttr_traj.dir/generator.cc.o.d"
+  "/root/repo/src/traj/stats.cc" "src/traj/CMakeFiles/lighttr_traj.dir/stats.cc.o" "gcc" "src/traj/CMakeFiles/lighttr_traj.dir/stats.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/lighttr_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/lighttr_traj.dir/trajectory.cc.o.d"
+  "/root/repo/src/traj/workload.cc" "src/traj/CMakeFiles/lighttr_traj.dir/workload.cc.o" "gcc" "src/traj/CMakeFiles/lighttr_traj.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/roadnet/CMakeFiles/lighttr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lighttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lighttr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lighttr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_traj.dir/downsample.cc.o"
+  "CMakeFiles/lighttr_traj.dir/downsample.cc.o.d"
+  "CMakeFiles/lighttr_traj.dir/encoding.cc.o"
+  "CMakeFiles/lighttr_traj.dir/encoding.cc.o.d"
+  "CMakeFiles/lighttr_traj.dir/generator.cc.o"
+  "CMakeFiles/lighttr_traj.dir/generator.cc.o.d"
+  "CMakeFiles/lighttr_traj.dir/stats.cc.o"
+  "CMakeFiles/lighttr_traj.dir/stats.cc.o.d"
+  "CMakeFiles/lighttr_traj.dir/trajectory.cc.o"
+  "CMakeFiles/lighttr_traj.dir/trajectory.cc.o.d"
+  "CMakeFiles/lighttr_traj.dir/workload.cc.o"
+  "CMakeFiles/lighttr_traj.dir/workload.cc.o.d"
+  "liblighttr_traj.a"
+  "liblighttr_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lighttr_test.dir/lighttr_test.cc.o"
+  "CMakeFiles/lighttr_test.dir/lighttr_test.cc.o.d"
+  "lighttr_test"
+  "lighttr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lighttr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

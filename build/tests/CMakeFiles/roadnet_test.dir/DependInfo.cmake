@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/roadnet_test.cc" "tests/CMakeFiles/roadnet_test.dir/roadnet_test.cc.o" "gcc" "tests/CMakeFiles/roadnet_test.dir/roadnet_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lighttr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lighttr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/lighttr/CMakeFiles/lighttr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/lighttr_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapmatch/CMakeFiles/lighttr_mapmatch.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/lighttr_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/roadnet/CMakeFiles/lighttr_roadnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lighttr_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lighttr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lighttr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_and_tools_test.dir/stats_and_tools_test.cc.o"
+  "CMakeFiles/stats_and_tools_test.dir/stats_and_tools_test.cc.o.d"
+  "stats_and_tools_test"
+  "stats_and_tools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_and_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

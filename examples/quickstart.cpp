@@ -8,6 +8,7 @@
 
 #include "common/table_printer.h"
 #include "eval/harness.h"
+#include "lighttr/pipeline.h"
 
 int main() {
   using namespace lighttr;
@@ -31,6 +32,11 @@ int main() {
   eval::MethodRunOptions options;
   options.fed.rounds = 3;
   options.fed.local_epochs = 2;
+  // Simulate an unreliable deployment: 15% of contacts drop and the
+  // server retries them with backoff (see DESIGN.md "Fault model &
+  // resilience").
+  options.fed.faults.dropout_rate = 0.15;
+  options.fed.tolerance.retry.max_retries = 2;
   const eval::MethodResult result = eval::RunFederatedMethod(
       env, baselines::ModelKind::kLightTr, clients, options);
 
@@ -46,5 +52,7 @@ int main() {
                        static_cast<double>(result.run.comm.TotalBytes()) / 1024.0, 1)});
   table.AddRow({"Train seconds", TablePrinter::Fmt(result.wall_seconds, 2)});
   std::printf("%s", table.ToString().c_str());
+  std::printf("resilience: %s\n",
+              core::SummarizeResilience(result.run).c_str());
   return 0;
 }

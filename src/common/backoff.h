@@ -1,0 +1,42 @@
+// Deterministic exponential backoff with jitter, used by the federated
+// server when re-contacting dropped clients. Delays are *simulated*
+// seconds (accumulated into telemetry), never real sleeps, so runs stay
+// fast and reproducible.
+#ifndef LIGHTTR_COMMON_BACKOFF_H_
+#define LIGHTTR_COMMON_BACKOFF_H_
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lighttr {
+
+/// Retry schedule: attempt k (0-based retry index) waits
+/// min(base * multiplier^k, max_delay) * (1 +- jitter), jitter drawn
+/// uniformly from the supplied Rng.
+struct BackoffConfig {
+  int max_retries = 0;         // retries after the first attempt; 0 = none
+  double base_delay_s = 0.5;   // simulated delay before the first retry
+  double multiplier = 2.0;     // growth factor per retry
+  double max_delay_s = 8.0;    // cap on any single delay
+  double jitter = 0.1;         // +- fraction of the delay, uniform
+};
+
+/// Simulated delay before retry number `retry` (0-based). Deterministic
+/// given the Rng state.
+inline double BackoffDelaySeconds(const BackoffConfig& config, int retry,
+                                  Rng* rng) {
+  LIGHTTR_CHECK_GE(retry, 0);
+  double delay = config.base_delay_s;
+  for (int i = 0; i < retry; ++i) delay *= config.multiplier;
+  delay = std::min(delay, config.max_delay_s);
+  if (config.jitter > 0.0 && rng != nullptr) {
+    delay *= 1.0 + rng->Uniform(-config.jitter, config.jitter);
+  }
+  return std::max(delay, 0.0);
+}
+
+}  // namespace lighttr
+
+#endif  // LIGHTTR_COMMON_BACKOFF_H_

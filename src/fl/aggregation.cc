@@ -1,0 +1,123 @@
+#include "fl/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "fl/privacy.h"
+
+namespace lighttr::fl {
+
+const char* AggregatorPolicyName(AggregatorPolicy policy) {
+  switch (policy) {
+    case AggregatorPolicy::kMean:
+      return "mean";
+    case AggregatorPolicy::kMedian:
+      return "median";
+    case AggregatorPolicy::kTrimmedMean:
+      return "trimmed_mean";
+  }
+  return "unknown";
+}
+
+Status ScreenUpload(std::vector<nn::Scalar>* upload,
+                    const std::vector<nn::Scalar>& reference,
+                    const UploadScreenConfig& config, bool* clipped) {
+  LIGHTTR_CHECK(upload != nullptr);
+  if (clipped != nullptr) *clipped = false;
+  if (!config.enabled) return Status::Ok();
+  if (upload->size() != reference.size()) {
+    return Status::InvalidArgument("upload has wrong parameter count");
+  }
+  for (const nn::Scalar x : *upload) {
+    if (!std::isfinite(static_cast<double>(x))) {
+      return Status::InvalidArgument("upload contains non-finite scalars");
+    }
+  }
+  if (config.max_delta_norm > 0.0) {
+    const double norm = DeltaNorm(*upload, reference);
+    if (norm > config.max_delta_norm) {
+      if (config.norm_policy == ScreenPolicy::kReject) {
+        return Status::OutOfRange("upload delta norm " +
+                                  std::to_string(norm) + " exceeds bound " +
+                                  std::to_string(config.max_delta_norm));
+      }
+      // kClip: rescale the delta onto the bound, keeping its direction.
+      if (clipped != nullptr) *clipped = true;
+      const double scale = config.max_delta_norm / norm;
+      for (size_t i = 0; i < upload->size(); ++i) {
+        (*upload)[i] = reference[i] +
+                       static_cast<nn::Scalar>(
+                           ((*upload)[i] - reference[i]) * scale);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<nn::Scalar>> AggregateFlat(
+    const std::vector<std::vector<nn::Scalar>>& uploads,
+    const AggregatorConfig& config) {
+  if (uploads.empty()) {
+    return Status::FailedPrecondition("no uploads to aggregate");
+  }
+  const size_t n = uploads[0].size();
+  for (const auto& flat : uploads) {
+    if (flat.size() != n) {
+      return Status::InvalidArgument("upload length mismatch in aggregation");
+    }
+  }
+  const size_t m = uploads.size();
+
+  switch (config.policy) {
+    case AggregatorPolicy::kMean: {
+      std::vector<nn::Scalar> out(n, nn::Scalar{0});
+      for (const auto& flat : uploads) {
+        for (size_t i = 0; i < n; ++i) out[i] += flat[i];
+      }
+      const auto inv = nn::Scalar{1} / static_cast<nn::Scalar>(m);
+      for (nn::Scalar& x : out) x *= inv;
+      return out;
+    }
+    case AggregatorPolicy::kMedian: {
+      std::vector<nn::Scalar> out(n, nn::Scalar{0});
+      std::vector<nn::Scalar> column(m);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < m; ++c) column[c] = uploads[c][i];
+        auto mid = column.begin() + static_cast<ptrdiff_t>(m / 2);
+        std::nth_element(column.begin(), mid, column.end());
+        if (m % 2 == 1) {
+          out[i] = *mid;
+        } else {
+          const nn::Scalar upper = *mid;
+          const nn::Scalar lower =
+              *std::max_element(column.begin(), mid);
+          out[i] = (lower + upper) / nn::Scalar{2};
+        }
+      }
+      return out;
+    }
+    case AggregatorPolicy::kTrimmedMean: {
+      if (config.trim_fraction < 0.0 || config.trim_fraction >= 0.5) {
+        return Status::InvalidArgument("trim_fraction must be in [0, 0.5)");
+      }
+      size_t k = static_cast<size_t>(
+          std::floor(config.trim_fraction * static_cast<double>(m)));
+      if (2 * k >= m) k = (m - 1) / 2;  // always keep at least one value
+      std::vector<nn::Scalar> out(n, nn::Scalar{0});
+      std::vector<nn::Scalar> column(m);
+      const auto inv = nn::Scalar{1} / static_cast<nn::Scalar>(m - 2 * k);
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t c = 0; c < m; ++c) column[c] = uploads[c][i];
+        std::sort(column.begin(), column.end());
+        nn::Scalar sum{0};
+        for (size_t c = k; c < m - k; ++c) sum += column[c];
+        out[i] = sum * inv;
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown aggregator policy");
+}
+
+}  // namespace lighttr::fl

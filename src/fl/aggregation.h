@@ -1,0 +1,72 @@
+// Server-side upload screening and robust aggregation.
+//
+// The bare FedAvg mean (Algorithm 3 line 11) is a single point of
+// failure: one NaN scalar poisons every weight of the global model, and
+// one scaled upload drags the mean arbitrarily far. This module screens
+// uploads before they enter aggregation (finite check + delta-norm
+// clip/reject) and offers robust alternatives to the mean (coordinate-
+// wise median, trimmed mean) that tolerate a minority of damaged
+// uploads that pass screening.
+#ifndef LIGHTTR_FL_AGGREGATION_H_
+#define LIGHTTR_FL_AGGREGATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace lighttr::fl {
+
+/// What to do with an upload whose delta norm exceeds the bound.
+enum class ScreenPolicy {
+  kClip = 0,  // scale the delta back to the bound, keep the upload
+  kReject,    // discard the upload entirely
+};
+
+/// Server-side upload validation. Non-finite uploads are always
+/// rejected when screening is enabled; the norm bound is optional.
+struct UploadScreenConfig {
+  bool enabled = true;
+  /// Maximum L2 norm of (upload - reference); <= 0 disables the bound.
+  double max_delta_norm = 0.0;
+  ScreenPolicy norm_policy = ScreenPolicy::kClip;
+};
+
+/// Validates (and under kClip possibly repairs) one upload against the
+/// current global model `reference`. Returns OK when the upload may
+/// enter aggregation; a non-OK Status means it must be discarded. Never
+/// crashes on garbage input. When `clipped` is non-null it is set to
+/// whether the delta was norm-clipped.
+Status ScreenUpload(std::vector<nn::Scalar>* upload,
+                    const std::vector<nn::Scalar>& reference,
+                    const UploadScreenConfig& config,
+                    bool* clipped = nullptr);
+
+/// Aggregation rule applied to the screened uploads.
+enum class AggregatorPolicy {
+  kMean = 0,        // FedAvg: element-wise mean
+  kMedian,          // coordinate-wise median
+  kTrimmedMean,     // drop the k smallest/largest per coordinate, mean rest
+};
+
+const char* AggregatorPolicyName(AggregatorPolicy policy);
+
+struct AggregatorConfig {
+  AggregatorPolicy policy = AggregatorPolicy::kMean;
+  /// Fraction trimmed from EACH tail per coordinate (kTrimmedMean only);
+  /// e.g. 0.1 with 10 uploads drops the min and max value per weight.
+  double trim_fraction = 0.1;
+};
+
+/// Aggregates screened uploads into one parameter vector. Returns
+/// FailedPrecondition for an empty upload set and InvalidArgument for
+/// mismatched vector lengths — callers keep the previous global model
+/// instead of crashing.
+Result<std::vector<nn::Scalar>> AggregateFlat(
+    const std::vector<std::vector<nn::Scalar>>& uploads,
+    const AggregatorConfig& config);
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_AGGREGATION_H_

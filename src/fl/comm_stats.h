@@ -8,6 +8,27 @@
 
 namespace lighttr::fl {
 
+/// Accumulated fault-tolerance telemetry of one federated run: what the
+/// fault layer injected and what the server did about it.
+struct FaultStats {
+  int64_t drops = 0;             // contacts that never reported (after retries)
+  int64_t retries = 0;           // re-contact attempts for dropped clients
+  int64_t stragglers = 0;        // clients cut off by the round deadline
+  int64_t rejected_uploads = 0;  // uploads screened out (non-finite / norm)
+  int64_t clipped_uploads = 0;   // uploads norm-clipped but kept
+  int64_t quorum_misses = 0;     // rounds that kept the previous model
+  int64_t sampled_clients = 0;   // sum over rounds of cohort size
+  int64_t reporting_clients = 0; // sum over rounds of effective cohort size
+  double simulated_backoff_s = 0.0;  // simulated seconds spent backing off
+
+  /// Mean fraction of each round's cohort that actually reported.
+  double MeanCohortFraction() const {
+    return sampled_clients > 0 ? static_cast<double>(reporting_clients) /
+                                     static_cast<double>(sampled_clients)
+                               : 1.0;
+  }
+};
+
 /// Accumulated transport statistics of one federated run.
 struct CommStats {
   int64_t bytes_downlink = 0;  // server -> clients

@@ -27,6 +27,9 @@ FederatedTrainer::FederatedTrainer(
   LIGHTTR_CHECK_LE(options_.client_fraction, 1.0);
   LIGHTTR_CHECK_GE(options_.rounds, 1);
   LIGHTTR_CHECK_GE(options_.local_epochs, 1);
+  LIGHTTR_CHECK_GE(options_.tolerance.quorum_fraction, 0.0);
+  LIGHTTR_CHECK_LE(options_.tolerance.quorum_fraction, 1.0);
+  LIGHTTR_CHECK_GE(options_.tolerance.retry.max_retries, 0);
 
   Rng init_rng = rng_.Fork();
   global_model_ = factory(&init_rng);
@@ -42,6 +45,23 @@ FederatedTrainer::FederatedTrainer(
   }
 }
 
+std::vector<traj::IncompleteTrajectory> FederatedTrainer::SampleValidationPool(
+    size_t max_trajectories, Rng* rng) const {
+  // Flatten every client's validation set, then sample uniformly so the
+  // pool is not biased toward the first clients in enumeration order.
+  std::vector<const traj::IncompleteTrajectory*> all;
+  for (const traj::ClientDataset& client : *clients_) {
+    for (const auto& trajectory : client.valid) all.push_back(&trajectory);
+  }
+  const size_t want = std::min(max_trajectories, all.size());
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(all.size(), want);
+  std::sort(picks.begin(), picks.end());  // stable evaluation order
+  std::vector<traj::IncompleteTrajectory> pool;
+  pool.reserve(want);
+  for (size_t index : picks) pool.push_back(*all[index]);
+  return pool;
+}
+
 FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
   PlainLocalUpdate plain;
   if (strategy == nullptr) strategy = &plain;
@@ -51,31 +71,71 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       1, static_cast<int>(std::llround(options_.client_fraction *
                                        static_cast<double>(num_clients))));
   const int64_t wire_bytes = global_model_->params().WireBytes();
+  const FaultModel fault_model(options_.faults);
+  const bool inject = options_.faults.enabled();
+  const FaultToleranceConfig& tolerance = options_.tolerance;
+  // Faults draw from a dedicated stream so the schedule for a seed is
+  // independent of model size or strategy internals.
+  Rng fault_rng = rng_.Fork();
+  Rng valid_rng = rng_.Fork();
+  const std::vector<traj::IncompleteTrajectory> valid_pool =
+      SampleValidationPool(/*max_trajectories=*/40, &valid_rng);
 
   FederatedRunResult result;
   for (int round = 1; round <= options_.rounds; ++round) {
     Stopwatch watch;
+    RoundRecord record;
+    record.round = round;
     // Algorithm 3 line 2: randomly select C clients.
     const std::vector<size_t> selected = rng_.SampleWithoutReplacement(
         static_cast<size_t>(num_clients), static_cast<size_t>(sampled));
+    record.sampled = static_cast<int>(selected.size());
 
-    // Lines 3-10: download, local training, upload.
+    // Lines 3-10: download, local training, upload — now with faults.
     const std::string global_blob = global_model_->params().Serialize();
     const std::vector<nn::Scalar> global_flat =
         global_model_->params().Flatten();
     std::vector<std::vector<nn::Scalar>> uploads;
     double loss_sum = 0.0;
+    int loss_count = 0;
     for (size_t client_index : selected) {
+      // Contact the client; a dropout burns one attempt of the retry
+      // budget and a simulated backoff delay before the next attempt.
+      FaultDraw draw;
+      bool contacted = false;
+      for (int attempt = 0;; ++attempt) {
+        result.comm.bytes_downlink += wire_bytes;  // (re)send global model
+        ++result.comm.messages;
+        if (inject) draw = fault_model.Draw(&fault_rng);
+        if (draw.type != FaultType::kDropout) {
+          contacted = true;
+          break;
+        }
+        if (attempt >= tolerance.retry.max_retries) break;
+        ++record.retries;
+        result.faults.simulated_backoff_s +=
+            BackoffDelaySeconds(tolerance.retry, attempt, &fault_rng);
+      }
+      if (!contacted) {
+        ++record.drops;
+        continue;
+      }
+
       RecoveryModel* client = client_models_[client_index].get();
       LIGHTTR_CHECK_OK(client->params().Deserialize(global_blob));
-      result.comm.bytes_downlink += wire_bytes;
-      ++result.comm.messages;
-
       Rng update_rng = rng_.Fork();
       loss_sum += strategy->Update(static_cast<int>(client_index), client,
                                    client_optimizers_[client_index].get(),
                                    (*clients_)[client_index],
                                    options_.local_epochs, &update_rng);
+      ++loss_count;
+
+      if (draw.type == FaultType::kStraggler) {
+        // The client computed the update but missed the server's round
+        // deadline; the server never receives the upload.
+        ++record.stragglers;
+        continue;
+      }
 
       std::vector<nn::Scalar> upload = client->params().Flatten();
       if (options_.privacy.enabled()) {
@@ -90,31 +150,59 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       } else {
         result.comm.bytes_uplink += wire_bytes;
       }
-      uploads.push_back(std::move(upload));
       ++result.comm.messages;
-    }
+      if (draw.type == FaultType::kCorruption) {
+        // Damage happens on the wire, after the client's privacy and
+        // quantization steps and after uplink accounting.
+        FaultModel::Corrupt(draw.corruption, &fault_rng, &upload);
+      }
 
-    // Line 11: theta_s <- (1/C) sum theta_ci.
-    global_model_->params().AssignFlat(nn::AverageFlat(uploads));
+      bool clipped = false;
+      const Status screen =
+          ScreenUpload(&upload, global_flat, tolerance.screen, &clipped);
+      if (!screen.ok()) {
+        ++record.rejected_uploads;
+        continue;
+      }
+      if (clipped) ++result.faults.clipped_uploads;
+      uploads.push_back(std::move(upload));
+    }
+    record.reporting = static_cast<int>(uploads.size());
+
+    // Line 11: theta_s <- aggregate(theta_ci), behind a quorum gate. A
+    // round that loses too many clients keeps the previous global model
+    // instead of averaging a tiny (or empty) cohort.
+    const int quorum_need = std::max(
+        1, static_cast<int>(std::ceil(tolerance.quorum_fraction *
+                                      static_cast<double>(record.sampled))));
+    record.quorum_met = record.reporting >= quorum_need;
+    if (record.quorum_met) {
+      Result<std::vector<nn::Scalar>> aggregate =
+          AggregateFlat(uploads, tolerance.aggregator);
+      if (aggregate.ok()) {
+        global_model_->params().AssignFlat(aggregate.value());
+      } else {
+        record.quorum_met = false;  // degrade: keep the previous model
+      }
+    }
+    if (!record.quorum_met) ++result.faults.quorum_misses;
     ++result.comm.rounds;
 
-    // Telemetry: validation accuracy of the new global model over a
-    // bounded sample of client validation sets.
-    double valid_acc = 0.0;
-    {
-      std::vector<traj::IncompleteTrajectory> pool;
-      for (const traj::ClientDataset& client : *clients_) {
-        for (const auto& trajectory : client.valid) {
-          pool.push_back(trajectory);
-          if (pool.size() >= 40) break;
-        }
-        if (pool.size() >= 40) break;
-      }
-      valid_acc = EvaluateSegmentAccuracy(global_model_.get(), pool);
-    }
-    result.history.push_back(RoundRecord{
-        round, loss_sum / static_cast<double>(selected.size()), valid_acc,
-        watch.ElapsedSeconds()});
+    result.faults.drops += record.drops;
+    result.faults.retries += record.retries;
+    result.faults.stragglers += record.stragglers;
+    result.faults.rejected_uploads += record.rejected_uploads;
+    result.faults.sampled_clients += record.sampled;
+    result.faults.reporting_clients += record.reporting;
+
+    // Telemetry: validation accuracy of the (possibly kept) global model
+    // over the run-level unbiased validation pool.
+    record.mean_train_loss =
+        loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
+    record.global_valid_accuracy =
+        EvaluateSegmentAccuracy(global_model_.get(), valid_pool);
+    record.wall_seconds = watch.ElapsedSeconds();
+    result.history.push_back(record);
   }
   return result;
 }

@@ -7,9 +7,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/rng.h"
+#include "fl/aggregation.h"
 #include "fl/comm_stats.h"
 #include "fl/compression.h"
+#include "fl/fault_injection.h"
 #include "fl/local_trainer.h"
 #include "fl/privacy.h"
 #include "fl/recovery_model.h"
@@ -41,6 +44,21 @@ class PlainLocalUpdate : public LocalUpdateStrategy {
                 int epochs, Rng* rng) override;
 };
 
+/// Server-side fault tolerance knobs: how the round survives the faults
+/// FaultInjectionConfig injects (or real deployments produce).
+struct FaultToleranceConfig {
+  /// Retry budget + simulated delay schedule for dropped clients.
+  BackoffConfig retry;
+  /// Minimum fraction of the sampled cohort that must report for the
+  /// round to aggregate; below it the server keeps the previous global
+  /// model. A round with zero reporters always degrades this way.
+  double quorum_fraction = 0.0;
+  /// Upload validation (non-finite rejection + optional norm bound).
+  UploadScreenConfig screen;
+  /// Aggregation rule over the screened uploads.
+  AggregatorConfig aggregator;
+};
+
 /// Options for FederatedTrainer.
 struct FederatedTrainerOptions {
   int rounds = 10;
@@ -52,19 +70,33 @@ struct FederatedTrainerOptions {
   PrivacyConfig privacy;
   /// Quantize uploads to 8 bits per weight (4x less uplink traffic).
   bool quantize_uploads = false;
+  /// Injected client faults (off by default: the paper's ideal setting).
+  FaultInjectionConfig faults;
+  /// Server-side tolerance policy (screening is on by default).
+  FaultToleranceConfig tolerance;
 };
 
-/// Per-round telemetry (drives the convergence analysis of Fig. 5).
+/// Per-round telemetry (drives the convergence analysis of Fig. 5 and
+/// the resilience curves of bench_fault_tolerance).
 struct RoundRecord {
   int round = 0;
   double mean_train_loss = 0.0;
   double global_valid_accuracy = 0.0;
   double wall_seconds = 0.0;
+  // Fault telemetry for this round.
+  int sampled = 0;           // cohort size selected by Algorithm 3 line 2
+  int reporting = 0;         // uploads that survived faults + screening
+  int drops = 0;             // clients lost after exhausting retries
+  int retries = 0;           // re-contact attempts this round
+  int stragglers = 0;        // clients cut off by the deadline
+  int rejected_uploads = 0;  // uploads discarded by screening
+  bool quorum_met = true;    // false -> previous global model kept
 };
 
 /// Outcome of a federated run.
 struct FederatedRunResult {
   CommStats comm;
+  FaultStats faults;
   std::vector<RoundRecord> history;
 };
 
@@ -88,6 +120,12 @@ class FederatedTrainer {
   int num_clients() const { return static_cast<int>(client_models_.size()); }
 
  private:
+  /// Draws up to `max_trajectories` validation trajectories uniformly
+  /// across ALL clients (the old pool took the first clients in order,
+  /// biasing the telemetry toward their data distribution).
+  std::vector<traj::IncompleteTrajectory> SampleValidationPool(
+      size_t max_trajectories, Rng* rng) const;
+
   const std::vector<traj::ClientDataset>* clients_;
   FederatedTrainerOptions options_;
   Rng rng_;

@@ -1,9 +1,27 @@
 #include "lighttr/pipeline.h"
 
+#include <cstdio>
+
 #include "common/check.h"
 #include "common/stopwatch.h"
 
 namespace lighttr::core {
+
+std::string SummarizeResilience(const fl::FederatedRunResult& run) {
+  const fl::FaultStats& faults = run.faults;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "cohort %.0f%% | drops %lld (retries %lld) | stragglers %lld"
+                " | rejected %lld | clipped %lld | quorum misses %lld",
+                faults.MeanCohortFraction() * 100.0,
+                static_cast<long long>(faults.drops),
+                static_cast<long long>(faults.retries),
+                static_cast<long long>(faults.stragglers),
+                static_cast<long long>(faults.rejected_uploads),
+                static_cast<long long>(faults.clipped_uploads),
+                static_cast<long long>(faults.quorum_misses));
+  return std::string(buffer);
+}
 
 LightTrPipeline::LightTrPipeline(
     const traj::TrajectoryEncoder* encoder,

@@ -5,6 +5,7 @@
 #define LIGHTTR_LIGHTTR_PIPELINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "fl/federated_trainer.h"
@@ -29,7 +30,16 @@ struct LightTrOptions {
 struct LightTrResult {
   fl::FederatedRunResult federated;
   double teacher_seconds = 0.0;
+
+  /// Fault-tolerance telemetry of the federated phase (drops, retries,
+  /// rejected uploads, quorum misses, effective cohort sizes).
+  const fl::FaultStats& faults() const { return federated.faults; }
 };
+
+/// One-line human-readable resilience summary of a federated run, e.g.
+/// "cohort 87% | drops 12 (retries 9) | stragglers 3 | rejected 2 |
+/// quorum misses 0". Benches and examples print this next to accuracy.
+std::string SummarizeResilience(const fl::FederatedRunResult& run);
 
 /// Orchestrates a full LightTR training run over decentralized client
 /// datasets.

@@ -159,7 +159,10 @@ Status ParameterSet::Deserialize(const std::string& bytes) {
 
 std::vector<Scalar> AverageFlat(
     const std::vector<std::vector<Scalar>>& flats) {
-  LIGHTTR_CHECK(!flats.empty());
+  // An empty upload set (every client failed) is a recoverable runtime
+  // condition, not a programming error: return an empty vector so
+  // callers can keep their previous parameters instead of crashing.
+  if (flats.empty()) return {};
   const size_t n = flats[0].size();
   std::vector<Scalar> avg(n, Scalar{0});
   for (const auto& flat : flats) {

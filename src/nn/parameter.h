@@ -60,7 +60,10 @@ class ParameterSet {
 };
 
 /// Element-wise average of several flattened parameter vectors — the
-/// FedAvg aggregation rule (Algorithm 3 line 11).
+/// FedAvg aggregation rule (Algorithm 3 line 11). Returns an empty
+/// vector for an empty input set (a fully failed round); callers keep
+/// their previous parameters in that case. See fl::AggregateFlat for
+/// the robust (median / trimmed-mean) variants with Status reporting.
 std::vector<Scalar> AverageFlat(const std::vector<std::vector<Scalar>>& flats);
 
 }  // namespace lighttr::nn

@@ -99,5 +99,58 @@ TEST(Determinism, EndToEndExperimentIsReproducible) {
   }
 }
 
+TEST(Determinism, FaultScheduleIsSeedDeterministic) {
+  fl::FaultInjectionConfig config;
+  config.dropout_rate = 0.25;
+  config.straggler_rate = 0.15;
+  config.corruption_rate = 0.1;
+  const fl::FaultModel model(config);
+  Rng a(23), b(23);
+  for (int i = 0; i < 500; ++i) {
+    const fl::FaultDraw da = model.Draw(&a);
+    const fl::FaultDraw db = model.Draw(&b);
+    ASSERT_EQ(da.type, db.type);
+    ASSERT_EQ(da.corruption, db.corruption);
+    ASSERT_DOUBLE_EQ(da.simulated_seconds, db.simulated_seconds);
+  }
+}
+
+TEST(Determinism, FaultyExperimentIsReproducible) {
+  auto run_once = [] {
+    eval::ExperimentEnv env(6, 6, 17);
+    traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+    profile.trajectories_per_client = 8;
+    traj::FederatedWorkloadOptions workload;
+    workload.num_clients = 3;
+    workload.keep_ratio = 0.25;
+    const auto clients = env.MakeWorkload(profile, workload, 19);
+    eval::MethodRunOptions options;
+    options.fed.rounds = 3;
+    options.fed.local_epochs = 1;
+    options.fed.faults.dropout_rate = 0.3;
+    options.fed.faults.corruption_rate = 0.2;
+    options.fed.tolerance.retry.max_retries = 1;
+    options.fed.tolerance.aggregator.policy = fl::AggregatorPolicy::kMedian;
+    options.max_test_trajectories = 8;
+    return eval::RunFederatedMethod(env, baselines::ModelKind::kLightTr,
+                                    clients, options);
+  };
+  const eval::MethodResult a = run_once();
+  const eval::MethodResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.metrics.recall, b.metrics.recall);
+  EXPECT_DOUBLE_EQ(a.metrics.mae_km, b.metrics.mae_km);
+  EXPECT_EQ(a.run.comm.TotalBytes(), b.run.comm.TotalBytes());
+  EXPECT_EQ(a.run.faults.drops, b.run.faults.drops);
+  EXPECT_EQ(a.run.faults.retries, b.run.faults.retries);
+  EXPECT_EQ(a.run.faults.rejected_uploads, b.run.faults.rejected_uploads);
+  EXPECT_EQ(a.run.faults.quorum_misses, b.run.faults.quorum_misses);
+  ASSERT_EQ(a.run.history.size(), b.run.history.size());
+  for (size_t r = 0; r < a.run.history.size(); ++r) {
+    EXPECT_EQ(a.run.history[r].reporting, b.run.history[r].reporting);
+    EXPECT_DOUBLE_EQ(a.run.history[r].mean_train_loss,
+                     b.run.history[r].mean_train_loss);
+  }
+}
+
 }  // namespace
 }  // namespace lighttr

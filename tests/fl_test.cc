@@ -175,6 +175,69 @@ TEST(FederatedTrainer, FractionOneUsesAllClients) {
   EXPECT_EQ(result.comm.messages, 3 * 2);
 }
 
+TEST(FederatedTrainer, FaultFreeRunHasCleanTelemetry) {
+  auto clients = MakeClients(4, 13);
+  FederatedTrainerOptions options;
+  options.rounds = 2;
+  options.local_epochs = 1;
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+  EXPECT_EQ(result.faults.drops, 0);
+  EXPECT_EQ(result.faults.retries, 0);
+  EXPECT_EQ(result.faults.stragglers, 0);
+  EXPECT_EQ(result.faults.rejected_uploads, 0);
+  EXPECT_EQ(result.faults.quorum_misses, 0);
+  EXPECT_DOUBLE_EQ(result.faults.MeanCohortFraction(), 1.0);
+  for (const RoundRecord& record : result.history) {
+    EXPECT_EQ(record.sampled, 4);
+    EXPECT_EQ(record.reporting, 4);
+    EXPECT_TRUE(record.quorum_met);
+  }
+}
+
+TEST(FederatedTrainer, DropoutAccountingCountsEveryContactAttempt) {
+  auto clients = MakeClients(2, 14);
+  FederatedTrainerOptions options;
+  options.rounds = 1;
+  options.local_epochs = 1;
+  options.faults.dropout_rate = 1.0;
+  options.tolerance.retry.max_retries = 2;
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+  const int64_t wire = trainer.global_model()->params().WireBytes();
+  // Each client: initial contact + 2 retries, all downlink, no upload.
+  EXPECT_EQ(result.comm.messages, 2 * 3);
+  EXPECT_EQ(result.comm.bytes_downlink, 2 * 3 * wire);
+  EXPECT_EQ(result.comm.bytes_uplink, 0);
+  EXPECT_EQ(result.faults.drops, 2);
+  EXPECT_EQ(result.faults.retries, 2 * 2);
+}
+
+TEST(FederatedTrainer, ValidationPoolSpansAllClients) {
+  // 8 clients x ~2 validation trajectories: the old pool (first <=40
+  // from the first clients in order) always ignored later clients; the
+  // sampled pool must produce a valid accuracy without crashing even
+  // when the pool spans everyone.
+  auto clients = MakeClients(8, 15, /*per_client=*/10);
+  size_t total_valid = 0;
+  for (const auto& client : clients) total_valid += client.valid.size();
+  ASSERT_GT(total_valid, 0u);
+  FederatedTrainerOptions options;
+  options.rounds = 1;
+  options.local_epochs = 1;
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+  ASSERT_EQ(result.history.size(), 1u);
+  EXPECT_GE(result.history[0].global_valid_accuracy, 0.0);
+  EXPECT_LE(result.history[0].global_valid_accuracy, 1.0);
+}
+
 TEST(CommStats, SimulatedSeconds) {
   CommStats stats;
   stats.bytes_downlink = 1000;

@@ -1,9 +1,8 @@
 // Command-line experiment runner: train any method on any workload
 // configuration without writing code.
 //
-//   ./build/examples/run_experiment \
-//       --method=lighttr --dataset=geolife --keep=0.125 \
-//       --clients=8 --rounds=5 --epochs=2 --seed=42
+//   ./build/examples/run_experiment --method=lighttr --dataset=geolife
+//       --keep=0.125 --clients=8 --rounds=5 --epochs=2 --seed=42
 //
 // Methods: fc | rnn | mtrajrec | rntrajrec | lighttr | centralized
 // Datasets: geolife | tdrive
@@ -18,6 +17,20 @@
 namespace {
 
 using namespace lighttr;
+
+// Strict numeric parsing: unlike atof/atoi, a malformed value falls
+// back to Usage() instead of silently becoming 0.
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != text.c_str() && *end == '\0';
+}
+
+bool ParseInt(const std::string& text, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(text.c_str(), &end, 10);
+  return end != text.c_str() && *end == '\0';
+}
 
 // Minimal --key=value parser (no external flag library).
 std::string FlagValue(int argc, char** argv, const std::string& key,
@@ -48,19 +61,32 @@ int Usage() {
 int main(int argc, char** argv) {
   const std::string method = FlagValue(argc, argv, "method", "lighttr");
   const std::string dataset = FlagValue(argc, argv, "dataset", "geolife");
-  const double keep = std::atof(FlagValue(argc, argv, "keep", "0.125").c_str());
-  const int clients_n =
-      std::atoi(FlagValue(argc, argv, "clients", "8").c_str());
-  const int rounds = std::atoi(FlagValue(argc, argv, "rounds", "5").c_str());
-  const int epochs = std::atoi(FlagValue(argc, argv, "epochs", "2").c_str());
-  const int traj_per_client =
-      std::atoi(FlagValue(argc, argv, "traj-per-client", "20").c_str());
-  const int grid = std::atoi(FlagValue(argc, argv, "grid", "9").c_str());
-  const auto seed = static_cast<uint64_t>(
-      std::atoll(FlagValue(argc, argv, "seed", "42").c_str()));
-  const double lr = std::atof(FlagValue(argc, argv, "lr", "0.003").c_str());
-  const double fraction =
-      std::atof(FlagValue(argc, argv, "fraction", "1.0").c_str());
+  double keep = 0.0;
+  double lr = 0.0;
+  double fraction = 0.0;
+  long long clients_ll = 0;
+  long long rounds_ll = 0;
+  long long epochs_ll = 0;
+  long long traj_ll = 0;
+  long long grid_ll = 0;
+  long long seed_ll = 0;
+  if (!ParseDouble(FlagValue(argc, argv, "keep", "0.125"), &keep) ||
+      !ParseDouble(FlagValue(argc, argv, "lr", "0.003"), &lr) ||
+      !ParseDouble(FlagValue(argc, argv, "fraction", "1.0"), &fraction) ||
+      !ParseInt(FlagValue(argc, argv, "clients", "8"), &clients_ll) ||
+      !ParseInt(FlagValue(argc, argv, "rounds", "5"), &rounds_ll) ||
+      !ParseInt(FlagValue(argc, argv, "epochs", "2"), &epochs_ll) ||
+      !ParseInt(FlagValue(argc, argv, "traj-per-client", "20"), &traj_ll) ||
+      !ParseInt(FlagValue(argc, argv, "grid", "9"), &grid_ll) ||
+      !ParseInt(FlagValue(argc, argv, "seed", "42"), &seed_ll)) {
+    return Usage();
+  }
+  const int clients_n = static_cast<int>(clients_ll);
+  const int rounds = static_cast<int>(rounds_ll);
+  const int epochs = static_cast<int>(epochs_ll);
+  const int traj_per_client = static_cast<int>(traj_ll);
+  const int grid = static_cast<int>(grid_ll);
+  const auto seed = static_cast<uint64_t>(seed_ll);
 
   if (keep <= 0.0 || keep > 1.0 || clients_n < 1 || rounds < 1 ||
       epochs < 1 || grid < 3) {

@@ -63,4 +63,33 @@ std::string FormatBinaryCheck(const char* expr, const A& a, const B& b) {
     }                                                                     \
   } while (0)
 
+// Debug contracts: LIGHTTR_DCHECK* mirror the LIGHTTR_CHECK* family but
+// compile to nothing under NDEBUG. Use them on hot paths (per-element
+// matrix access, per-op shape validation) where an always-on check would
+// cost measurable throughput in optimized builds; keep LIGHTTR_CHECK for
+// cold paths and for invariants whose violation corrupts persistent
+// state. The NDEBUG expansion keeps the condition as an unevaluated
+// operand so variables referenced only by a DCHECK do not trigger
+// -Wunused under LIGHTTR_WERROR.
+#ifdef NDEBUG
+#define LIGHTTR_DCHECK(cond) \
+  do {                       \
+    (void)sizeof((cond));    \
+  } while (0)
+#define LIGHTTR_DCHECK_OP(op, a, b) \
+  do {                              \
+    (void)sizeof((a)op(b));         \
+  } while (0)
+#else
+#define LIGHTTR_DCHECK(cond) LIGHTTR_CHECK(cond)
+#define LIGHTTR_DCHECK_OP(op, a, b) LIGHTTR_CHECK_OP(op, a, b)
+#endif
+
+#define LIGHTTR_DCHECK_EQ(a, b) LIGHTTR_DCHECK_OP(==, a, b)
+#define LIGHTTR_DCHECK_NE(a, b) LIGHTTR_DCHECK_OP(!=, a, b)
+#define LIGHTTR_DCHECK_LT(a, b) LIGHTTR_DCHECK_OP(<, a, b)
+#define LIGHTTR_DCHECK_LE(a, b) LIGHTTR_DCHECK_OP(<=, a, b)
+#define LIGHTTR_DCHECK_GT(a, b) LIGHTTR_DCHECK_OP(>, a, b)
+#define LIGHTTR_DCHECK_GE(a, b) LIGHTTR_DCHECK_OP(>=, a, b)
+
 #endif  // LIGHTTR_COMMON_CHECK_H_

@@ -9,10 +9,10 @@
 namespace lighttr {
 
 /// Writes `contents` to `path`, replacing any existing file.
-Status WriteFile(const std::string& path, const std::string& contents);
+[[nodiscard]] Status WriteFile(const std::string& path, const std::string& contents);
 
 /// Reads the whole file at `path`.
-Result<std::string> ReadFile(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFile(const std::string& path);
 
 }  // namespace lighttr
 

@@ -28,7 +28,11 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error result of an operation. Cheap to copy on the OK path.
-class Status {
+/// [[nodiscard]] at class level: silently dropping a Status hides failures
+/// (the screening/retry paths depend on every Status being inspected), so
+/// discarding one is a compile error under LIGHTTR_WERROR. Discard
+/// deliberately with `(void)` plus a rationale comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -70,7 +74,7 @@ class Status {
 
 /// Either a value of type T or an error Status. Mirrors arrow::Result.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

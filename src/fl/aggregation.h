@@ -38,7 +38,7 @@ struct UploadScreenConfig {
 /// enter aggregation; a non-OK Status means it must be discarded. Never
 /// crashes on garbage input. When `clipped` is non-null it is set to
 /// whether the delta was norm-clipped.
-Status ScreenUpload(std::vector<nn::Scalar>* upload,
+[[nodiscard]] Status ScreenUpload(std::vector<nn::Scalar>* upload,
                     const std::vector<nn::Scalar>& reference,
                     const UploadScreenConfig& config,
                     bool* clipped = nullptr);
@@ -63,7 +63,7 @@ struct AggregatorConfig {
 /// FailedPrecondition for an empty upload set and InvalidArgument for
 /// mismatched vector lengths — callers keep the previous global model
 /// instead of crashing.
-Result<std::vector<nn::Scalar>> AggregateFlat(
+[[nodiscard]] Result<std::vector<nn::Scalar>> AggregateFlat(
     const std::vector<std::vector<nn::Scalar>>& uploads,
     const AggregatorConfig& config);
 

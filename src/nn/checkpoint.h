@@ -11,10 +11,10 @@
 namespace lighttr::nn {
 
 /// Writes the parameters to `path` (float32 wire format).
-Status SaveCheckpoint(const std::string& path, const ParameterSet& params);
+[[nodiscard]] Status SaveCheckpoint(const std::string& path, const ParameterSet& params);
 
 /// Restores parameters from `path`; names and shapes must match.
-Status LoadCheckpoint(const std::string& path, ParameterSet* params);
+[[nodiscard]] Status LoadCheckpoint(const std::string& path, ParameterSet* params);
 
 }  // namespace lighttr::nn
 

@@ -18,6 +18,7 @@ Dense::Dense(size_t in_dim, size_t out_dim, const std::string& prefix,
 }
 
 Tensor Dense::Forward(const Tensor& x) const {
+  LIGHTTR_DCHECK_EQ(x.cols(), in_dim());
   return AddRowBroadcast(MatMul(x, w_), b_);
 }
 
@@ -29,7 +30,8 @@ GruCell::GruCell(size_t input_dim, size_t hidden_dim,
       gate_h_(hidden_dim + input_dim, hidden_dim, prefix + ".h", params, rng) {}
 
 Tensor GruCell::Forward(const Tensor& x, const Tensor& h_prev) const {
-  LIGHTTR_CHECK_EQ(h_prev.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(h_prev.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(h_prev.rows(), x.rows());
   const Tensor hx = ConcatCols(h_prev, x);
   const Tensor r = Sigmoid(gate_r_.Forward(hx));
   const Tensor z = Sigmoid(gate_z_.Forward(hx));
@@ -54,8 +56,9 @@ LstmCell::LstmCell(size_t input_dim, size_t hidden_dim,
 
 LstmCell::State LstmCell::Forward(const Tensor& x,
                                   const State& previous) const {
-  LIGHTTR_CHECK_EQ(previous.h.cols(), hidden_dim_);
-  LIGHTTR_CHECK_EQ(previous.c.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(previous.h.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(previous.c.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(previous.h.rows(), x.rows());
   const Tensor hx = ConcatCols(previous.h, x);
   const Tensor i = Sigmoid(gate_i_.Forward(hx));
   const Tensor f = Sigmoid(gate_f_.Forward(hx));
@@ -79,7 +82,8 @@ RnnCell::RnnCell(size_t input_dim, size_t hidden_dim,
             rng) {}
 
 Tensor RnnCell::Forward(const Tensor& x, const Tensor& h_prev) const {
-  LIGHTTR_CHECK_EQ(h_prev.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(h_prev.cols(), hidden_dim_);
+  LIGHTTR_DCHECK_EQ(h_prev.rows(), x.rows());
   return Tanh(cell_.Forward(ConcatCols(h_prev, x)));
 }
 
@@ -113,8 +117,8 @@ Tensor CausalConv1d::Forward(const Tensor& x) const {
 
 Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
                                  const Tensor& v) {
-  LIGHTTR_CHECK_EQ(q.cols(), k.cols());
-  LIGHTTR_CHECK_EQ(k.rows(), v.rows());
+  LIGHTTR_DCHECK_EQ(q.cols(), k.cols());
+  LIGHTTR_DCHECK_EQ(k.rows(), v.rows());
   const auto d = static_cast<Scalar>(q.cols());
   const Tensor scores =
       Scale(MatMul(q, Transpose(k)), Scalar{1} / std::sqrt(d));

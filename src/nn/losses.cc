@@ -74,13 +74,13 @@ Tensor MseLoss(const Tensor& pred, const Matrix& target) {
   out(0, 0) = total / static_cast<Scalar>(n);
   return Tensor::MakeOp(std::move(out), {pred}, [pred, target](TensorNode& self) {
     if (!pred.requires_grad()) return;
-    const size_t n = pred.value().size();
-    const Scalar g = self.grad(0, 0) * Scalar{2} / static_cast<Scalar>(n);
+    const size_t count = pred.value().size();
+    const Scalar g = self.grad(0, 0) * Scalar{2} / static_cast<Scalar>(count);
     Matrix& pg = pred.grad();
-    for (size_t i = 0; i < n; ++i) {
+    for (size_t i = 0; i < count; ++i) {
       pg.data()[i] += g * (pred.value().data()[i] - target.data()[i]);
     }
-    AddFlops(static_cast<int64_t>(3 * n));
+    AddFlops(static_cast<int64_t>(3 * count));
   });
 }
 

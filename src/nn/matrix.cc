@@ -28,12 +28,12 @@ Matrix Matrix::RowVector(const std::vector<Scalar>& values) {
 }
 
 void Matrix::AddInPlace(const Matrix& other) {
-  LIGHTTR_CHECK(SameShape(other));
+  LIGHTTR_DCHECK(SameShape(other));
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
 }
 
 void Matrix::AddScaled(const Matrix& other, Scalar scale) {
-  LIGHTTR_CHECK(SameShape(other));
+  LIGHTTR_DCHECK(SameShape(other));
   for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
 }
 
@@ -50,9 +50,9 @@ Matrix MatMulValues(const Matrix& a, const Matrix& b) {
 }
 
 void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
-  LIGHTTR_CHECK_EQ(a.cols(), b.rows());
-  LIGHTTR_CHECK_EQ(c->rows(), a.rows());
-  LIGHTTR_CHECK_EQ(c->cols(), b.cols());
+  LIGHTTR_DCHECK_EQ(a.cols(), b.rows());
+  LIGHTTR_DCHECK_EQ(c->rows(), a.rows());
+  LIGHTTR_DCHECK_EQ(c->cols(), b.cols());
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.cols();
@@ -71,9 +71,9 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
 }
 
 void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
-  LIGHTTR_CHECK_EQ(a.rows(), b.rows());
-  LIGHTTR_CHECK_EQ(c->rows(), a.cols());
-  LIGHTTR_CHECK_EQ(c->cols(), b.cols());
+  LIGHTTR_DCHECK_EQ(a.rows(), b.rows());
+  LIGHTTR_DCHECK_EQ(c->rows(), a.cols());
+  LIGHTTR_DCHECK_EQ(c->cols(), b.cols());
   const size_t m = a.cols();
   const size_t k = a.rows();
   const size_t n = b.cols();
@@ -91,9 +91,9 @@ void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
 }
 
 void MatMulTransBAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
-  LIGHTTR_CHECK_EQ(a.cols(), b.cols());
-  LIGHTTR_CHECK_EQ(c->rows(), a.rows());
-  LIGHTTR_CHECK_EQ(c->cols(), b.rows());
+  LIGHTTR_DCHECK_EQ(a.cols(), b.cols());
+  LIGHTTR_DCHECK_EQ(c->rows(), a.rows());
+  LIGHTTR_DCHECK_EQ(c->cols(), b.rows());
   const size_t m = a.rows();
   const size_t k = a.cols();
   const size_t n = b.rows();

@@ -45,14 +45,17 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  // Per-element bounds checks are DCHECKs: this accessor sits inside every
+  // matmul/op inner loop, so an always-on branch pair would dominate NDEBUG
+  // throughput. Debug and default (non-NDEBUG) builds still catch misuse.
   Scalar& operator()(size_t r, size_t c) {
-    LIGHTTR_CHECK_LT(r, rows_);
-    LIGHTTR_CHECK_LT(c, cols_);
+    LIGHTTR_DCHECK_LT(r, rows_);
+    LIGHTTR_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
   Scalar operator()(size_t r, size_t c) const {
-    LIGHTTR_CHECK_LT(r, rows_);
-    LIGHTTR_CHECK_LT(c, cols_);
+    LIGHTTR_DCHECK_LT(r, rows_);
+    LIGHTTR_DCHECK_LT(c, cols_);
     return data_[r * cols_ + c];
   }
 

@@ -15,7 +15,7 @@ int64_t Elems(const Matrix& m) { return static_cast<int64_t>(m.size()); }
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  LIGHTTR_CHECK(a.value().SameShape(b.value()));
+  LIGHTTR_DCHECK(a.value().SameShape(b.value()));
   Matrix out = a.value();
   out.AddInPlace(b.value());
   AddFlops(Elems(out));
@@ -26,8 +26,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
-  LIGHTTR_CHECK_EQ(bias.rows(), 1u);
-  LIGHTTR_CHECK_EQ(bias.cols(), x.cols());
+  LIGHTTR_DCHECK_EQ(bias.rows(), 1u);
+  LIGHTTR_DCHECK_EQ(bias.cols(), x.cols());
   Matrix out = x.value();
   for (size_t r = 0; r < out.rows(); ++r) {
     for (size_t c = 0; c < out.cols(); ++c) out(r, c) += bias.value()(0, c);
@@ -48,7 +48,7 @@ Tensor AddRowBroadcast(const Tensor& x, const Tensor& bias) {
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  LIGHTTR_CHECK(a.value().SameShape(b.value()));
+  LIGHTTR_DCHECK(a.value().SameShape(b.value()));
   Matrix out = a.value();
   out.AddScaled(b.value(), Scalar{-1});
   AddFlops(Elems(out));
@@ -59,7 +59,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  LIGHTTR_CHECK(a.value().SameShape(b.value()));
+  LIGHTTR_DCHECK(a.value().SameShape(b.value()));
   Matrix out = a.value();
   for (size_t i = 0; i < out.size(); ++i) out.data()[i] *= b.value().data()[i];
   AddFlops(Elems(out));
@@ -91,6 +91,7 @@ Tensor Scale(const Tensor& a, Scalar s) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  LIGHTTR_DCHECK_EQ(a.cols(), b.rows());
   Matrix out = MatMulValues(a.value(), b.value());
   return Tensor::MakeOp(std::move(out), {a, b}, [a, b](TensorNode& self) {
     if (a.requires_grad()) {
@@ -154,7 +155,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
-  LIGHTTR_CHECK_EQ(a.rows(), b.rows());
+  LIGHTTR_DCHECK_EQ(a.rows(), b.rows());
   Matrix out(a.rows(), a.cols() + b.cols());
   for (size_t r = 0; r < out.rows(); ++r) {
     for (size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(r, c);
@@ -186,7 +187,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   const size_t cols = parts[0].cols();
   size_t rows = 0;
   for (const Tensor& p : parts) {
-    LIGHTTR_CHECK_EQ(p.cols(), cols);
+    LIGHTTR_DCHECK_EQ(p.cols(), cols);
     rows += p.rows();
   }
   Matrix out(rows, cols);
@@ -198,23 +199,23 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     offset += p.rows();
   }
   return Tensor::MakeOp(std::move(out), parts, [parts](TensorNode& self) {
-    size_t offset = 0;
+    size_t row_offset = 0;
     for (const Tensor& p : parts) {
       if (p.requires_grad()) {
         Matrix& pg = p.grad();
         for (size_t r = 0; r < p.rows(); ++r) {
           for (size_t c = 0; c < pg.cols(); ++c) {
-            pg(r, c) += self.grad(offset + r, c);
+            pg(r, c) += self.grad(row_offset + r, c);
           }
         }
       }
-      offset += p.rows();
+      row_offset += p.rows();
     }
   });
 }
 
 Tensor SliceCols(const Tensor& a, size_t begin, size_t len) {
-  LIGHTTR_CHECK_LE(begin + len, a.cols());
+  LIGHTTR_DCHECK_LE(begin + len, a.cols());
   Matrix out(a.rows(), len);
   for (size_t r = 0; r < out.rows(); ++r) {
     for (size_t c = 0; c < len; ++c) out(r, c) = a.value()(r, begin + c);
@@ -231,7 +232,7 @@ Tensor SliceCols(const Tensor& a, size_t begin, size_t len) {
 }
 
 Tensor SliceRows(const Tensor& a, size_t begin, size_t len) {
-  LIGHTTR_CHECK_LE(begin + len, a.rows());
+  LIGHTTR_DCHECK_LE(begin + len, a.rows());
   Matrix out(len, a.cols());
   for (size_t r = 0; r < len; ++r) {
     for (size_t c = 0; c < out.cols(); ++c) out(r, c) = a.value()(begin + r, c);
@@ -341,8 +342,8 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
   const size_t dim = table.cols();
   Matrix out(ids.size(), dim);
   for (size_t r = 0; r < ids.size(); ++r) {
-    LIGHTTR_CHECK_GE(ids[r], 0);
-    LIGHTTR_CHECK_LT(static_cast<size_t>(ids[r]), table.rows());
+    LIGHTTR_DCHECK_GE(ids[r], 0);
+    LIGHTTR_DCHECK_LT(static_cast<size_t>(ids[r]), table.rows());
     for (size_t c = 0; c < dim; ++c) {
       out(r, c) = table.value()(static_cast<size_t>(ids[r]), c);
     }
@@ -386,20 +387,20 @@ Tensor LayerNormRows(const Tensor& a, Scalar epsilon) {
   return Tensor::MakeOp(std::move(out), {a}, [a, stats](TensorNode& self) {
     if (!a.requires_grad()) return;
     Matrix& ag = a.grad();
-    const size_t cols = ag.cols();
-    const auto n = static_cast<Scalar>(cols);
+    const size_t grad_cols = ag.cols();
+    const auto n = static_cast<Scalar>(grad_cols);
     for (size_t r = 0; r < ag.rows(); ++r) {
       const Scalar inv_std = (*stats)(r, 1);
       // dL/dx = inv_std * (g - mean(g) - y * mean(g * y))
       Scalar g_mean{0};
       Scalar gy_mean{0};
-      for (size_t c = 0; c < cols; ++c) {
+      for (size_t c = 0; c < grad_cols; ++c) {
         g_mean += self.grad(r, c);
         gy_mean += self.grad(r, c) * self.value(r, c);
       }
       g_mean /= n;
       gy_mean /= n;
-      for (size_t c = 0; c < cols; ++c) {
+      for (size_t c = 0; c < grad_cols; ++c) {
         ag(r, c) += inv_std * (self.grad(r, c) - g_mean -
                                self.value(r, c) * gy_mean);
       }
@@ -425,13 +426,13 @@ Tensor Im2RowCausal(const Tensor& x, size_t kernel) {
   return Tensor::MakeOp(std::move(out), {x}, [x, kernel](TensorNode& self) {
     if (!x.requires_grad()) return;
     Matrix& xg = x.grad();
-    const size_t channels = xg.cols();
+    const size_t grad_channels = xg.cols();
     for (size_t t = 0; t < xg.rows(); ++t) {
       for (size_t j = 0; j < kernel; ++j) {
         if (t + j + 1 < kernel) continue;
         const size_t src = t + j + 1 - kernel;
-        for (size_t c = 0; c < channels; ++c) {
-          xg(src, c) += self.grad(t, j * channels + c);
+        for (size_t c = 0; c < grad_channels; ++c) {
+          xg(src, c) += self.grad(t, j * grad_channels + c);
         }
       }
     }
@@ -459,26 +460,26 @@ Tensor CandidateLogits(const Tensor& h, const Tensor& w, const Tensor& b,
   AddFlops(static_cast<int64_t>(2 * hidden * candidates.size()));
   return Tensor::MakeOp(
       std::move(out), {h, w, b}, [h, w, b, candidates](TensorNode& self) {
-        const size_t hidden = h.cols();
+        const size_t grad_hidden = h.cols();
         for (size_t k = 0; k < candidates.size(); ++k) {
           const Scalar g = self.grad(0, k);
           if (g == Scalar{0}) continue;
           const auto cls = static_cast<size_t>(candidates[k]);
           if (h.requires_grad()) {
             Matrix& hg = h.grad();
-            for (size_t i = 0; i < hidden; ++i) {
+            for (size_t i = 0; i < grad_hidden; ++i) {
               hg(0, i) += g * w.value()(i, cls);
             }
           }
           if (w.requires_grad()) {
             Matrix& wg = w.grad();
-            for (size_t i = 0; i < hidden; ++i) {
+            for (size_t i = 0; i < grad_hidden; ++i) {
               wg(i, cls) += g * h.value()(0, i);
             }
           }
           if (b.requires_grad()) b.grad()(0, cls) += g;
         }
-        AddFlops(static_cast<int64_t>(4 * hidden * candidates.size()));
+        AddFlops(static_cast<int64_t>(4 * grad_hidden * candidates.size()));
       });
 }
 

@@ -53,7 +53,7 @@ class ParameterSet {
 
   /// Restores values from Serialize() output. The parameter names and
   /// shapes must match this set exactly.
-  Status Deserialize(const std::string& bytes);
+  [[nodiscard]] Status Deserialize(const std::string& bytes);
 
  private:
   std::vector<std::pair<std::string, Tensor>> items_;

@@ -74,16 +74,34 @@ class Tensor {
 
   // Accessors are const even when they expose mutable node state: a
   // Tensor is a shared handle, so constness is shallow (like shared_ptr).
+  // Dereferencing a null (default-constructed) tensor is a contract
+  // violation — the DCHECK turns it into a named failure at the call site
+  // instead of a raw segfault inside an op.
   bool defined() const { return node_ != nullptr; }
-  const Matrix& value() const { return node_->value; }
-  Matrix& mutable_value() const { return node_->value; }
-  Matrix& grad() const { return node_->EnsureGrad(); }
-  const Matrix& grad_or_empty() const { return node_->grad; }
-  bool requires_grad() const { return node_->requires_grad; }
+  const Matrix& value() const {
+    LIGHTTR_DCHECK(node_ != nullptr);
+    return node_->value;
+  }
+  Matrix& mutable_value() const {
+    LIGHTTR_DCHECK(node_ != nullptr);
+    return node_->value;
+  }
+  Matrix& grad() const {
+    LIGHTTR_DCHECK(node_ != nullptr);
+    return node_->EnsureGrad();
+  }
+  const Matrix& grad_or_empty() const {
+    LIGHTTR_DCHECK(node_ != nullptr);
+    return node_->grad;
+  }
+  bool requires_grad() const {
+    LIGHTTR_DCHECK(node_ != nullptr);
+    return node_->requires_grad;
+  }
   TensorNode* node() const { return node_.get(); }
 
-  size_t rows() const { return node_->value.rows(); }
-  size_t cols() const { return node_->value.cols(); }
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
 
   /// Convenience for 1x1 tensors (losses).
   Scalar ScalarValue() const;

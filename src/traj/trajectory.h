@@ -82,7 +82,7 @@ RawTrajectory ToRawTrajectory(const roadnet::RoadNetwork& network,
 
 /// Validates Definition 5 invariants: consecutive tids differ by one,
 /// ratios are within [0, 1], and segments are valid ids.
-Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
+[[nodiscard]] Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
                                  const MatchedTrajectory& trajectory);
 
 }  // namespace lighttr::traj

@@ -1,0 +1,204 @@
+// Tests for tools/lint: every rule must fire on a seeded fixture with
+// the right rule name and file:line, and a same-line allow() comment
+// must suppress it. Fixtures live in string literals (the scanner blanks
+// literals, so this file never trips the repo-wide lint run) and are
+// fed both in-memory and through the filesystem entry point.
+#include "lint/linter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace lighttr::lint {
+namespace {
+
+std::vector<Diagnostic> OfRule(const std::vector<Diagnostic>& diagnostics,
+                               const std::string& rule) {
+  std::vector<Diagnostic> matching;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.rule == rule) matching.push_back(d);
+  }
+  return matching;
+}
+
+TEST(LintTest, NoRawRandFiresAndSuppresses) {
+  SourceFile file;
+  file.path = "src/fl/sampler.cc";
+  file.content =
+      "void A() { int x = rand(); }\n"                                  // 1
+      "void B() { std::mt19937 gen(7); }\n"                             // 2
+      "void C() { std::random_device rd; }\n"                           // 3
+      "void D() { std::mt19937 ok(7); }  // lighttr-lint: allow(no-raw-rand)\n";
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "no-raw-rand");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].file, "src/fl/sampler.cc");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_EQ(hits[2].line, 3);
+}
+
+TEST(LintTest, NoRawRandExemptsCommonRng) {
+  SourceFile file;
+  file.path = "src/common/rng.h";
+  file.content = "class Rng { std::mt19937_64 engine_; };\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-raw-rand").empty());
+}
+
+TEST(LintTest, RandInsideStringOrCommentDoesNotFire) {
+  SourceFile file;
+  file.path = "src/a.cc";
+  file.content =
+      "const char* kMsg = \"call rand() for chaos\";\n"
+      "// rand() is banned here\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-raw-rand").empty());
+}
+
+TEST(LintTest, NoIgnoredStatusFiresOnBareCall) {
+  SourceFile header;
+  header.path = "src/io/writer.h";
+  header.content = "Status WriteThing(int x);\n";
+  SourceFile source;
+  source.path = "src/io/user.cc";
+  source.content =
+      "void Use() {\n"
+      "  WriteThing(1);\n"                              // 2: discarded
+      "  Status s = WriteThing(2);\n"                   // consumed
+      "  if (!s.ok()) return;\n"
+      "  (void)WriteThing(3);  // best effort\n"        // explicit discard
+      "  WriteThing(4);  // lighttr-lint: allow(no-ignored-status)\n"
+      "}\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({header, source}), "no-ignored-status");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/io/user.cc");
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("WriteThing"), std::string::npos);
+}
+
+TEST(LintTest, NoIgnoredStatusSeesQualifiedAndResultDecls) {
+  SourceFile header;
+  header.path = "src/io/api.h";
+  header.content =
+      "lighttr::Status Push(int x);\n"
+      "Result<std::vector<double>> Pull();\n";
+  SourceFile source;
+  source.path = "src/io/caller.cc";
+  source.content = "void F() { Push(1); Pull(); }\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({header, source}), "no-ignored-status");
+  ASSERT_EQ(hits.size(), 2u);
+}
+
+TEST(LintTest, NoIostreamInLibFiresOnlyUnderSrc) {
+  SourceFile lib;
+  lib.path = "src/geo/debug.cc";
+  lib.content = "void P() { std::cout << 1; }\n";
+  SourceFile bench;
+  bench.path = "bench/report.cc";
+  bench.content = "void P() { std::cout << 1; }\n";
+  SourceFile printer;
+  printer.path = "src/common/table_printer.cc";
+  printer.content = "void P() { std::cout << 1; }\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({lib, bench, printer}), "no-iostream-in-lib");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/geo/debug.cc");
+  EXPECT_EQ(hits[0].line, 1);
+}
+
+TEST(LintTest, BannedFnFiresAndSuppresses) {
+  SourceFile file;
+  file.path = "src/parse.cc";
+  file.content =
+      "double A(const char* s) { return atof(s); }\n"   // 1
+      "int B() { return system(\"ls\"); }\n"            // 2
+      "int C(const char* s) {\n"
+      "  return atoi(s);  // lighttr-lint: allow(banned-fn)\n"
+      "}\n"
+      "void D(Obj* o) { o->system(1); }\n";             // member: allowed
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "banned-fn");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("atof"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_NE(hits[1].message.find("system"), std::string::npos);
+}
+
+TEST(LintTest, IncludeCycleDetected) {
+  SourceFile a;
+  a.path = "src/x/a.h";
+  a.content = "#include \"x/b.h\"\n";
+  SourceFile b;
+  b.path = "src/x/b.h";
+  b.content = "#include \"x/a.h\"\n";
+  SourceFile fine;
+  fine.path = "src/x/c.h";
+  fine.content = "#include \"x/a.h\"\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({a, b, fine}), "no-include-cycle");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("a.h"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("b.h"), std::string::npos);
+}
+
+TEST(LintTest, AcyclicIncludesAreClean) {
+  SourceFile a;
+  a.path = "src/x/a.h";
+  a.content = "#include \"x/b.h\"\n#include \"x/c.h\"\n";
+  SourceFile b;
+  b.path = "src/x/b.h";
+  b.content = "#include \"x/c.h\"\n";
+  SourceFile c;
+  c.path = "src/x/c.h";
+  c.content = "\n";
+  EXPECT_TRUE(OfRule(Lint({a, b, c}), "no-include-cycle").empty());
+}
+
+TEST(LintTest, FormatDiagnosticIsCompilerStyle) {
+  Diagnostic d;
+  d.file = "src/a.cc";
+  d.line = 12;
+  d.rule = "no-raw-rand";
+  d.message = "nope";
+  EXPECT_EQ(FormatDiagnostic(d), "src/a.cc:12: no-raw-rand: nope");
+}
+
+TEST(LintTest, LintPathsWalksRealFiles) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(testing::TempDir()) / "lint_fixture";
+  const fs::path src = root / "src" / "m";
+  fs::create_directories(src);
+  {
+    std::ofstream out(src / "bad.cc");
+    out << "void F() { int x = rand(); }\n";
+  }
+  {
+    std::ofstream out(src / "good.cc");
+    out << "void G() {}\n";
+  }
+  const std::vector<Diagnostic> diagnostics =
+      LintPaths({root.generic_string()});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "no-raw-rand");
+  EXPECT_EQ(diagnostics[0].line, 1);
+  EXPECT_NE(diagnostics[0].file.find("bad.cc"), std::string::npos);
+  fs::remove_all(root);
+}
+
+TEST(LintTest, LintPathsReportsMissingRoot) {
+  const std::vector<Diagnostic> diagnostics =
+      LintPaths({"/nonexistent/lighttr/path"});
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "bad-input");
+}
+
+TEST(LintTest, AllRuleNamesListsEveryRule) {
+  const std::vector<std::string>& names = AllRuleNames();
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace lighttr::lint

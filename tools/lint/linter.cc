@@ -1,0 +1,524 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace lighttr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source scanning: split a file into per-line code text (comments and
+// string/char literals blanked out) and per-line comment text (for
+// suppression directives). Blanking preserves column positions.
+// ---------------------------------------------------------------------------
+
+struct ScannedFile {
+  const SourceFile* source = nullptr;
+  std::vector<std::string> code;      // literal-free code, one entry per line
+  std::vector<std::string> comments;  // comment text, one entry per line
+};
+
+ScannedFile ScanFile(const SourceFile& file) {
+  ScannedFile out;
+  out.source = &file;
+  const std::string& s = file.content;
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // delimiter of the active raw string literal
+  bool preproc_string = false;  // inside a string on a preprocessor line
+  std::string code_line;
+  std::string comment_line;
+
+  auto flush_line = [&] {
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   s[i - 1])) &&
+                               s[i - 1] != '_'))) {
+          // Raw string literal: R"delim( ... )delim"
+          state = State::kRaw;
+          raw_delim.clear();
+          size_t j = i + 2;
+          while (j < s.size() && s[j] != '(') raw_delim += s[j++];
+          code_line += ' ';
+          i = j;  // now positioned at '('
+        } else if (c == '"') {
+          state = State::kString;
+          // Keep string contents on preprocessor lines: the include-graph
+          // rule needs to read `#include "path"` targets.
+          preproc_string =
+              code_line.find_first_not_of(" \t") != std::string::npos &&
+              code_line[code_line.find_first_not_of(" \t")] == '#';
+          code_line += preproc_string ? '"' : ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else {
+          comment_line += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          if (preproc_string) code_line += '"';
+        } else if (preproc_string) {
+          code_line += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (s.compare(i, close.size(), close) == 0) {
+          state = State::kCode;
+          i += close.size() - 1;
+        }
+        break;
+      }
+    }
+  }
+  flush_line();  // final (possibly empty) line
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `lighttr-lint: allow(rule-a, rule-b)` inside a comment
+// suppresses those rules on that line.
+// ---------------------------------------------------------------------------
+
+bool LineAllows(const ScannedFile& file, size_t line_index,
+                const std::string& rule) {
+  if (line_index >= file.comments.size()) return false;
+  static const std::regex kAllow(R"(lighttr-lint:\s*allow\(([^)]*)\))");
+  std::smatch m;
+  const std::string& comment = file.comments[line_index];
+  if (!std::regex_search(comment, m, kAllow)) return false;
+  std::stringstream rules(m[1].str());
+  std::string item;
+  while (std::getline(rules, item, ',')) {
+    item.erase(std::remove_if(item.begin(), item.end(),
+                              [](unsigned char ch) { return std::isspace(ch); }),
+               item.end());
+    if (item == rule) return true;
+  }
+  return false;
+}
+
+std::string NormalizedPath(const std::string& path) {
+  std::string p = std::filesystem::path(path).lexically_normal().generic_string();
+  return p;
+}
+
+bool PathEndsWith(const std::string& normalized, const std::string& suffix) {
+  if (normalized.size() < suffix.size()) return false;
+  if (normalized.compare(normalized.size() - suffix.size(), suffix.size(),
+                         suffix) != 0) {
+    return false;
+  }
+  return normalized.size() == suffix.size() ||
+         normalized[normalized.size() - suffix.size() - 1] == '/';
+}
+
+bool PathContainsDir(const std::string& normalized, const std::string& dir) {
+  const std::string mid = "/" + dir + "/";
+  return normalized.rfind(dir + "/", 0) == 0 ||
+         normalized.find(mid) != std::string::npos;
+}
+
+void Report(std::vector<Diagnostic>* diagnostics, const ScannedFile& file,
+            size_t line_index, const std::string& rule, std::string message) {
+  if (LineAllows(file, line_index, rule)) return;
+  diagnostics->push_back(Diagnostic{file.source->path,
+                                    static_cast<int>(line_index) + 1, rule,
+                                    std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-rand
+// ---------------------------------------------------------------------------
+
+void CheckNoRawRand(const ScannedFile& file,
+                    std::vector<Diagnostic>* diagnostics) {
+  const std::string path = NormalizedPath(file.source->path);
+  if (PathEndsWith(path, "common/rng.h") || PathEndsWith(path, "common/rng.cc")) {
+    return;  // the one sanctioned home of raw engines
+  }
+  static const std::regex kRand(R"(\brand\s*\()");
+  static const std::regex kDevice(R"(\bstd\s*::\s*random_device\b)");
+  static const std::regex kEngine(
+      R"(\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine)\b)");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (std::regex_search(line, kRand)) {
+      Report(diagnostics, file, i, "no-raw-rand",
+             "call to rand(); draw from a seeded lighttr::Rng instead");
+    }
+    if (std::regex_search(line, kDevice)) {
+      Report(diagnostics, file, i, "no-raw-rand",
+             "std::random_device is nondeterministic; seed a lighttr::Rng "
+             "explicitly");
+    }
+    if (std::regex_search(line, kEngine)) {
+      Report(diagnostics, file, i, "no-raw-rand",
+             "ad-hoc std engine construction; all randomness must flow "
+             "through common/rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-iostream-in-lib
+// ---------------------------------------------------------------------------
+
+void CheckNoIostreamInLib(const ScannedFile& file,
+                          std::vector<Diagnostic>* diagnostics) {
+  const std::string path = NormalizedPath(file.source->path);
+  if (!PathContainsDir(path, "src")) return;  // tests/bench/tools may print
+  if (PathEndsWith(path, "common/table_printer.h") ||
+      PathEndsWith(path, "common/table_printer.cc") ||
+      PathEndsWith(path, "common/check.h")) {
+    return;
+  }
+  static const std::regex kStream(R"(\bstd\s*::\s*(cout|cerr|clog)\b)");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(file.code[i], m, kStream)) {
+      Report(diagnostics, file, i, "no-iostream-in-lib",
+             "std::" + m[1].str() +
+                 " in library code; route output through common/table_printer "
+                 "or return data to the caller");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-fn
+// ---------------------------------------------------------------------------
+
+struct BannedFn {
+  const char* name;
+  const char* reason;
+};
+
+constexpr BannedFn kBannedFns[] = {
+    {"atof", "silently returns 0.0 on garbage; use std::strtod or std::stod"},
+    {"atoi", "silently returns 0 on garbage; use std::strtol or std::stoi"},
+    {"atol", "silently returns 0 on garbage; use std::strtol"},
+    {"strcpy", "unbounded copy; use std::string or std::snprintf"},
+    {"strcat", "unbounded append; use std::string"},
+    {"sprintf", "unbounded format; use std::snprintf"},
+    {"vsprintf", "unbounded format; use std::vsnprintf"},
+    {"gets", "unbounded read; use std::getline"},
+    {"system", "shells out with inherited environment; spawn explicitly or "
+               "restructure"},
+    {"tmpnam", "racy temp naming; derive paths from a seed or PID instead"},
+};
+
+void CheckBannedFn(const ScannedFile& file,
+                   std::vector<Diagnostic>* diagnostics) {
+  for (const BannedFn& banned : kBannedFns) {
+    // Identifier followed by '(' — optionally std::-qualified, but not a
+    // member access (x.system(...)) or other qualification.
+    const std::regex call(std::string(R"((^|[^\w.>:])(std\s*::\s*)?)") +
+                          banned.name + R"(\s*\()");
+    for (size_t i = 0; i < file.code.size(); ++i) {
+      if (std::regex_search(file.code[i], call)) {
+        Report(diagnostics, file, i, "banned-fn",
+               std::string(banned.name) + ": " + banned.reason);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-ignored-status
+//
+// Pass 1 collects names of functions declared to return Status or
+// Result<T> anywhere in the input set. Pass 2 flags statements that are
+// a bare call to such a function: the return value never touched. The
+// compiler's [[nodiscard]] already rejects most of these; the lint rule
+// additionally covers code compiled without LIGHTTR_WERROR and fixture
+// trees. Explicit discards spell `(void)call(...)` (not matched — the
+// statement no longer begins with the callee) plus a rationale comment.
+// ---------------------------------------------------------------------------
+
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<ScannedFile>& files) {
+  std::set<std::string> names;
+  static const std::regex kDecl(
+      R"((?:^|[^\w<])(?:[A-Za-z_]\w*\s*::\s*)*(?:Status|Result\s*<[^;={}]*>)\s+([A-Za-z_]\w*)\s*\()");
+  for (const ScannedFile& file : files) {
+    std::string joined;
+    for (const std::string& line : file.code) {
+      joined += line;
+      joined += '\n';
+    }
+    for (std::sregex_iterator it(joined.begin(), joined.end(), kDecl), end;
+         it != end; ++it) {
+      names.insert((*it)[1].str());
+    }
+  }
+  return names;
+}
+
+void CheckNoIgnoredStatus(const ScannedFile& file,
+                          const std::set<std::string>& status_fns,
+                          std::vector<Diagnostic>* diagnostics) {
+  if (status_fns.empty()) return;
+  // Build a statement stream: code lines minus preprocessor directives,
+  // split at ; { } — each statement remembers its starting line.
+  struct Statement {
+    std::string text;
+    size_t line = 0;
+    char terminator = ';';
+  };
+  std::vector<Statement> statements;
+  Statement current;
+  bool current_started = false;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line[first] == '#') continue;
+    for (char c : line) {
+      if (c == ';' || c == '{' || c == '}') {
+        current.terminator = c;
+        statements.push_back(current);
+        current = Statement{};
+        current_started = false;
+        continue;
+      }
+      if (!current_started && !std::isspace(static_cast<unsigned char>(c))) {
+        current.line = i;
+        current_started = true;
+      }
+      if (current_started) current.text += c;
+    }
+    if (current_started) current.text += ' ';
+  }
+
+  // A bare call statement: optional qualifier chain (ids joined by :: . ->
+  // where non-final members may be zero-arg calls), then a known name,
+  // then '('. Anchored at statement start so declarations ("Status Foo(")
+  // and keyword statements ("return Foo(…)") never match.
+  static const std::regex kCallHead(
+      R"(^(?:[A-Za-z_]\w*(?:\(\s*\))?\s*(?:::|\.|->)\s*)*([A-Za-z_]\w*)\s*\()");
+  for (const Statement& st : statements) {
+    if (st.terminator != ';') continue;
+    std::smatch m;
+    if (!std::regex_search(st.text, m, kCallHead)) continue;
+    const std::string callee = m[1].str();
+    if (status_fns.count(callee) == 0) continue;
+    Report(diagnostics, file, st.line, "no-ignored-status",
+           "result of Status-returning call '" + callee +
+               "' is discarded; handle it, LIGHTTR_CHECK_OK it, or discard "
+               "explicitly with (void) and a rationale");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-include-cycle
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge {
+  size_t target;  // index into the scanned-file vector
+  size_t line;    // line of the #include
+};
+
+void CheckIncludeCycles(const std::vector<ScannedFile>& files,
+                        std::vector<Diagnostic>* diagnostics) {
+  // Resolve quoted includes by path-suffix match against the input set.
+  std::vector<std::string> normalized(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    normalized[i] = NormalizedPath(files[i].source->path);
+  }
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  std::vector<std::vector<IncludeEdge>> graph(files.size());
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (size_t l = 0; l < files[i].code.size(); ++l) {
+      std::smatch m;
+      if (!std::regex_search(files[i].code[l], m, kInclude)) continue;
+      const std::string target = m[1].str();
+      for (size_t j = 0; j < files.size(); ++j) {
+        if (PathEndsWith(normalized[j], target)) {
+          graph[i].push_back(IncludeEdge{j, l});
+          break;
+        }
+      }
+    }
+  }
+
+  // Iterative DFS with colors; report each back edge as one cycle.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(files.size(), Color::kWhite);
+  std::vector<size_t> parent_edge(files.size(), 0);
+  std::set<std::pair<size_t, size_t>> reported;
+
+  struct Frame {
+    size_t node;
+    size_t next_edge = 0;
+  };
+  for (size_t root = 0; root < files.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> stack{Frame{root}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge < graph[frame.node].size()) {
+        const IncludeEdge edge = graph[frame.node][frame.next_edge++];
+        if (color[edge.target] == Color::kWhite) {
+          color[edge.target] = Color::kGray;
+          stack.push_back(Frame{edge.target});
+        } else if (color[edge.target] == Color::kGray) {
+          // Found a cycle: walk the stack back to the target.
+          if (reported.insert({frame.node, edge.target}).second) {
+            std::string chain = files[edge.target].source->path;
+            size_t k = stack.size();
+            std::vector<std::string> tail;
+            while (k > 0 && stack[k - 1].node != edge.target) {
+              tail.push_back(files[stack[k - 1].node].source->path);
+              --k;
+            }
+            for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+              chain += " -> " + *it;
+            }
+            chain += " -> " + files[edge.target].source->path;
+            Report(diagnostics, files[frame.node], edge.line,
+                   "no-include-cycle", "include cycle: " + chain);
+          }
+        }
+      } else {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  os << diagnostic.file << ":" << diagnostic.line << ": " << diagnostic.rule
+     << ": " << diagnostic.message;
+  return os.str();
+}
+
+const std::vector<std::string>& AllRuleNames() {
+  static const std::vector<std::string> kNames = {
+      "no-raw-rand", "no-ignored-status", "no-iostream-in-lib",
+      "no-include-cycle", "banned-fn"};
+  return kNames;
+}
+
+std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
+  std::vector<ScannedFile> scanned;
+  scanned.reserve(files.size());
+  for (const SourceFile& file : files) scanned.push_back(ScanFile(file));
+
+  std::vector<Diagnostic> diagnostics;
+  const std::set<std::string> status_fns = CollectStatusFunctions(scanned);
+  for (const ScannedFile& file : scanned) {
+    CheckNoRawRand(file, &diagnostics);
+    CheckNoIostreamInLib(file, &diagnostics);
+    CheckBannedFn(file, &diagnostics);
+    CheckNoIgnoredStatus(file, status_fns, &diagnostics);
+  }
+  CheckIncludeCycles(scanned, &diagnostics);
+
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return diagnostics;
+}
+
+std::vector<Diagnostic> LintPaths(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  std::vector<Diagnostic> diagnostics;
+  auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+  };
+  auto load = [&files](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    files.push_back(SourceFile{p.generic_string(), contents.str()});
+  };
+  for (const std::string& root : roots) {
+    const fs::path path(root);
+    if (fs::is_regular_file(path)) {
+      load(path);
+    } else if (fs::is_directory(path)) {
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          found.push_back(entry.path());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      for (const fs::path& p : found) load(p);
+    } else {
+      diagnostics.push_back(
+          Diagnostic{root, 0, "bad-input", "no such file or directory"});
+    }
+  }
+  std::vector<Diagnostic> lint_result = Lint(files);
+  diagnostics.insert(diagnostics.end(), lint_result.begin(),
+                     lint_result.end());
+  return diagnostics;
+}
+
+}  // namespace lighttr::lint

@@ -1,0 +1,66 @@
+// lighttr-lint: a token-scanning static checker for repo invariants.
+//
+// The compiler already enforces type- and [[nodiscard]]-level contracts;
+// this linter covers the invariants the type system cannot see:
+//
+//   no-raw-rand        ban rand()/std::random_device/ad-hoc std::mt19937
+//                      outside common/rng.* (determinism of federated
+//                      rounds depends on every draw flowing through Rng)
+//   no-ignored-status  statement-level calls that discard a Status/Result
+//                      return (heuristic companion to [[nodiscard]])
+//   no-iostream-in-lib no std::cout/cerr/clog inside src/ outside
+//                      common/table_printer.* and common/check.h
+//   no-include-cycle   cycles in the quoted-include graph
+//   banned-fn          calls to atof/strcpy/sprintf/system/... class
+//                      functions with safer repo-idiomatic replacements
+//
+// Diagnostics carry file:line and the rule name. A violation is
+// suppressed by a comment on the same line:
+//
+//   std::mt19937 gen(7);  // lighttr-lint: allow(no-raw-rand)
+//
+// The scanner strips comments and string/char literals before matching,
+// so quoted occurrences of banned tokens never fire.
+#ifndef LIGHTTR_TOOLS_LINT_LINTER_H_
+#define LIGHTTR_TOOLS_LINT_LINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace lighttr::lint {
+
+/// One input file: path (used for rule exemptions and include-graph
+/// resolution) plus its full contents.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One rule violation at a source location.
+struct Diagnostic {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Renders "file:line: rule: message" (the clickable compiler format).
+std::string FormatDiagnostic(const Diagnostic& diagnostic);
+
+/// Names of every rule the linter knows, e.g. for --help output.
+const std::vector<std::string>& AllRuleNames();
+
+/// Runs every rule over `files` and returns the violations in file /
+/// line order. Cross-file state (the Status-returning function registry,
+/// the include graph) is built from exactly the files given, so callers
+/// should pass the whole tree they care about in one call.
+std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files);
+
+/// Recursively collects .h/.cc/.cpp files under each root (a root may
+/// also name a single file) and runs Lint over them. Missing roots are
+/// reported as a diagnostic rather than silently skipped.
+std::vector<Diagnostic> LintPaths(const std::vector<std::string>& roots);
+
+}  // namespace lighttr::lint
+
+#endif  // LIGHTTR_TOOLS_LINT_LINTER_H_

@@ -1,0 +1,45 @@
+// CLI for lighttr-lint. Usage:
+//
+//   lighttr-lint <dir-or-file>...
+//
+// Scans every .h/.cc/.cpp under the given roots, prints one
+// "file:line: rule: message" diagnostic per violation, and exits 1 if
+// any were found (so a ctest registration fails the suite).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: lighttr-lint <dir-or-file>...\nrules:\n");
+      for (const std::string& rule : lighttr::lint::AllRuleNames()) {
+        std::printf("  %s\n", rule.c_str());
+      }
+      std::printf(
+          "suppress a line with: // lighttr-lint: allow(<rule>[, <rule>])\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "lighttr-lint: no input paths (try --help)\n");
+    return 2;
+  }
+
+  const std::vector<lighttr::lint::Diagnostic> diagnostics =
+      lighttr::lint::LintPaths(roots);
+  for (const auto& diagnostic : diagnostics) {
+    std::printf("%s\n", lighttr::lint::FormatDiagnostic(diagnostic).c_str());
+  }
+  if (!diagnostics.empty()) {
+    std::fprintf(stderr, "lighttr-lint: %zu violation(s)\n",
+                 diagnostics.size());
+    return 1;
+  }
+  return 0;
+}

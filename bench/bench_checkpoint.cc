@@ -1,0 +1,159 @@
+// Durability cost: (1) microbenchmarks of the v2 checkpoint codec and
+// run-state snapshot primitives, (2) end-to-end per-round overhead of
+// crash-safe federated training (journal + snapshot every round) versus
+// the same run with durability off.
+//
+// Expected shape: encode/decode run at memory-ish bandwidth, and the
+// per-round durability overhead stays well under 10% of the round
+// wall-time (the acceptance bar for this subsystem).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "eval/harness.h"
+#include "nn/checkpoint.h"
+#include "nn/parameter.h"
+
+namespace {
+
+using namespace lighttr;
+
+// A parameter set sized like the paper's lightweight recovery model
+// (order 10^5 weights).
+nn::ParameterSet MakeParams(Rng* rng) {
+  nn::ParameterSet params;
+  auto add = [&](const char* name, size_t rows, size_t cols) {
+    nn::Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i) {
+      m.data()[i] = static_cast<nn::Scalar>(rng->Normal(0.0, 0.05));
+    }
+    params.Register(name, nn::Tensor::Variable(m));
+  };
+  add("encoder.embed", 512, 64);
+  add("encoder.w", 128, 128);
+  add("encoder.u", 128, 128);
+  add("decoder.w", 128, 128);
+  add("decoder.out", 128, 512);
+  return params;
+}
+
+double MbPerSec(size_t bytes, double seconds, int reps) {
+  return static_cast<double>(bytes) * reps / (seconds * 1024.0 * 1024.0);
+}
+
+void BenchCodec() {
+  Rng rng(17);
+  const nn::ParameterSet params = MakeParams(&rng);
+  const int reps = 50;
+  TablePrinter table({"Op", "Bytes", "ms/op", "MiB/s"});
+
+  for (nn::CheckpointDtype dtype :
+       {nn::CheckpointDtype::kFloat32, nn::CheckpointDtype::kFloat64}) {
+    const char* dname =
+        dtype == nn::CheckpointDtype::kFloat32 ? "f32" : "f64";
+    const std::string blob = nn::SerializeCheckpoint(params, dtype);
+
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      const std::string out = nn::SerializeCheckpoint(params, dtype);
+      LIGHTTR_CHECK_EQ(out.size(), blob.size());
+    }
+    double s = watch.ElapsedSeconds();
+    table.AddRow({std::string("serialize ") + dname,
+                  std::to_string(blob.size()),
+                  TablePrinter::Fmt(s / reps * 1e3, 3),
+                  TablePrinter::Fmt(MbPerSec(blob.size(), s, reps), 0)});
+
+    Rng parse_rng(18);
+    nn::ParameterSet target = MakeParams(&parse_rng);
+    watch.Reset();
+    for (int r = 0; r < reps; ++r) {
+      LIGHTTR_CHECK_OK(nn::ParseCheckpoint(blob, &target));
+    }
+    s = watch.ElapsedSeconds();
+    table.AddRow({std::string("parse ") + dname, std::to_string(blob.size()),
+                  TablePrinter::Fmt(s / reps * 1e3, 3),
+                  TablePrinter::Fmt(MbPerSec(blob.size(), s, reps), 0)});
+
+    const std::string path =
+        (std::filesystem::path(::std::filesystem::temp_directory_path()) /
+         (std::string("bench_ckpt_") + dname + ".ltc"))
+            .string();
+    watch.Reset();
+    for (int r = 0; r < reps; ++r) {
+      LIGHTTR_CHECK_OK(nn::SaveCheckpoint(path, params, dtype));
+    }
+    s = watch.ElapsedSeconds();
+    table.AddRow({std::string("save(atomic) ") + dname,
+                  std::to_string(blob.size()),
+                  TablePrinter::Fmt(s / reps * 1e3, 3),
+                  TablePrinter::Fmt(MbPerSec(blob.size(), s, reps), 0)});
+
+    watch.Reset();
+    for (int r = 0; r < reps; ++r) {
+      LIGHTTR_CHECK_OK(nn::LoadCheckpoint(path, &target));
+    }
+    s = watch.ElapsedSeconds();
+    table.AddRow({std::string("load ") + dname, std::to_string(blob.size()),
+                  TablePrinter::Fmt(s / reps * 1e3, 3),
+                  TablePrinter::Fmt(MbPerSec(blob.size(), s, reps), 0)});
+    std::filesystem::remove(path);
+  }
+  std::printf("Checkpoint codec:\n%s\n", table.ToString().c_str());
+}
+
+void BenchEndToEnd(const eval::ExperimentScale& scale) {
+  auto env = eval::ExperimentEnv::FromScale(scale);
+  const traj::WorkloadProfile profile =
+      eval::ScaledProfile(traj::TdriveLikeProfile(), scale);
+  const auto clients = env->MakeWorkload(
+      profile, eval::DefaultWorkloadOptions(scale, 0.125), scale.seed + 9);
+
+  eval::MethodRunOptions plain = eval::DefaultRunOptions(scale);
+  const eval::MethodResult base = eval::RunFederatedMethod(
+      *env, baselines::ModelKind::kLightTr, clients, plain);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_checkpoint_run")
+          .string();
+  std::filesystem::remove_all(dir);
+  eval::MethodRunOptions durable = eval::DefaultRunOptions(scale);
+  durable.fed.durability.dir = dir;
+  durable.fed.durability.snapshot_every = 1;  // worst case: every round
+  const eval::MethodResult ckpt = eval::RunFederatedMethod(
+      *env, baselines::ModelKind::kLightTr, clients, durable);
+  std::filesystem::remove_all(dir);
+
+  const int rounds = static_cast<int>(base.run.history.size());
+  const double per_round_base = base.wall_seconds / rounds;
+  const double per_round_ckpt = ckpt.wall_seconds / rounds;
+  const double overhead = per_round_ckpt - per_round_base;
+  const double overhead_pct = overhead / per_round_base * 100.0;
+
+  TablePrinter table({"Run", "Rounds", "Wall(s)", "s/round"});
+  table.AddRow({"no durability", std::to_string(rounds),
+                TablePrinter::Fmt(base.wall_seconds, 2),
+                TablePrinter::Fmt(per_round_base, 4)});
+  table.AddRow({"snapshot every round", std::to_string(rounds),
+                TablePrinter::Fmt(ckpt.wall_seconds, 2),
+                TablePrinter::Fmt(per_round_ckpt, 4)});
+  std::printf("End-to-end (LightTR, scale=%s):\n%s\n", scale.name.c_str(),
+              table.ToString().c_str());
+  std::printf("Per-round checkpoint overhead: %.4f s (%.1f%% of round "
+              "wall-time; target < 10%%)\n",
+              overhead, overhead_pct);
+}
+
+}  // namespace
+
+int main() {
+  const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
+  BenchCodec();
+  BenchEndToEnd(scale);
+  return 0;
+}

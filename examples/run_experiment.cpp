@@ -44,6 +44,16 @@ std::string FlagValue(int argc, char** argv, const std::string& key,
   return fallback;
 }
 
+// Bare boolean flag: present as "--key" (or "--key=1" / "--key=true").
+bool HasFlag(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (bare == argv[i]) return true;
+  }
+  const std::string value = FlagValue(argc, argv, key, "0");
+  return value == "1" || value == "true";
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -52,7 +62,14 @@ int Usage() {
       "                      [--dataset=geolife|tdrive] [--keep=0.125]\n"
       "                      [--clients=8] [--rounds=5] [--epochs=2]\n"
       "                      [--traj-per-client=20] [--grid=9] [--seed=42]\n"
-      "                      [--lr=0.003] [--fraction=1.0]\n");
+      "                      [--lr=0.003] [--fraction=1.0]\n"
+      "                      [--checkpoint-dir=DIR] [--checkpoint-every=1]\n"
+      "                      [--resume]\n"
+      "\n"
+      "Durability: --checkpoint-dir enables crash-safe snapshots + a round\n"
+      "journal under DIR every --checkpoint-every rounds; --resume restarts\n"
+      "an interrupted run from the newest valid snapshot in DIR (federated\n"
+      "methods only).\n");
   return 2;
 }
 
@@ -61,6 +78,9 @@ int Usage() {
 int main(int argc, char** argv) {
   const std::string method = FlagValue(argc, argv, "method", "lighttr");
   const std::string dataset = FlagValue(argc, argv, "dataset", "geolife");
+  const std::string checkpoint_dir =
+      FlagValue(argc, argv, "checkpoint-dir", "");
+  const bool resume = HasFlag(argc, argv, "resume");
   double keep = 0.0;
   double lr = 0.0;
   double fraction = 0.0;
@@ -70,6 +90,7 @@ int main(int argc, char** argv) {
   long long traj_ll = 0;
   long long grid_ll = 0;
   long long seed_ll = 0;
+  long long checkpoint_every_ll = 0;
   if (!ParseDouble(FlagValue(argc, argv, "keep", "0.125"), &keep) ||
       !ParseDouble(FlagValue(argc, argv, "lr", "0.003"), &lr) ||
       !ParseDouble(FlagValue(argc, argv, "fraction", "1.0"), &fraction) ||
@@ -78,7 +99,9 @@ int main(int argc, char** argv) {
       !ParseInt(FlagValue(argc, argv, "epochs", "2"), &epochs_ll) ||
       !ParseInt(FlagValue(argc, argv, "traj-per-client", "20"), &traj_ll) ||
       !ParseInt(FlagValue(argc, argv, "grid", "9"), &grid_ll) ||
-      !ParseInt(FlagValue(argc, argv, "seed", "42"), &seed_ll)) {
+      !ParseInt(FlagValue(argc, argv, "seed", "42"), &seed_ll) ||
+      !ParseInt(FlagValue(argc, argv, "checkpoint-every", "1"),
+                &checkpoint_every_ll)) {
     return Usage();
   }
   const int clients_n = static_cast<int>(clients_ll);
@@ -88,8 +111,15 @@ int main(int argc, char** argv) {
   const int grid = static_cast<int>(grid_ll);
   const auto seed = static_cast<uint64_t>(seed_ll);
 
+  const int checkpoint_every = static_cast<int>(checkpoint_every_ll);
+
   if (keep <= 0.0 || keep > 1.0 || clients_n < 1 || rounds < 1 ||
-      epochs < 1 || grid < 3) {
+      epochs < 1 || grid < 3 || checkpoint_every < 1) {
+    return Usage();
+  }
+  if ((resume || checkpoint_every != 1) && checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "--resume/--checkpoint-every need --checkpoint-dir\n");
     return Usage();
   }
 
@@ -135,6 +165,11 @@ int main(int argc, char** argv) {
 
   eval::MethodResult result;
   if (centralized) {
+    if (!checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "note: --checkpoint-dir only applies to federated "
+                   "methods; ignoring it for --method=centralized\n");
+    }
     result = eval::RunCentralizedMethod(env, kind, clients,
                                         rounds * epochs, lr,
                                         /*max_test_trajectories=*/100,
@@ -146,6 +181,9 @@ int main(int argc, char** argv) {
     options.fed.learning_rate = lr;
     options.fed.client_fraction = fraction;
     options.fed.seed = seed + 3;
+    options.fed.durability.dir = checkpoint_dir;
+    options.fed.durability.snapshot_every = checkpoint_every;
+    options.fed.durability.resume = resume;
     options.teacher.learning_rate = lr;
     options.max_test_trajectories = 100;
     result = eval::RunFederatedMethod(env, kind, clients, options);

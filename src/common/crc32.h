@@ -1,0 +1,32 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320): the integrity checksum
+// used by every persistence path (checkpoints, run-state snapshots, the
+// round journal). A checksum mismatch means the bytes on disk are not
+// the bytes that were written — truncation, a torn write, or bit rot —
+// and the loader must reject the file instead of propagating garbage
+// into the global model.
+#ifndef LIGHTTR_COMMON_CRC32_H_
+#define LIGHTTR_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lighttr {
+
+/// Extends a running CRC-32 over `n` bytes. Start from `crc = 0` and
+/// chain calls to checksum discontiguous buffers.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t n);
+
+/// One-shot CRC-32 of a buffer.
+inline uint32_t Crc32(const void* data, size_t n) {
+  return Crc32Update(0, data, n);
+}
+
+/// One-shot CRC-32 of a string's bytes.
+inline uint32_t Crc32(const std::string& bytes) {
+  return Crc32Update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace lighttr
+
+#endif  // LIGHTTR_COMMON_CRC32_H_

@@ -1,15 +1,45 @@
 #include "common/file_util.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 namespace lighttr {
 
 Status WriteFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+  // Historical entry point; now atomic so existing CSV/checkpoint dumps
+  // can no longer be observed half-written.
+  return WriteFileAtomic(path, contents);
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  // Temp file in the same directory so the final rename never crosses a
+  // filesystem boundary (cross-device rename is not atomic).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      (void)std::remove(tmp.c_str());  // best-effort cleanup of the partial
+      return Status::IoError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());  // best-effort cleanup of the partial
+    return Status::IoError("cannot rename " + tmp + " -> " + path);
+  }
+  return Status::Ok();
+}
+
+Status AppendToFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IoError("cannot open for appending: " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  if (!out) return Status::IoError("short write to " + path);
+  out.flush();
+  if (!out) return Status::IoError("short append to " + path);
   return Status::Ok();
 }
 

@@ -1,4 +1,7 @@
-// Small file I/O helpers (CSV dumps, model checkpoints).
+// Small file I/O helpers (CSV dumps, model checkpoints, run-state
+// snapshots). This is the ONLY place library code opens files for
+// writing: src/fl and src/nn are lint-gated (no-direct-persistence) so
+// that every persistence path inherits the atomicity guarantees here.
 #ifndef LIGHTTR_COMMON_FILE_UTIL_H_
 #define LIGHTTR_COMMON_FILE_UTIL_H_
 
@@ -8,8 +11,25 @@
 
 namespace lighttr {
 
-/// Writes `contents` to `path`, replacing any existing file.
-[[nodiscard]] Status WriteFile(const std::string& path, const std::string& contents);
+/// Writes `contents` to `path`, replacing any existing file. Atomic:
+/// delegates to WriteFileAtomic, so readers never observe a
+/// half-written file (they see either the old contents or the new).
+[[nodiscard]] Status WriteFile(const std::string& path,
+                               const std::string& contents);
+
+/// Writes `contents` to a temporary file in the same directory, then
+/// renames it over `path`. std::rename within one directory is atomic
+/// on POSIX, so a crash mid-write leaves at worst a stale `path` plus a
+/// partial `<path>.tmp` that readers must ignore. On failure the
+/// temporary is removed best-effort.
+[[nodiscard]] Status WriteFileAtomic(const std::string& path,
+                                     const std::string& contents);
+
+/// Appends `contents` to `path`, creating it if missing. NOT atomic: a
+/// crash mid-append can leave a torn tail, which is why journal records
+/// carry per-line CRCs (fl/run_state discards the torn tail on replay).
+[[nodiscard]] Status AppendToFile(const std::string& path,
+                                  const std::string& contents);
 
 /// Reads the whole file at `path`.
 [[nodiscard]] Result<std::string> ReadFile(const std::string& path);

@@ -1,8 +1,28 @@
 #include "common/rng.h"
 
 #include <numeric>
+#include <sstream>
 
 namespace lighttr {
+
+std::string Rng::SerializeState() const {
+  // std::mt19937_64 defines textual stream (de)serialization of its
+  // full internal state; the text round-trips exactly.
+  std::ostringstream os;
+  os << engine_;
+  return os.str();
+}
+
+Status Rng::DeserializeState(const std::string& state) {
+  std::istringstream is(state);
+  std::mt19937_64 restored;
+  is >> restored;
+  if (is.fail()) {
+    return Status::InvalidArgument("malformed RNG state string");
+  }
+  engine_ = restored;
+  return Status::Ok();
+}
 
 size_t Rng::WeightedIndex(const std::vector<double>& weights) {
   LIGHTTR_CHECK(!weights.empty());

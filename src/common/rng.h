@@ -5,9 +5,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 
 namespace lighttr {
 
@@ -61,6 +63,15 @@ class Rng {
   /// Spawns an independent child generator (useful to give each client its
   /// own stream that does not perturb the parent sequence).
   Rng Fork() { return Rng(engine_()); }
+
+  /// Serializes the full engine state (not just the seed): restoring it
+  /// resumes the exact stream position, which crash recovery needs to
+  /// replay a federated run bitwise-identically.
+  std::string SerializeState() const;
+
+  /// Restores a state produced by SerializeState. Rejects malformed
+  /// input without touching the current state.
+  [[nodiscard]] Status DeserializeState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

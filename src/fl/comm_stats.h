@@ -29,6 +29,25 @@ struct FaultStats {
   }
 };
 
+/// Per-round telemetry (drives the convergence analysis of Fig. 5 and
+/// the resilience curves of bench_fault_tolerance). One journal line
+/// per record is persisted by the durability layer (fl/run_state) so a
+/// resumed run can replay its history.
+struct RoundRecord {
+  int round = 0;
+  double mean_train_loss = 0.0;
+  double global_valid_accuracy = 0.0;
+  double wall_seconds = 0.0;
+  // Fault telemetry for this round.
+  int sampled = 0;           // cohort size selected by Algorithm 3 line 2
+  int reporting = 0;         // uploads that survived faults + screening
+  int drops = 0;             // clients lost after exhausting retries
+  int retries = 0;           // re-contact attempts this round
+  int stragglers = 0;        // clients cut off by the deadline
+  int rejected_uploads = 0;  // uploads discarded by screening
+  bool quorum_met = true;    // false -> previous global model kept
+};
+
 /// Accumulated transport statistics of one federated run.
 struct CommStats {
   int64_t bytes_downlink = 0;  // server -> clients

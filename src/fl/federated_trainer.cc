@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 
 #include "common/check.h"
+#include "common/file_util.h"
 #include "common/stopwatch.h"
+#include "nn/checkpoint.h"
 
 namespace lighttr::fl {
 
@@ -20,7 +24,11 @@ double PlainLocalUpdate::Update(int /*client_index*/, RecoveryModel* model,
 FederatedTrainer::FederatedTrainer(
     ModelFactory factory, const std::vector<traj::ClientDataset>* clients,
     FederatedTrainerOptions options)
-    : clients_(clients), options_(options), rng_(options.seed) {
+    : clients_(clients),
+      options_(options),
+      rng_(options.seed),
+      fault_rng_(0),
+      valid_rng_(0) {
   LIGHTTR_CHECK(clients != nullptr);
   LIGHTTR_CHECK(!clients->empty());
   LIGHTTR_CHECK_GT(options_.client_fraction, 0.0);
@@ -30,6 +38,8 @@ FederatedTrainer::FederatedTrainer(
   LIGHTTR_CHECK_GE(options_.tolerance.quorum_fraction, 0.0);
   LIGHTTR_CHECK_LE(options_.tolerance.quorum_fraction, 1.0);
   LIGHTTR_CHECK_GE(options_.tolerance.retry.max_retries, 0);
+  LIGHTTR_CHECK_GE(options_.durability.snapshot_every, 1);
+  LIGHTTR_CHECK_GE(options_.durability.keep_snapshots, 1);
 
   Rng init_rng = rng_.Fork();
   global_model_ = factory(&init_rng);
@@ -43,6 +53,11 @@ FederatedTrainer::FederatedTrainer(
     client_optimizers_.push_back(std::make_unique<nn::AdamOptimizer>(
         static_cast<nn::Scalar>(options_.learning_rate)));
   }
+  // Fork order (init, clients, faults, validation) is the deterministic
+  // contract: a resumed trainer re-derives the same streams from the
+  // seed, then overwrites rng_/fault_rng_ with the snapshot's states.
+  fault_rng_ = rng_.Fork();
+  valid_rng_ = rng_.Fork();
 }
 
 std::vector<traj::IncompleteTrajectory> FederatedTrainer::SampleValidationPool(
@@ -62,9 +77,112 @@ std::vector<traj::IncompleteTrajectory> FederatedTrainer::SampleValidationPool(
   return pool;
 }
 
+Status FederatedTrainer::SaveSnapshot(int round,
+                                      const FederatedRunResult& result) {
+  const DurabilityConfig& durability = options_.durability;
+  ServerRunState state;
+  state.round = round;
+  state.rng_state = rng_.SerializeState();
+  state.fault_rng_state = fault_rng_.SerializeState();
+  state.comm = result.comm;
+  state.faults = result.faults;
+  // Float64 on purpose: the FL wire format is float32, but aggregation
+  // runs in Scalar (double); a rounded restore would diverge bitwise.
+  state.global_params_blob = nn::SerializeCheckpoint(
+      global_model_->params(), nn::CheckpointDtype::kFloat64);
+  state.optimizer_blobs.reserve(client_optimizers_.size());
+  for (const auto& optimizer : client_optimizers_) {
+    state.optimizer_blobs.push_back(optimizer->SerializeState());
+  }
+
+  const std::string path = SnapshotPath(durability.dir, round);
+  if (durability.crash_point == CrashPoint::kMidSave &&
+      durability.crash_round == round) {
+    // Simulate dying inside WriteFileAtomic: the temp file holds half
+    // the bytes, the rename never happened, the previous snapshot set
+    // is untouched.
+    std::error_code ec;
+    std::filesystem::create_directories(durability.dir, ec);
+    const std::string encoded = EncodeRunState(state);
+    LIGHTTR_CHECK_OK(AppendToFile(path + ".tmp",
+                                  encoded.substr(0, encoded.size() / 2)));
+    throw InjectedCrash{CrashPoint::kMidSave, round};
+  }
+  LIGHTTR_RETURN_NOT_OK(SaveRunState(path, state));
+  PruneSnapshots(durability.dir, durability.keep_snapshots);
+  return Status::Ok();
+}
+
+Status FederatedTrainer::ResumeFrom(const std::string& dir) {
+  Result<std::vector<int>> rounds = ListSnapshotRounds(dir);
+  if (!rounds.ok()) return rounds.status();
+  if (rounds.value().empty()) {
+    return Status::NotFound("no snapshots in " + dir);
+  }
+  const std::vector<int>& all = rounds.value();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    const std::string path = SnapshotPath(dir, *it);
+    Result<ServerRunState> loaded = LoadRunState(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr,
+                   "[lighttr] warning: snapshot %s rejected (%s); falling "
+                   "back to the previous one\n",
+                   path.c_str(), loaded.status().ToString().c_str());
+      continue;
+    }
+    const ServerRunState& state = loaded.value();
+    if (state.optimizer_blobs.size() != client_optimizers_.size()) {
+      return Status::InvalidArgument(
+          "snapshot has optimizer state for " +
+          std::to_string(state.optimizer_blobs.size()) + " clients, trainer has " +
+          std::to_string(client_optimizers_.size()));
+    }
+    LIGHTTR_RETURN_NOT_OK(rng_.DeserializeState(state.rng_state));
+    LIGHTTR_RETURN_NOT_OK(fault_rng_.DeserializeState(state.fault_rng_state));
+    LIGHTTR_RETURN_NOT_OK(
+        nn::ParseCheckpoint(state.global_params_blob, &global_model_->params()));
+    for (size_t i = 0; i < client_optimizers_.size(); ++i) {
+      LIGHTTR_RETURN_NOT_OK(
+          client_optimizers_[i]->DeserializeState(state.optimizer_blobs[i]));
+    }
+    start_round_ = state.round;
+    resumed_round_ = state.round;
+    resume_seed_ = FederatedRunResult{};
+    resume_seed_.comm = state.comm;
+    resume_seed_.faults = state.faults;
+    // Replay the journal up to the snapshot round; later records belong
+    // to rounds that will be re-executed, so drop them from disk too
+    // (otherwise the journal would hold duplicates after the rerun).
+    Result<std::vector<RoundRecord>> journal = ReadJournal(dir);
+    if (!journal.ok()) return journal.status();
+    for (const RoundRecord& record : journal.value()) {
+      if (record.round <= state.round) resume_seed_.history.push_back(record);
+    }
+    if (resume_seed_.history.size() != journal.value().size()) {
+      LIGHTTR_RETURN_NOT_OK(RewriteJournal(dir, resume_seed_.history));
+    }
+    std::fprintf(stderr, "[lighttr] resumed from %s (round %d complete)\n",
+                 path.c_str(), state.round);
+    return Status::Ok();
+  }
+  return Status::IoError("every snapshot in " + dir +
+                         " failed its integrity check");
+}
+
 FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
   PlainLocalUpdate plain;
   if (strategy == nullptr) strategy = &plain;
+
+  const DurabilityConfig& durability = options_.durability;
+  if (durability.enabled() && durability.resume && start_round_ == 0) {
+    const Status resumed = ResumeFrom(durability.dir);
+    if (!resumed.ok() && resumed.code() != StatusCode::kNotFound) {
+      // Corruption of *every* snapshot (or a model/shape mismatch) is
+      // not silently ignorable; a fresh start would quietly discard the
+      // completed rounds the caller asked to keep.
+      LIGHTTR_CHECK_OK(resumed);
+    }
+  }
 
   const int num_clients = static_cast<int>(clients_->size());
   const int sampled = std::max(
@@ -74,15 +192,15 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
   const FaultModel fault_model(options_.faults);
   const bool inject = options_.faults.enabled();
   const FaultToleranceConfig& tolerance = options_.tolerance;
-  // Faults draw from a dedicated stream so the schedule for a seed is
-  // independent of model size or strategy internals.
-  Rng fault_rng = rng_.Fork();
-  Rng valid_rng = rng_.Fork();
+  // Sample the validation pool from a *copy* of the stream so Run() is
+  // idempotent with respect to valid_rng_ (a resumed trainer draws the
+  // identical pool without any state having been persisted for it).
+  Rng valid_rng = valid_rng_;
   const std::vector<traj::IncompleteTrajectory> valid_pool =
       SampleValidationPool(/*max_trajectories=*/40, &valid_rng);
 
-  FederatedRunResult result;
-  for (int round = 1; round <= options_.rounds; ++round) {
+  FederatedRunResult result = resume_seed_;
+  for (int round = start_round_ + 1; round <= options_.rounds; ++round) {
     Stopwatch watch;
     RoundRecord record;
     record.round = round;
@@ -106,7 +224,7 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       for (int attempt = 0;; ++attempt) {
         result.comm.bytes_downlink += wire_bytes;  // (re)send global model
         ++result.comm.messages;
-        if (inject) draw = fault_model.Draw(&fault_rng);
+        if (inject) draw = fault_model.Draw(&fault_rng_);
         if (draw.type != FaultType::kDropout) {
           contacted = true;
           break;
@@ -114,7 +232,7 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
         if (attempt >= tolerance.retry.max_retries) break;
         ++record.retries;
         result.faults.simulated_backoff_s +=
-            BackoffDelaySeconds(tolerance.retry, attempt, &fault_rng);
+            BackoffDelaySeconds(tolerance.retry, attempt, &fault_rng_);
       }
       if (!contacted) {
         ++record.drops;
@@ -154,7 +272,7 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       if (draw.type == FaultType::kCorruption) {
         // Damage happens on the wire, after the client's privacy and
         // quantization steps and after uplink accounting.
-        FaultModel::Corrupt(draw.corruption, &fault_rng, &upload);
+        FaultModel::Corrupt(draw.corruption, &fault_rng_, &upload);
       }
 
       bool clipped = false;
@@ -168,6 +286,9 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       uploads.push_back(std::move(upload));
     }
     record.reporting = static_cast<int>(uploads.size());
+    // A "mid-round" crash lands after local work but before the round
+    // commits anything: on resume the whole round re-executes.
+    MaybeInjectCrash(durability, CrashPoint::kMidRound, round);
 
     // Line 11: theta_s <- aggregate(theta_ci), behind a quorum gate. A
     // round that loses too many clients keeps the previous global model
@@ -203,7 +324,23 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
         EvaluateSegmentAccuracy(global_model_.get(), valid_pool);
     record.wall_seconds = watch.ElapsedSeconds();
     result.history.push_back(record);
+
+    if (durability.enabled()) {
+      // Journal first, snapshot second: a crash between the two leaves
+      // a journal record newer than any snapshot, which ResumeFrom
+      // truncates before re-executing the round.
+      LIGHTTR_CHECK_OK(AppendJournalRecord(durability.dir, record));
+      const bool snapshot_due = round % durability.snapshot_every == 0 ||
+                                round == options_.rounds;
+      if (snapshot_due) {
+        MaybeInjectCrash(durability, CrashPoint::kBeforeSave, round);
+        LIGHTTR_CHECK_OK(SaveSnapshot(round, result));
+        MaybeInjectCrash(durability, CrashPoint::kAfterSave, round);
+      }
+    }
   }
+  start_round_ = 0;
+  resume_seed_ = FederatedRunResult{};
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/backoff.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "fl/aggregation.h"
 #include "fl/comm_stats.h"
 #include "fl/compression.h"
@@ -16,6 +17,7 @@
 #include "fl/local_trainer.h"
 #include "fl/privacy.h"
 #include "fl/recovery_model.h"
+#include "fl/run_state.h"
 #include "nn/optimizer.h"
 #include "traj/workload.h"
 
@@ -74,26 +76,13 @@ struct FederatedTrainerOptions {
   FaultInjectionConfig faults;
   /// Server-side tolerance policy (screening is on by default).
   FaultToleranceConfig tolerance;
+  /// Crash-safe persistence: periodic snapshots + round journal under
+  /// `durability.dir`, and optional resume from it (off by default).
+  DurabilityConfig durability;
 };
 
-/// Per-round telemetry (drives the convergence analysis of Fig. 5 and
-/// the resilience curves of bench_fault_tolerance).
-struct RoundRecord {
-  int round = 0;
-  double mean_train_loss = 0.0;
-  double global_valid_accuracy = 0.0;
-  double wall_seconds = 0.0;
-  // Fault telemetry for this round.
-  int sampled = 0;           // cohort size selected by Algorithm 3 line 2
-  int reporting = 0;         // uploads that survived faults + screening
-  int drops = 0;             // clients lost after exhausting retries
-  int retries = 0;           // re-contact attempts this round
-  int stragglers = 0;        // clients cut off by the deadline
-  int rejected_uploads = 0;  // uploads discarded by screening
-  bool quorum_met = true;    // false -> previous global model kept
-};
-
-/// Outcome of a federated run.
+/// Outcome of a federated run. (RoundRecord lives in comm_stats.h with
+/// the other telemetry structs.)
 struct FederatedRunResult {
   CommStats comm;
   FaultStats faults;
@@ -109,8 +98,22 @@ class FederatedTrainer {
                    FederatedTrainerOptions options);
 
   /// Runs `options.rounds` rounds with `strategy` (defaults to plain
-  /// FedAvg when null).
+  /// FedAvg when null). With `options.durability.resume` set, first
+  /// restores the newest valid snapshot in `durability.dir` (falling
+  /// back to older ones on corruption) and continues from there; the
+  /// result then covers the full run, replayed history included.
   FederatedRunResult Run(LocalUpdateStrategy* strategy = nullptr);
+
+  /// Restores server state (global model, RNG streams, client optimizer
+  /// state, telemetry, round history) from the newest valid snapshot in
+  /// `dir`. A snapshot failing its checksum is skipped with a warning
+  /// and the previous one is tried. NotFound when `dir` holds no
+  /// snapshot at all (callers treat that as a fresh start).
+  [[nodiscard]] Status ResumeFrom(const std::string& dir);
+
+  /// Last completed round restored by ResumeFrom (0 when no resume
+  /// happened). Run() continues at resumed_round() + 1.
+  int resumed_round() const { return resumed_round_; }
 
   /// The global model (valid after construction; trained after Run).
   RecoveryModel* global_model() { return global_model_.get(); }
@@ -126,12 +129,26 @@ class FederatedTrainer {
   std::vector<traj::IncompleteTrajectory> SampleValidationPool(
       size_t max_trajectories, Rng* rng) const;
 
+  /// Captures full server state after `round` and atomically writes it
+  /// to the snapshot directory, honoring kMidSave crash injection.
+  [[nodiscard]] Status SaveSnapshot(int round,
+                                    const FederatedRunResult& result);
+
   const std::vector<traj::ClientDataset>* clients_;
   FederatedTrainerOptions options_;
   Rng rng_;
+  // Dedicated streams forked at construction (order matters: the fork
+  // sequence is part of the deterministic contract, see the ctor).
+  Rng fault_rng_;
+  Rng valid_rng_;
   std::unique_ptr<RecoveryModel> global_model_;
   std::vector<std::unique_ptr<RecoveryModel>> client_models_;
   std::vector<std::unique_ptr<nn::Optimizer>> client_optimizers_;
+  // Resume bookkeeping: rounds <= start_round_ are already durable and
+  // their telemetry is seeded into the result instead of re-run.
+  int start_round_ = 0;
+  int resumed_round_ = 0;
+  FederatedRunResult resume_seed_;
 };
 
 }  // namespace lighttr::fl

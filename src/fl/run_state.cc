@@ -1,0 +1,326 @@
+#include "fl/run_state.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
+
+namespace lighttr::fl {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'T', 'R', 'S'};
+constexpr uint32_t kVersion = 1;
+constexpr char kJournalName[] = "journal.log";
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".ltrs";
+
+std::string JournalPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / kJournalName).generic_string();
+}
+
+// One journal line: eleven space-separated fields followed by the
+// CRC-32 (8 hex digits) of everything before the final space. Doubles
+// use %.17g so the text round-trips bit-exactly.
+std::string FormatJournalBody(const RoundRecord& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%d %.17g %.17g %.17g %d %d %d %d %d %d %d",
+                r.round, r.mean_train_loss, r.global_valid_accuracy,
+                r.wall_seconds, r.sampled, r.reporting, r.drops, r.retries,
+                r.stragglers, r.rejected_uploads, r.quorum_met ? 1 : 0);
+  return std::string(buf);
+}
+
+bool ParseJournalLine(const std::string& line, RoundRecord* out) {
+  const size_t last_space = line.rfind(' ');
+  if (last_space == std::string::npos) return false;
+  const std::string body = line.substr(0, last_space);
+  const std::string crc_text = line.substr(last_space + 1);
+  if (crc_text.size() != 8) return false;
+  char* end = nullptr;
+  const unsigned long crc_claim = std::strtoul(crc_text.c_str(), &end, 16);
+  if (end != crc_text.c_str() + crc_text.size()) return false;
+  if (static_cast<uint32_t>(crc_claim) != Crc32(body)) return false;
+
+  std::istringstream tokens(body);
+  std::string field[11];
+  for (auto& f : field) {
+    if (!(tokens >> f)) return false;
+  }
+  std::string extra;
+  if (tokens >> extra) return false;
+
+  auto to_int = [](const std::string& s, int* v) {
+    char* e = nullptr;
+    const long long parsed = std::strtoll(s.c_str(), &e, 10);
+    if (e != s.c_str() + s.size()) return false;
+    *v = static_cast<int>(parsed);
+    return true;
+  };
+  auto to_double = [](const std::string& s, double* v) {
+    char* e = nullptr;
+    *v = std::strtod(s.c_str(), &e);
+    return e == s.c_str() + s.size();
+  };
+  int quorum = 0;
+  if (!to_int(field[0], &out->round) ||
+      !to_double(field[1], &out->mean_train_loss) ||
+      !to_double(field[2], &out->global_valid_accuracy) ||
+      !to_double(field[3], &out->wall_seconds) ||
+      !to_int(field[4], &out->sampled) || !to_int(field[5], &out->reporting) ||
+      !to_int(field[6], &out->drops) || !to_int(field[7], &out->retries) ||
+      !to_int(field[8], &out->stragglers) ||
+      !to_int(field[9], &out->rejected_uploads) ||
+      !to_int(field[10], &quorum)) {
+    return false;
+  }
+  out->quorum_met = quorum != 0;
+  return true;
+}
+
+std::string FormatJournalLine(const RoundRecord& r) {
+  const std::string body = FormatJournalBody(r);
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(body));
+  return body + " " + crc + "\n";
+}
+
+}  // namespace
+
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone: return "none";
+    case CrashPoint::kBeforeSave: return "before-save";
+    case CrashPoint::kMidSave: return "mid-save";
+    case CrashPoint::kAfterSave: return "after-save";
+    case CrashPoint::kMidRound: return "mid-round";
+  }
+  return "unknown";
+}
+
+void MaybeInjectCrash(const DurabilityConfig& config, CrashPoint point,
+                      int round) {
+  if (config.crash_point == point && config.crash_round == round &&
+      point != CrashPoint::kNone) {
+    throw InjectedCrash{point, round};
+  }
+}
+
+std::string EncodeRunState(const ServerRunState& state) {
+  BinaryWriter writer;
+  writer.WriteBytes(kMagic, sizeof(kMagic));
+  writer.WriteU32(kVersion);
+  writer.WriteU32(static_cast<uint32_t>(state.round));
+  writer.WriteString(state.rng_state);
+  writer.WriteString(state.fault_rng_state);
+  writer.WriteI64(state.comm.bytes_downlink);
+  writer.WriteI64(state.comm.bytes_uplink);
+  writer.WriteI64(state.comm.messages);
+  writer.WriteI64(state.comm.rounds);
+  writer.WriteI64(state.faults.drops);
+  writer.WriteI64(state.faults.retries);
+  writer.WriteI64(state.faults.stragglers);
+  writer.WriteI64(state.faults.rejected_uploads);
+  writer.WriteI64(state.faults.clipped_uploads);
+  writer.WriteI64(state.faults.quorum_misses);
+  writer.WriteI64(state.faults.sampled_clients);
+  writer.WriteI64(state.faults.reporting_clients);
+  writer.WriteF64(state.faults.simulated_backoff_s);
+  writer.WriteString(state.global_params_blob);
+  writer.WriteU32(static_cast<uint32_t>(state.optimizer_blobs.size()));
+  for (const std::string& blob : state.optimizer_blobs) {
+    writer.WriteString(blob);
+  }
+  std::string out = writer.Take();
+  const uint32_t crc = Crc32(out);
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return out;
+}
+
+Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
+  LIGHTTR_CHECK(state != nullptr);
+  if (bytes.size() < sizeof(kMagic) + sizeof(uint32_t)) {
+    return Status::InvalidArgument("run-state snapshot too short");
+  }
+  // Integrity first: nothing is interpreted until the whole-file CRC
+  // proves the bytes are exactly what was written.
+  const std::string body = bytes.substr(0, bytes.size() - sizeof(uint32_t));
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body.size(), sizeof(stored_crc));
+  if (Crc32(body) != stored_crc) {
+    return Status::InvalidArgument(
+        "run-state snapshot failed CRC check (truncated or corrupted)");
+  }
+
+  BinaryReader reader(body);
+  char magic[4];
+  LIGHTTR_RETURN_NOT_OK(reader.ReadBytes(magic, sizeof(magic)));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad run-state magic");
+  }
+  uint32_t version = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported run-state version " +
+                                   std::to_string(version));
+  }
+  uint32_t round = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&round));
+  state->round = static_cast<int>(round);
+  LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->rng_state));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->fault_rng_state));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->comm.bytes_downlink));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->comm.bytes_uplink));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->comm.messages));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->comm.rounds));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.drops));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.retries));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.stragglers));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.rejected_uploads));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.clipped_uploads));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.quorum_misses));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.sampled_clients));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.reporting_clients));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadF64(&state->faults.simulated_backoff_s));
+  LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->global_params_blob));
+  uint32_t opt_count = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&opt_count));
+  state->optimizer_blobs.clear();
+  for (uint32_t i = 0; i < opt_count; ++i) {
+    std::string blob;
+    LIGHTTR_RETURN_NOT_OK(reader.ReadString(&blob));
+    state->optimizer_blobs.push_back(std::move(blob));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in run-state snapshot");
+  }
+  return Status::Ok();
+}
+
+Status SaveRunState(const std::string& path, const ServerRunState& state) {
+  std::error_code ec;
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot directory " +
+                           parent.generic_string() + ": " + ec.message());
+  }
+  return WriteFileAtomic(path, EncodeRunState(state));
+}
+
+Result<ServerRunState> LoadRunState(const std::string& path) {
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  ServerRunState state;
+  LIGHTTR_RETURN_NOT_OK(DecodeRunState(contents.value(), &state));
+  return state;
+}
+
+std::string SnapshotPath(const std::string& dir, int round) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kSnapshotPrefix, round,
+                kSnapshotSuffix);
+  return (std::filesystem::path(dir) / name).generic_string();
+}
+
+Result<std::vector<int>> ListSnapshotRounds(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("no snapshot directory at " + dir);
+  }
+  std::vector<int> rounds;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const size_t prefix_len = std::strlen(kSnapshotPrefix);
+    const size_t suffix_len = std::strlen(kSnapshotSuffix);
+    if (name.size() <= prefix_len + suffix_len) continue;
+    if (name.compare(0, prefix_len, kSnapshotPrefix) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len, kSnapshotSuffix) !=
+        0) {
+      continue;  // includes in-flight "*.ltrs.tmp" partials
+    }
+    const std::string digits =
+        name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+    char* end = nullptr;
+    const long long round = std::strtoll(digits.c_str(), &end, 10);
+    if (end != digits.c_str() + digits.size() || round <= 0) continue;
+    rounds.push_back(static_cast<int>(round));
+  }
+  if (ec) {
+    return Status::IoError("cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+void PruneSnapshots(const std::string& dir, int keep) {
+  Result<std::vector<int>> rounds = ListSnapshotRounds(dir);
+  if (!rounds.ok()) return;  // nothing to prune
+  const std::vector<int>& all = rounds.value();
+  if (static_cast<int>(all.size()) <= keep) return;
+  for (size_t i = 0; i + static_cast<size_t>(keep) < all.size(); ++i) {
+    std::error_code ec;
+    std::filesystem::remove(SnapshotPath(dir, all[i]), ec);
+  }
+}
+
+Status AppendJournalRecord(const std::string& dir, const RoundRecord& record) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create journal directory " + dir + ": " +
+                           ec.message());
+  }
+  return AppendToFile(JournalPath(dir), FormatJournalLine(record));
+}
+
+Result<std::vector<RoundRecord>> ReadJournal(const std::string& dir) {
+  std::error_code ec;
+  const std::string path = JournalPath(dir);
+  if (!std::filesystem::exists(path, ec)) {
+    return std::vector<RoundRecord>{};  // fresh directory: empty history
+  }
+  Result<std::string> contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  std::vector<RoundRecord> records;
+  std::istringstream lines(contents.value());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    RoundRecord record;
+    if (!ParseJournalLine(line, &record)) {
+      // A line that fails its CRC (or cannot parse) marks the torn
+      // tail of a crashed append; everything after it is suspect.
+      break;
+    }
+    records.push_back(record);
+  }
+  return records;
+}
+
+Status RewriteJournal(const std::string& dir,
+                      const std::vector<RoundRecord>& records) {
+  std::string contents;
+  for (const RoundRecord& record : records) {
+    contents += FormatJournalLine(record);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create journal directory " + dir + ": " +
+                           ec.message());
+  }
+  return WriteFileAtomic(JournalPath(dir), contents);
+}
+
+}  // namespace lighttr::fl

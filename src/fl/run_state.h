@@ -1,0 +1,135 @@
+// Durable server state for the federated loop: periodic full-state
+// snapshots plus an append-only, CRC-tagged round journal, so a
+// coordinator killed mid-run can resume and converge bitwise-identically
+// to an uninterrupted run.
+//
+// Directory layout (everything under DurabilityConfig::dir):
+//
+//   snapshot-000012.ltrs   full ServerRunState after round 12
+//   snapshot-000016.ltrs   ... the newest `keep_snapshots` are retained
+//   journal.log            one line per completed round, CRC-tagged
+//   *.tmp                  in-flight atomic writes; ignored by readers
+//
+// Snapshots are written via WriteFileAtomic and carry a whole-file
+// CRC-32, so a crash at any point leaves either the previous snapshot
+// set intact or a new fully-valid snapshot — never a half-written one
+// that parses. The journal is append-only; a torn tail line fails its
+// CRC and is discarded on replay.
+#ifndef LIGHTTR_FL_RUN_STATE_H_
+#define LIGHTTR_FL_RUN_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fl/comm_stats.h"
+
+namespace lighttr::fl {
+
+/// Deterministic crash-injection hooks for the durability layer. Tests
+/// configure a (point, round) pair; when the running trainer reaches
+/// that point it throws InjectedCrash, simulating a process kill with
+/// the disk in exactly the state a real crash would leave.
+enum class CrashPoint {
+  kNone = 0,
+  kBeforeSave,  // snapshot round reached, nothing written yet
+  kMidSave,     // temp file partially written, no rename
+  kAfterSave,   // snapshot durable, crash before the run continues
+  kMidRound,    // inside the round, before aggregation
+};
+
+const char* CrashPointName(CrashPoint point);
+
+/// Thrown (only) by crash injection; never by real failure paths. Tests
+/// catch it where a real deployment would see a dead process.
+struct InjectedCrash {
+  CrashPoint point = CrashPoint::kNone;
+  int round = 0;
+};
+
+/// Server-side durability knobs. Durability is off (no files written)
+/// while `dir` is empty.
+struct DurabilityConfig {
+  /// Directory for snapshots + journal; created on first save.
+  std::string dir;
+  /// Snapshot every K completed rounds (the final round always
+  /// snapshots so a finished run is durable).
+  int snapshot_every = 1;
+  /// How many snapshots to retain; >= 2 keeps a fallback when the
+  /// newest one is corrupted.
+  int keep_snapshots = 2;
+  /// Resume from `dir` at the start of Run (no-op when the directory
+  /// holds no valid snapshot).
+  bool resume = false;
+  /// Test-only crash injection: throw InjectedCrash when `crash_point`
+  /// is reached in round `crash_round` (1-based; 0 disables).
+  CrashPoint crash_point = CrashPoint::kNone;
+  int crash_round = 0;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+/// Fires the configured injected crash if (point, round) matches.
+void MaybeInjectCrash(const DurabilityConfig& config, CrashPoint point,
+                      int round);
+
+/// Everything the server must persist to resume a run exactly: the
+/// last completed round, both RNG stream states, accumulated telemetry,
+/// the global parameters (float64 checkpoint blob), and each client
+/// optimizer's state.
+struct ServerRunState {
+  int round = 0;
+  std::string rng_state;        // FederatedTrainer::rng_
+  std::string fault_rng_state;  // dedicated fault stream
+  CommStats comm;
+  FaultStats faults;
+  std::string global_params_blob;            // nn::SerializeCheckpoint, f64
+  std::vector<std::string> optimizer_blobs;  // one per client, in order
+};
+
+/// Encodes a snapshot ("LTRS" magic, version, fields, whole-file CRC).
+std::string EncodeRunState(const ServerRunState& state);
+
+/// Decodes an EncodeRunState blob; any integrity violation (bad magic,
+/// truncation, CRC mismatch, oversized lengths) yields a non-OK Status.
+[[nodiscard]] Status DecodeRunState(const std::string& bytes,
+                                    ServerRunState* state);
+
+/// Atomically writes `state` to `path`.
+[[nodiscard]] Status SaveRunState(const std::string& path,
+                                  const ServerRunState& state);
+
+/// Reads and decodes the snapshot at `path`.
+[[nodiscard]] Result<ServerRunState> LoadRunState(const std::string& path);
+
+/// Canonical snapshot path for a round: <dir>/snapshot-<round>.ltrs.
+std::string SnapshotPath(const std::string& dir, int round);
+
+/// Rounds with a snapshot file in `dir`, ascending. NotFound when the
+/// directory does not exist; an empty vector when it is merely empty.
+/// Partial `.tmp` files and unrelated names are ignored.
+[[nodiscard]] Result<std::vector<int>> ListSnapshotRounds(
+    const std::string& dir);
+
+/// Deletes all but the newest `keep` snapshots (best effort).
+void PruneSnapshots(const std::string& dir, int keep);
+
+/// Appends one CRC-tagged journal line for a completed round.
+[[nodiscard]] Status AppendJournalRecord(const std::string& dir,
+                                         const RoundRecord& record);
+
+/// Replays the journal: returns every leading record whose line passes
+/// its CRC, silently dropping the torn tail a crash mid-append leaves.
+/// A missing journal is an empty history, not an error.
+[[nodiscard]] Result<std::vector<RoundRecord>> ReadJournal(
+    const std::string& dir);
+
+/// Atomically rewrites the journal to exactly `records` (used on resume
+/// to drop records newer than the snapshot being resumed from, since
+/// those rounds will be re-executed).
+[[nodiscard]] Status RewriteJournal(const std::string& dir,
+                                    const std::vector<RoundRecord>& records);
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_RUN_STATE_H_

@@ -2,9 +2,56 @@
 
 #include <cmath>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 
 namespace lighttr::nn {
+
+namespace {
+
+// Optimizer state blobs: u8 kind tag, then the concrete optimizer's
+// counters and moment matrices at full Scalar precision. Embedded in
+// run-state snapshots, which carry the integrity CRC; blobs here only
+// need to be bounds-safe to parse.
+constexpr uint8_t kStateKindSgd = 0;
+constexpr uint8_t kStateKindAdam = 1;
+
+void WriteMatrices(BinaryWriter* writer, const std::vector<Matrix>& matrices) {
+  writer->WriteU32(static_cast<uint32_t>(matrices.size()));
+  for (const Matrix& m : matrices) {
+    writer->WriteU32(static_cast<uint32_t>(m.rows()));
+    writer->WriteU32(static_cast<uint32_t>(m.cols()));
+    for (size_t i = 0; i < m.size(); ++i) {
+      writer->WriteF64(static_cast<double>(m.data()[i]));
+    }
+  }
+}
+
+Status ReadMatrices(BinaryReader* reader, std::vector<Matrix>* out) {
+  uint32_t count = 0;
+  LIGHTTR_RETURN_NOT_OK(reader->ReadU32(&count));
+  out->clear();
+  for (uint32_t k = 0; k < count; ++k) {
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    LIGHTTR_RETURN_NOT_OK(reader->ReadU32(&rows));
+    LIGHTTR_RETURN_NOT_OK(reader->ReadU32(&cols));
+    const uint64_t elements = static_cast<uint64_t>(rows) * cols;
+    if (elements * sizeof(double) > reader->remaining()) {
+      return Status::InvalidArgument("truncated optimizer state matrix");
+    }
+    Matrix m(rows, cols);
+    for (size_t i = 0; i < m.size(); ++i) {
+      double v = 0.0;
+      LIGHTTR_RETURN_NOT_OK(reader->ReadF64(&v));
+      m.data()[i] = static_cast<Scalar>(v);
+    }
+    out->push_back(std::move(m));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 void ClipGradientsByGlobalNorm(ParameterSet* params, Scalar max_norm) {
   if (max_norm <= Scalar{0}) return;
@@ -57,6 +104,27 @@ void SgdOptimizer::Step(ParameterSet* params) {
   params->ZeroGrads();
 }
 
+std::string SgdOptimizer::SerializeState() const {
+  BinaryWriter writer;
+  writer.WriteU8(kStateKindSgd);
+  WriteMatrices(&writer, velocity_);
+  return writer.Take();
+}
+
+Status SgdOptimizer::DeserializeState(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  uint8_t kind = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU8(&kind));
+  if (kind != kStateKindSgd) {
+    return Status::InvalidArgument("state blob is not SGD state");
+  }
+  LIGHTTR_RETURN_NOT_OK(ReadMatrices(&reader, &velocity_));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in SGD state blob");
+  }
+  return Status::Ok();
+}
+
 AdamOptimizer::AdamOptimizer(Scalar learning_rate, Scalar beta1, Scalar beta2,
                              Scalar epsilon, Scalar clip_norm,
                              Scalar weight_decay)
@@ -81,6 +149,11 @@ void AdamOptimizer::Step(ParameterSet* params) {
     }
   }
   LIGHTTR_CHECK_EQ(m_.size(), params->size());
+  for (size_t i = 0; i < params->size(); ++i) {
+    // A restored state whose shapes do not match the model is a
+    // programming error (wrong architecture for the snapshot).
+    LIGHTTR_CHECK(m_[i].SameShape(params->tensor(i).value()));
+  }
   ++step_count_;
   const Scalar bc1 =
       Scalar{1} - std::pow(beta1_, static_cast<Scalar>(step_count_));
@@ -104,6 +177,43 @@ void AdamOptimizer::Step(ParameterSet* params) {
     }
   }
   params->ZeroGrads();
+}
+
+std::string AdamOptimizer::SerializeState() const {
+  BinaryWriter writer;
+  writer.WriteU8(kStateKindAdam);
+  writer.WriteI64(step_count_);
+  WriteMatrices(&writer, m_);
+  WriteMatrices(&writer, v_);
+  return writer.Take();
+}
+
+Status AdamOptimizer::DeserializeState(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  uint8_t kind = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU8(&kind));
+  if (kind != kStateKindAdam) {
+    return Status::InvalidArgument("state blob is not Adam state");
+  }
+  int64_t steps = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&steps));
+  if (steps < 0) {
+    return Status::InvalidArgument("negative Adam step count");
+  }
+  std::vector<Matrix> m;
+  std::vector<Matrix> v;
+  LIGHTTR_RETURN_NOT_OK(ReadMatrices(&reader, &m));
+  LIGHTTR_RETURN_NOT_OK(ReadMatrices(&reader, &v));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes in Adam state blob");
+  }
+  if (m.size() != v.size()) {
+    return Status::InvalidArgument("Adam moment vectors differ in length");
+  }
+  step_count_ = steps;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return Status::Ok();
 }
 
 }  // namespace lighttr::nn

@@ -2,8 +2,10 @@
 #ifndef LIGHTTR_NN_OPTIMIZER_H_
 #define LIGHTTR_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "nn/parameter.h"
 
 namespace lighttr::nn {
@@ -17,6 +19,24 @@ class Optimizer {
   /// Updates every parameter in `params` from its gradient, then zeroes
   /// the gradients.
   virtual void Step(ParameterSet* params) = 0;
+
+  /// Serializes the mutable optimizer state (moment estimates, step
+  /// counters) at full Scalar precision for crash-recovery snapshots.
+  /// Hyperparameters are NOT included: the restoring side constructs
+  /// the optimizer with the same options and then loads the state. The
+  /// base implementation is for stateless optimizers (empty blob).
+  virtual std::string SerializeState() const { return std::string(); }
+
+  /// Restores a blob produced by SerializeState on an optimizer of the
+  /// same concrete type. Malformed or mismatched blobs are rejected
+  /// with a Status (state may be partially overwritten on failure).
+  [[nodiscard]] virtual Status DeserializeState(const std::string& bytes) {
+    if (!bytes.empty()) {
+      return Status::InvalidArgument(
+          "state blob given to a stateless optimizer");
+    }
+    return Status::Ok();
+  }
 };
 
 /// Stochastic gradient descent with optional classical momentum and
@@ -27,6 +47,9 @@ class SgdOptimizer : public Optimizer {
                         Scalar clip_norm = Scalar{0});
 
   void Step(ParameterSet* params) override;
+
+  std::string SerializeState() const override;
+  [[nodiscard]] Status DeserializeState(const std::string& bytes) override;
 
   Scalar learning_rate() const { return learning_rate_; }
   void set_learning_rate(Scalar lr) { learning_rate_ = lr; }
@@ -48,6 +71,9 @@ class AdamOptimizer : public Optimizer {
                          Scalar weight_decay = Scalar{1e-4});
 
   void Step(ParameterSet* params) override;
+
+  std::string SerializeState() const override;
+  [[nodiscard]] Status DeserializeState(const std::string& bytes) override;
 
   Scalar learning_rate() const { return learning_rate_; }
   void set_learning_rate(Scalar lr) { learning_rate_ = lr; }

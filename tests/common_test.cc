@@ -1,10 +1,15 @@
-// Unit tests for src/common: Status/Result, Rng, TablePrinter, file IO.
+// Unit tests for src/common: Status/Result, Rng, TablePrinter, file IO,
+// CRC-32, bounds-checked binary IO, atomic writes, backoff schedules.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 
+#include "common/backoff.h"
+#include "common/binary_io.h"
+#include "common/crc32.h"
 #include "common/file_util.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -193,6 +198,193 @@ TEST(FileUtil, ReadMissingFileFails) {
   auto read = ReadFile("/tmp/definitely_missing_lighttr_file");
   EXPECT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+TEST(Crc32, MatchesKnownVectors) {
+  // The standard IEEE 802.3 check value.
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string()), 0u);
+  EXPECT_EQ(Crc32(std::string("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalUpdateEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = 0;
+  for (char c : data) crc = Crc32Update(crc, &c, 1);
+  EXPECT_EQ(crc, Crc32(data));
+}
+
+TEST(Crc32, SensitiveToEveryBit) {
+  const std::string data("\x00\x01\x02\x03", 4);
+  const uint32_t clean = Crc32(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = data;
+      damaged[byte] = static_cast<char>(damaged[byte] ^ (1 << bit));
+      EXPECT_NE(Crc32(damaged), clean);
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripsEveryType) {
+  BinaryWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(0x1122334455667788ull);
+  writer.WriteI64(-42);
+  writer.WriteF32(1.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteString(std::string("s\0tr", 4));
+
+  BinaryReader reader(writer.bytes());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0;
+  double f64 = 0;
+  std::string str;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadF32(&f32).ok());
+  ASSERT_TRUE(reader.ReadF64(&f64).ok());
+  ASSERT_TRUE(reader.ReadString(&str).ok());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x1122334455667788ull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(str, std::string("s\0tr", 4));
+}
+
+TEST(BinaryIo, ReadsPastEndReturnStatusNotUb) {
+  const std::string bytes = "ab";
+  BinaryReader reader(bytes);
+  uint32_t u32 = 0;
+  EXPECT_FALSE(reader.ReadU32(&u32).ok());
+  // A failed read must not advance the cursor.
+  uint8_t u8 = 0;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  EXPECT_EQ(u8, 'a');
+}
+
+TEST(BinaryIo, HostileStringLengthIsRejected) {
+  // A declared length far past the real buffer must fail cleanly
+  // instead of allocating or reading out of bounds.
+  BinaryWriter writer;
+  writer.WriteU64(0xFFFFFFFFFFFFull);
+  writer.WriteU8('x');
+  BinaryReader reader(writer.bytes());
+  std::string out;
+  EXPECT_FALSE(reader.ReadString(&out).ok());
+  // Cursor restored: the u64 can still be read as itself.
+  uint64_t len = 0;
+  ASSERT_TRUE(reader.ReadU64(&len).ok());
+  EXPECT_EQ(len, 0xFFFFFFFFFFFFull);
+}
+
+TEST(FileUtil, WriteFileAtomicLeavesNoTempBehind) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "atomic_write").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (std::filesystem::path(dir) / "out.bin").string();
+  ASSERT_TRUE(WriteFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "v2-longer").ok());  // overwrite works
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "v2-longer");
+}
+
+TEST(FileUtil, WriteFileAtomicFailsCleanlyOnBadPath) {
+  const Status status =
+      WriteFileAtomic("/nonexistent_dir_lighttr/x/y/out.bin", "data");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(FileUtil, AppendToFileAccumulates) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "append_file").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = (std::filesystem::path(dir) / "log.txt").string();
+  ASSERT_TRUE(AppendToFile(path, "one\n").ok());
+  ASSERT_TRUE(AppendToFile(path, "two\n").ok());
+  auto read = ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "one\ntwo\n");
+}
+
+TEST(Rng, StateSerializationResumesExactStream) {
+  Rng rng(123);
+  for (int i = 0; i < 57; ++i) rng.Uniform();  // advance mid-stream
+  const std::string state = rng.SerializeState();
+
+  // Continue the original; restore a fresh engine from the state; both
+  // must produce the identical suffix of the stream.
+  Rng restored(0);
+  ASSERT_TRUE(restored.DeserializeState(state).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.engine()(), restored.engine()());
+  }
+}
+
+TEST(Rng, DeserializeRejectsGarbageWithoutClobberingState) {
+  Rng rng(7);
+  const uint64_t before = rng.engine()();
+  Rng reference(7);
+  reference.engine()();
+
+  Rng victim(7);
+  victim.engine()();
+  EXPECT_FALSE(victim.DeserializeState("not an engine state").ok());
+  EXPECT_FALSE(victim.DeserializeState("").ok());
+  // The failed restore must leave the current stream untouched.
+  EXPECT_EQ(victim.engine()(), reference.engine()());
+  (void)before;
+}
+
+TEST(Backoff, SeededDeterminism) {
+  const BackoffConfig config;  // jitter 0.1 by default
+  Rng a(11);
+  Rng b(11);
+  for (int retry = 0; retry < 6; ++retry) {
+    EXPECT_EQ(BackoffDelaySeconds(config, retry, &a),
+              BackoffDelaySeconds(config, retry, &b));
+  }
+}
+
+TEST(Backoff, NoJitterIsExactGeometricWithCap) {
+  BackoffConfig config;
+  config.base_delay_s = 0.5;
+  config.multiplier = 2.0;
+  config.max_delay_s = 3.0;
+  config.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffDelaySeconds(config, 0, nullptr), 0.5);
+  EXPECT_DOUBLE_EQ(BackoffDelaySeconds(config, 1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffDelaySeconds(config, 2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffDelaySeconds(config, 3, nullptr), 3.0);  // capped
+  EXPECT_DOUBLE_EQ(BackoffDelaySeconds(config, 30, nullptr), 3.0);
+}
+
+TEST(Backoff, JitterStaysInsideConfiguredBand) {
+  BackoffConfig config;
+  config.base_delay_s = 1.0;
+  config.multiplier = 1.0;
+  config.max_delay_s = 1.0;
+  config.jitter = 0.25;
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double delay = BackoffDelaySeconds(config, 0, &rng);
+    EXPECT_GE(delay, 0.75);
+    EXPECT_LE(delay, 1.25);
+  }
 }
 
 TEST(Stopwatch, Monotonic) {

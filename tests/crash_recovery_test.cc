@@ -1,0 +1,451 @@
+// Tests for the durability layer: run-state snapshot integrity, the
+// CRC-tagged round journal, crash injection at every CrashPoint, and
+// bitwise-identical resume of an interrupted federated run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "fl/federated_trainer.h"
+#include "fl/run_state.h"
+#include "nn/losses.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+#include "traj/workload.h"
+
+namespace lighttr::fl {
+namespace {
+
+// Same minimal RecoveryModel as fl_test: one scalar parameter trained
+// toward the per-trajectory driver_id.
+class StubModel : public RecoveryModel {
+ public:
+  explicit StubModel(Rng* rng) {
+    w_ = nn::Tensor::Variable(
+        nn::Matrix::Full(1, 1, rng != nullptr ? rng->Uniform(-1, 1) : 0.0));
+    params_.Register("w", w_);
+  }
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                        bool /*training*/, Rng* /*rng*/) override {
+    nn::Matrix target(1, 1);
+    target(0, 0) = static_cast<nn::Scalar>(trajectory.ground_truth.driver_id);
+    ForwardResult result;
+    result.loss = nn::MseLoss(w_, target);
+    result.representation = w_;
+    return result;
+  }
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override {
+    return std::vector<roadnet::PointPosition>(trajectory.size(),
+                                               roadnet::PointPosition{0, 0.0});
+  }
+
+ private:
+  std::string name_ = "Stub";
+  nn::ParameterSet params_;
+  nn::Tensor w_;
+};
+
+std::unique_ptr<RecoveryModel> MakeStub(Rng* rng) {
+  return std::make_unique<StubModel>(rng);
+}
+
+std::vector<traj::ClientDataset> MakeClients(int n, uint64_t seed,
+                                             int per_client = 6) {
+  Rng rng(seed);
+  roadnet::CityGridOptions options;
+  options.rows = 6;
+  options.cols = 6;
+  static roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = per_client;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = n;
+  return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+}
+
+// A lossy 30-round configuration so resume must restore the fault RNG
+// stream (drops, retries, backoff jitter) as well as the model state.
+FederatedTrainerOptions LossyOptions(int rounds = 30) {
+  FederatedTrainerOptions options;
+  options.rounds = rounds;
+  options.local_epochs = 2;
+  options.learning_rate = 0.05;
+  options.faults.dropout_rate = 0.2;
+  options.faults.corruption_rate = 0.05;
+  options.tolerance.retry.max_retries = 2;
+  return options;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).generic_string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<nn::Scalar> FinalParams(FederatedTrainer* trainer) {
+  return trainer->global_model()->params().Flatten();
+}
+
+// Every field except wall-clock time must survive resume bitwise.
+void ExpectSameRecord(const RoundRecord& a, const RoundRecord& b) {
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.mean_train_loss, b.mean_train_loss);
+  EXPECT_EQ(a.global_valid_accuracy, b.global_valid_accuracy);
+  EXPECT_EQ(a.sampled, b.sampled);
+  EXPECT_EQ(a.reporting, b.reporting);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.stragglers, b.stragglers);
+  EXPECT_EQ(a.rejected_uploads, b.rejected_uploads);
+  EXPECT_EQ(a.quorum_met, b.quorum_met);
+}
+
+void ExpectSameResult(const FederatedRunResult& a,
+                      const FederatedRunResult& b) {
+  EXPECT_EQ(a.comm.bytes_downlink, b.comm.bytes_downlink);
+  EXPECT_EQ(a.comm.bytes_uplink, b.comm.bytes_uplink);
+  EXPECT_EQ(a.comm.messages, b.comm.messages);
+  EXPECT_EQ(a.comm.rounds, b.comm.rounds);
+  EXPECT_EQ(a.faults.drops, b.faults.drops);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.stragglers, b.faults.stragglers);
+  EXPECT_EQ(a.faults.rejected_uploads, b.faults.rejected_uploads);
+  EXPECT_EQ(a.faults.clipped_uploads, b.faults.clipped_uploads);
+  EXPECT_EQ(a.faults.quorum_misses, b.faults.quorum_misses);
+  EXPECT_EQ(a.faults.sampled_clients, b.faults.sampled_clients);
+  EXPECT_EQ(a.faults.reporting_clients, b.faults.reporting_clients);
+  EXPECT_EQ(a.faults.simulated_backoff_s, b.faults.simulated_backoff_s);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    ExpectSameRecord(a.history[i], b.history[i]);
+  }
+}
+
+void CorruptFile(const std::string& path) {
+  Result<std::string> contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  std::string bytes = contents.value();
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= static_cast<char>(0x40);
+  ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+}
+
+// ---------------------------------------------------------------------
+// ServerRunState encode / decode
+
+ServerRunState MakeState() {
+  ServerRunState state;
+  state.round = 12;
+  Rng rng(5);
+  rng.Uniform();
+  state.rng_state = rng.SerializeState();
+  state.fault_rng_state = Rng(6).SerializeState();
+  state.comm.bytes_downlink = 100;
+  state.comm.bytes_uplink = 90;
+  state.comm.messages = 40;
+  state.comm.rounds = 12;
+  state.faults.drops = 3;
+  state.faults.retries = 5;
+  state.faults.simulated_backoff_s = 1.25;
+  state.global_params_blob = "pretend-checkpoint-bytes";
+  state.optimizer_blobs = {"opt-a", "opt-b", std::string("\0\x01", 2)};
+  return state;
+}
+
+TEST(RunState, EncodeDecodeRoundTrips) {
+  const ServerRunState state = MakeState();
+  ServerRunState out;
+  ASSERT_TRUE(DecodeRunState(EncodeRunState(state), &out).ok());
+  EXPECT_EQ(out.round, state.round);
+  EXPECT_EQ(out.rng_state, state.rng_state);
+  EXPECT_EQ(out.fault_rng_state, state.fault_rng_state);
+  EXPECT_EQ(out.comm.bytes_downlink, state.comm.bytes_downlink);
+  EXPECT_EQ(out.faults.retries, state.faults.retries);
+  EXPECT_EQ(out.faults.simulated_backoff_s, state.faults.simulated_backoff_s);
+  EXPECT_EQ(out.global_params_blob, state.global_params_blob);
+  EXPECT_EQ(out.optimizer_blobs, state.optimizer_blobs);
+}
+
+TEST(RunState, DecodeRejectsAnySingleBitFlip) {
+  const std::string encoded = EncodeRunState(MakeState());
+  // Flip one bit at a spread of positions (every byte would be slow).
+  for (size_t pos = 0; pos < encoded.size(); pos += 7) {
+    std::string damaged = encoded;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+    ServerRunState out;
+    EXPECT_FALSE(DecodeRunState(damaged, &out).ok())
+        << "bit flip at byte " << pos << " was not detected";
+  }
+}
+
+TEST(RunState, DecodeRejectsTruncation) {
+  const std::string encoded = EncodeRunState(MakeState());
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{10}, encoded.size() - 1}) {
+    ServerRunState out;
+    EXPECT_FALSE(DecodeRunState(encoded.substr(0, keep), &out).ok());
+  }
+}
+
+TEST(RunState, SaveLoadThroughDisk) {
+  const std::string dir = FreshDir("run_state_disk");
+  const std::string path = SnapshotPath(dir, 7);
+  ASSERT_TRUE(SaveRunState(path, MakeState()).ok());
+  Result<ServerRunState> loaded = LoadRunState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().round, 12);
+  EXPECT_FALSE(LoadRunState(SnapshotPath(dir, 8)).ok());  // missing file
+}
+
+TEST(RunState, ListAndPruneSnapshots) {
+  const std::string dir = FreshDir("run_state_list");
+  EXPECT_FALSE(ListSnapshotRounds(dir).ok());  // NotFound before any save
+  for (int round : {4, 8, 12, 16}) {
+    ASSERT_TRUE(SaveRunState(SnapshotPath(dir, round), MakeState()).ok());
+  }
+  // In-flight temp files and unrelated names are ignored.
+  ASSERT_TRUE(AppendToFile(SnapshotPath(dir, 20) + ".tmp", "partial").ok());
+  ASSERT_TRUE(
+      AppendToFile((std::filesystem::path(dir) / "notes.txt").string(), "x")
+          .ok());
+  Result<std::vector<int>> rounds = ListSnapshotRounds(dir);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(rounds.value(), (std::vector<int>{4, 8, 12, 16}));
+
+  PruneSnapshots(dir, 2);
+  rounds = ListSnapshotRounds(dir);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_EQ(rounds.value(), (std::vector<int>{12, 16}));
+}
+
+// ---------------------------------------------------------------------
+// Round journal
+
+RoundRecord MakeRecord(int round) {
+  RoundRecord record;
+  record.round = round;
+  record.mean_train_loss = 0.125 + round * 1e-17;  // exercise %.17g
+  record.global_valid_accuracy = 1.0 / 3.0;
+  record.wall_seconds = 0.002;
+  record.sampled = 4;
+  record.reporting = 3;
+  record.drops = 1;
+  record.retries = 2;
+  record.quorum_met = round % 2 == 0;
+  return record;
+}
+
+TEST(Journal, AppendReadRoundTripsBitwise) {
+  const std::string dir = FreshDir("journal_roundtrip");
+  for (int round = 1; round <= 5; ++round) {
+    ASSERT_TRUE(AppendJournalRecord(dir, MakeRecord(round)).ok());
+  }
+  Result<std::vector<RoundRecord>> records = ReadJournal(dir);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 5u);
+  for (int round = 1; round <= 5; ++round) {
+    ExpectSameRecord(records.value()[round - 1], MakeRecord(round));
+    // Doubles must round-trip exactly through the text format.
+    EXPECT_EQ(records.value()[round - 1].wall_seconds, 0.002);
+  }
+}
+
+TEST(Journal, TornTailIsDroppedNotFatal) {
+  const std::string dir = FreshDir("journal_torn");
+  ASSERT_TRUE(AppendJournalRecord(dir, MakeRecord(1)).ok());
+  ASSERT_TRUE(AppendJournalRecord(dir, MakeRecord(2)).ok());
+  // A crash mid-append leaves a half-written line with a broken CRC.
+  ASSERT_TRUE(
+      AppendToFile((std::filesystem::path(dir) / "journal.log").string(),
+                   "3 0.5 0.5 0.1 4 3 1")
+          .ok());
+  Result<std::vector<RoundRecord>> records = ReadJournal(dir);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value().back().round, 2);
+}
+
+TEST(Journal, MissingJournalIsEmptyHistory) {
+  const std::string dir = FreshDir("journal_missing");
+  std::filesystem::create_directories(dir);
+  Result<std::vector<RoundRecord>> records = ReadJournal(dir);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+}
+
+TEST(Journal, RewriteTruncatesAtomically) {
+  const std::string dir = FreshDir("journal_rewrite");
+  for (int round = 1; round <= 6; ++round) {
+    ASSERT_TRUE(AppendJournalRecord(dir, MakeRecord(round)).ok());
+  }
+  ASSERT_TRUE(
+      RewriteJournal(dir, {MakeRecord(1), MakeRecord(2), MakeRecord(3)}).ok());
+  Result<std::vector<RoundRecord>> records = ReadJournal(dir);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value().back().round, 3);
+}
+
+// ---------------------------------------------------------------------
+// Crash injection + resume (end to end)
+
+TEST(CrashRecovery, DurabilityDoesNotPerturbTraining) {
+  auto clients = MakeClients(4, 51);
+  FederatedTrainer plain(MakeStub, &clients, LossyOptions());
+  const FederatedRunResult plain_result = plain.Run();
+
+  FederatedTrainerOptions durable_options = LossyOptions();
+  durable_options.durability.dir = FreshDir("durability_noop");
+  durable_options.durability.snapshot_every = 3;
+  FederatedTrainer durable(MakeStub, &clients, durable_options);
+  const FederatedRunResult durable_result = durable.Run();
+
+  ExpectSameResult(plain_result, durable_result);
+  EXPECT_EQ(FinalParams(&plain), FinalParams(&durable));
+}
+
+// The acceptance matrix: for every CrashPoint, a run killed mid-flight
+// and resumed in a fresh process (trainer) must converge to the exact
+// bits of an uninterrupted run, telemetry included.
+TEST(CrashRecovery, EveryCrashPointResumesBitwiseIdentical) {
+  auto clients = MakeClients(4, 53);
+  FederatedTrainer baseline(MakeStub, &clients, LossyOptions());
+  const FederatedRunResult expected = baseline.Run();
+  const std::vector<nn::Scalar> expected_params = FinalParams(&baseline);
+
+  struct Case {
+    CrashPoint point;
+    int round;
+  };
+  // Save-point crashes must land on a snapshot round (every 3rd);
+  // kMidRound may land anywhere.
+  const Case cases[] = {
+      {CrashPoint::kBeforeSave, 15},
+      {CrashPoint::kMidSave, 15},
+      {CrashPoint::kAfterSave, 15},
+      {CrashPoint::kMidRound, 17},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(CrashPointName(c.point));
+    FederatedTrainerOptions options = LossyOptions();
+    options.durability.dir =
+        FreshDir(std::string("crash_") + CrashPointName(c.point));
+    options.durability.snapshot_every = 3;
+    options.durability.crash_point = c.point;
+    options.durability.crash_round = c.round;
+
+    bool crashed = false;
+    {
+      FederatedTrainer victim(MakeStub, &clients, options);
+      try {
+        victim.Run();
+      } catch (const InjectedCrash& crash) {
+        crashed = true;
+        EXPECT_EQ(crash.point, c.point);
+        EXPECT_EQ(crash.round, c.round);
+      }
+    }
+    ASSERT_TRUE(crashed);
+
+    options.durability.crash_point = CrashPoint::kNone;
+    options.durability.crash_round = 0;
+    options.durability.resume = true;
+    FederatedTrainer resumed(MakeStub, &clients, options);
+    const FederatedRunResult result = resumed.Run();
+    EXPECT_GT(resumed.resumed_round(), 0);       // actually resumed,
+    EXPECT_LT(resumed.resumed_round(), c.round + 1);  // from before the crash
+    ExpectSameResult(expected, result);
+    EXPECT_EQ(expected_params, FinalParams(&resumed));
+  }
+}
+
+TEST(CrashRecovery, CorruptedLatestSnapshotFallsBackToPrevious) {
+  auto clients = MakeClients(4, 55);
+  FederatedTrainer baseline(MakeStub, &clients, LossyOptions());
+  const FederatedRunResult expected = baseline.Run();
+  const std::vector<nn::Scalar> expected_params = FinalParams(&baseline);
+
+  FederatedTrainerOptions options = LossyOptions();
+  options.durability.dir = FreshDir("corrupt_latest");
+  options.durability.snapshot_every = 1;
+  options.durability.keep_snapshots = 3;
+  {
+    FederatedTrainer first(MakeStub, &clients, options);
+    first.Run();
+  }
+  // Damage the newest snapshot; the checksum must reject it and resume
+  // must fall back to round 29 and re-run the final round.
+  CorruptFile(SnapshotPath(options.durability.dir, 30));
+
+  options.durability.resume = true;
+  FederatedTrainer resumed(MakeStub, &clients, options);
+  ASSERT_TRUE(resumed.ResumeFrom(options.durability.dir).ok());
+  EXPECT_EQ(resumed.resumed_round(), 29);
+  const FederatedRunResult result = resumed.Run();
+  ExpectSameResult(expected, result);
+  EXPECT_EQ(expected_params, FinalParams(&resumed));
+}
+
+TEST(CrashRecovery, AllSnapshotsCorruptedIsAnErrorNotACrash) {
+  auto clients = MakeClients(3, 57);
+  FederatedTrainerOptions options = LossyOptions(6);
+  options.durability.dir = FreshDir("corrupt_all");
+  options.durability.snapshot_every = 2;
+  {
+    FederatedTrainer first(MakeStub, &clients, options);
+    first.Run();
+  }
+  Result<std::vector<int>> rounds = ListSnapshotRounds(options.durability.dir);
+  ASSERT_TRUE(rounds.ok());
+  for (int round : rounds.value()) {
+    CorruptFile(SnapshotPath(options.durability.dir, round));
+  }
+  FederatedTrainer resumed(MakeStub, &clients, options);
+  const Status status = resumed.ResumeFrom(options.durability.dir);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(resumed.resumed_round(), 0);
+}
+
+TEST(CrashRecovery, ResumeFromEmptyDirectoryStartsFresh) {
+  auto clients = MakeClients(3, 59);
+  FederatedTrainerOptions options = LossyOptions(4);
+  FederatedTrainer baseline(MakeStub, &clients, options);
+  const FederatedRunResult expected = baseline.Run();
+
+  options.durability.dir = FreshDir("resume_fresh");
+  options.durability.resume = true;
+  FederatedTrainer trainer(MakeStub, &clients, options);
+  const FederatedRunResult result = trainer.Run();
+  EXPECT_EQ(trainer.resumed_round(), 0);
+  ExpectSameResult(expected, result);
+}
+
+TEST(CrashRecovery, MidSaveLeavesOnlyATempFile) {
+  auto clients = MakeClients(3, 61);
+  FederatedTrainerOptions options = LossyOptions(6);
+  options.durability.dir = FreshDir("midsave_tmp");
+  options.durability.snapshot_every = 2;
+  options.durability.crash_point = CrashPoint::kMidSave;
+  options.durability.crash_round = 2;  // first snapshot ever
+  FederatedTrainer victim(MakeStub, &clients, options);
+  EXPECT_THROW(victim.Run(), InjectedCrash);
+
+  // The torn temp file must not be mistaken for a snapshot.
+  Result<std::vector<int>> rounds = ListSnapshotRounds(options.durability.dir);
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_TRUE(rounds.value().empty());
+  EXPECT_TRUE(std::filesystem::exists(
+      SnapshotPath(options.durability.dir, 2) + ".tmp"));
+}
+
+}  // namespace
+}  // namespace lighttr::fl

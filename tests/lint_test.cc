@@ -5,6 +5,7 @@
 // fed both in-memory and through the filesystem entry point.
 #include "lint/linter.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -127,6 +128,66 @@ TEST(LintTest, BannedFnFiresAndSuppresses) {
   EXPECT_NE(hits[1].message.find("system"), std::string::npos);
 }
 
+TEST(LintTest, NoDirectPersistenceFiresInFlAndNn) {
+  SourceFile fl;
+  fl.path = "src/fl/rogue.cc";
+  fl.content =
+      "void A() { std::ofstream out(\"x\"); }\n"        // 1
+      "void B() { std::fstream io(\"x\"); }\n"          // 2
+      "void C() { FILE* f = fopen(\"x\", \"wb\"); }\n"  // 3
+      "void D() { std::ifstream in(\"x\"); }\n";        // read-only: allowed
+  SourceFile nn;
+  nn.path = "src/nn/rogue.cc";
+  nn.content = "void E() { std::ofstream out(\"x\"); }\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({fl, nn}), "no-direct-persistence");
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].file, "src/fl/rogue.cc");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("WriteFileAtomic"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_EQ(hits[2].line, 3);
+  EXPECT_EQ(hits[3].file, "src/nn/rogue.cc");
+}
+
+TEST(LintTest, NoDirectPersistenceAllowComment) {
+  SourceFile file;
+  file.path = "src/fl/rogue.cc";
+  file.content =
+      "void A() {\n"
+      "  std::ofstream out(\"x\");"
+      "  // lighttr-lint: allow(no-direct-persistence)\n"
+      "}\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-direct-persistence").empty());
+}
+
+TEST(LintTest, NoDirectPersistenceIgnoresOtherDirs) {
+  const std::string body = "void A() { std::ofstream out(\"x\"); }\n";
+  SourceFile common;
+  common.path = "src/common/file_util.cc";
+  common.content = body;
+  SourceFile test_file;
+  test_file.path = "tests/crash_recovery_test.cc";
+  test_file.content = body;
+  SourceFile tool;
+  tool.path = "tools/lint/main.cc";
+  tool.content = body;
+  EXPECT_TRUE(OfRule(Lint({common, test_file, tool}), "no-direct-persistence")
+                  .empty());
+}
+
+TEST(LintTest, BannedFnIncludesRacyTempHelpers) {
+  SourceFile file;
+  file.path = "src/fl/tmp.cc";
+  file.content =
+      "void A(char* t) { mktemp(t); }\n"
+      "void B(char* t) { tmpnam(t); }\n";
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "banned-fn");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_NE(hits[0].message.find("mktemp"), std::string::npos);
+  EXPECT_NE(hits[1].message.find("tmpnam"), std::string::npos);
+}
+
 TEST(LintTest, IncludeCycleDetected) {
   SourceFile a;
   a.path = "src/x/a.h";
@@ -197,7 +258,9 @@ TEST(LintTest, LintPathsReportsMissingRoot) {
 
 TEST(LintTest, AllRuleNamesListsEveryRule) {
   const std::vector<std::string>& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "no-direct-persistence"),
+            names.end());
 }
 
 }  // namespace

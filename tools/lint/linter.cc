@@ -262,6 +262,8 @@ constexpr BannedFn kBannedFns[] = {
     {"system", "shells out with inherited environment; spawn explicitly or "
                "restructure"},
     {"tmpnam", "racy temp naming; derive paths from a seed or PID instead"},
+    {"mktemp", "racy temp naming; use WriteFileAtomic (common/file_util), "
+               "which owns its temp-file lifecycle"},
 };
 
 void CheckBannedFn(const ScannedFile& file,
@@ -276,6 +278,41 @@ void CheckBannedFn(const ScannedFile& file,
         Report(diagnostics, file, i, "banned-fn",
                std::string(banned.name) + ": " + banned.reason);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-direct-persistence
+//
+// src/fl and src/nn hold crash-safe state (snapshots, checkpoints, the
+// round journal); every byte they persist must go through
+// common/file_util so it is atomic (or CRC-tagged append). A raw
+// std::ofstream/std::fstream there can tear files on crash and silently
+// bypass the durability contract.
+// ---------------------------------------------------------------------------
+
+void CheckNoDirectPersistence(const ScannedFile& file,
+                              std::vector<Diagnostic>* diagnostics) {
+  const std::string path = NormalizedPath(file.source->path);
+  if (!PathContainsDir(path, "src/fl") && !PathContainsDir(path, "src/nn")) {
+    return;
+  }
+  static const std::regex kStream(R"(\bstd\s*::\s*(o?fstream)\b)");
+  static const std::regex kFopen(R"((^|[^\w.>:])(std\s*::\s*)?fopen\s*\()");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(file.code[i], m, kStream)) {
+      Report(diagnostics, file, i, "no-direct-persistence",
+             "std::" + m[1].str() +
+                 " in src/fl|src/nn; persist through common/file_util "
+                 "(WriteFileAtomic / AppendToFile) so crashes cannot tear "
+                 "files");
+    }
+    if (std::regex_search(file.code[i], kFopen)) {
+      Report(diagnostics, file, i, "no-direct-persistence",
+             "fopen in src/fl|src/nn; persist through common/file_util "
+             "(WriteFileAtomic / AppendToFile) so crashes cannot tear files");
     }
   }
 }
@@ -455,8 +492,8 @@ std::string FormatDiagnostic(const Diagnostic& diagnostic) {
 
 const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
-      "no-raw-rand", "no-ignored-status", "no-iostream-in-lib",
-      "no-include-cycle", "banned-fn"};
+      "no-raw-rand",      "no-ignored-status",     "no-iostream-in-lib",
+      "no-include-cycle", "no-direct-persistence", "banned-fn"};
   return kNames;
 }
 
@@ -471,6 +508,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckNoRawRand(file, &diagnostics);
     CheckNoIostreamInLib(file, &diagnostics);
     CheckBannedFn(file, &diagnostics);
+    CheckNoDirectPersistence(file, &diagnostics);
     CheckNoIgnoredStatus(file, status_fns, &diagnostics);
   }
   CheckIncludeCycles(scanned, &diagnostics);

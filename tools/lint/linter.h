@@ -11,6 +11,11 @@
 //   no-iostream-in-lib no std::cout/cerr/clog inside src/ outside
 //                      common/table_printer.* and common/check.h
 //   no-include-cycle   cycles in the quoted-include graph
+//   no-direct-persistence
+//                      no std::ofstream/std::fstream/fopen inside
+//                      src/fl or src/nn — durable state there must go
+//                      through common/file_util (atomic write / tagged
+//                      append), or a crash can tear files
 //   banned-fn          calls to atof/strcpy/sprintf/system/... class
 //                      functions with safer repo-idiomatic replacements
 //

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "eval/harness.h"
 
 namespace {
@@ -64,12 +65,18 @@ int Usage() {
       "                      [--traj-per-client=20] [--grid=9] [--seed=42]\n"
       "                      [--lr=0.003] [--fraction=1.0]\n"
       "                      [--checkpoint-dir=DIR] [--checkpoint-every=1]\n"
-      "                      [--resume]\n"
+      "                      [--resume] [--threads=0]\n"
       "\n"
       "Durability: --checkpoint-dir enables crash-safe snapshots + a round\n"
       "journal under DIR every --checkpoint-every rounds; --resume restarts\n"
       "an interrupted run from the newest valid snapshot in DIR (federated\n"
-      "methods only).\n");
+      "methods only).\n"
+      "\n"
+      "Parallelism: --threads=N trains the clients of each round on N\n"
+      "executors and parallelizes large matrix products; results are\n"
+      "bitwise identical for every N. --threads=1 forces the serial path;\n"
+      "--threads=0 (default) uses LIGHTTR_THREADS or the hardware core\n"
+      "count.\n");
   return 2;
 }
 
@@ -91,6 +98,7 @@ int main(int argc, char** argv) {
   long long grid_ll = 0;
   long long seed_ll = 0;
   long long checkpoint_every_ll = 0;
+  long long threads_ll = 0;
   if (!ParseDouble(FlagValue(argc, argv, "keep", "0.125"), &keep) ||
       !ParseDouble(FlagValue(argc, argv, "lr", "0.003"), &lr) ||
       !ParseDouble(FlagValue(argc, argv, "fraction", "1.0"), &fraction) ||
@@ -101,7 +109,8 @@ int main(int argc, char** argv) {
       !ParseInt(FlagValue(argc, argv, "grid", "9"), &grid_ll) ||
       !ParseInt(FlagValue(argc, argv, "seed", "42"), &seed_ll) ||
       !ParseInt(FlagValue(argc, argv, "checkpoint-every", "1"),
-                &checkpoint_every_ll)) {
+                &checkpoint_every_ll) ||
+      !ParseInt(FlagValue(argc, argv, "threads", "0"), &threads_ll)) {
     return Usage();
   }
   const int clients_n = static_cast<int>(clients_ll);
@@ -112,11 +121,15 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<uint64_t>(seed_ll);
 
   const int checkpoint_every = static_cast<int>(checkpoint_every_ll);
+  const int threads = static_cast<int>(threads_ll);
 
   if (keep <= 0.0 || keep > 1.0 || clients_n < 1 || rounds < 1 ||
-      epochs < 1 || grid < 3 || checkpoint_every < 1) {
+      epochs < 1 || grid < 3 || checkpoint_every < 1 || threads < 0) {
     return Usage();
   }
+  // Size the global pool (GEMM row splits) to match the request; the
+  // federated trainer gets its own pool via options.fed.threads.
+  SetGlobalThreadCount(ResolveThreadCount(threads));
   if ((resume || checkpoint_every != 1) && checkpoint_dir.empty()) {
     std::fprintf(stderr,
                  "--resume/--checkpoint-every need --checkpoint-dir\n");
@@ -184,6 +197,7 @@ int main(int argc, char** argv) {
     options.fed.durability.dir = checkpoint_dir;
     options.fed.durability.snapshot_every = checkpoint_every;
     options.fed.durability.resume = resume;
+    options.fed.threads = threads;
     options.teacher.learning_rate = lr;
     options.max_test_trajectories = 100;
     result = eval::RunFederatedMethod(env, kind, clients, options);

@@ -12,6 +12,39 @@
 
 namespace lighttr::fl {
 
+namespace {
+
+// Everything one client's round-trip needs, forked/derived on the
+// coordinating thread in canonical selection order BEFORE any task
+// runs. This is the determinism contract of the parallel round: the
+// stream a client consumes depends only on its position in the
+// selection, never on which executor runs it or when.
+struct ClientTask {
+  size_t client_index = 0;
+  Rng update_rng{0};  // local-update stream (always forked)
+  Rng noise_rng{0};   // privacy stream (forked only when privacy is on)
+  Rng fault_rng{0};   // dropout/backoff/corruption (only when injecting)
+};
+
+// One client's outcome, written by exactly one task into a pre-sized
+// slot. The coordinating thread folds the slots into round telemetry in
+// canonical selection order, so every floating-point accumulation has a
+// fixed order regardless of thread count.
+struct ClientSlot {
+  bool contacted = false;  // survived the dropout/retry gauntlet
+  bool straggler = false;  // trained but missed the round deadline
+  bool rejected = false;   // upload failed server-side screening
+  bool clipped = false;    // upload was norm-clipped by screening
+  int attempts = 0;        // downlink sends (first contact + retries)
+  int retries = 0;
+  double backoff_s = 0.0;
+  double loss = 0.0;          // valid when contacted
+  int64_t uplink_bytes = 0;   // valid when contacted && !straggler
+  std::vector<nn::Scalar> upload;  // valid when sent and not rejected
+};
+
+}  // namespace
+
 double PlainLocalUpdate::Update(int /*client_index*/, RecoveryModel* model,
                                 nn::Optimizer* optimizer,
                                 const traj::ClientDataset& data, int epochs,
@@ -26,6 +59,7 @@ FederatedTrainer::FederatedTrainer(
     FederatedTrainerOptions options)
     : clients_(clients),
       options_(options),
+      pool_(ResolveThreadCount(options.threads)),
       rng_(options.seed),
       fault_rng_(0),
       valid_rng_(0) {
@@ -65,6 +99,9 @@ std::vector<traj::IncompleteTrajectory> FederatedTrainer::SampleValidationPool(
   // Flatten every client's validation set, then sample uniformly so the
   // pool is not biased toward the first clients in enumeration order.
   std::vector<const traj::IncompleteTrajectory*> all;
+  size_t total = 0;
+  for (const traj::ClientDataset& client : *clients_) total += client.valid.size();
+  all.reserve(total);
   for (const traj::ClientDataset& client : *clients_) {
     for (const auto& trajectory : client.valid) all.push_back(&trajectory);
   }
@@ -209,81 +246,119 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
         static_cast<size_t>(num_clients), static_cast<size_t>(sampled));
     record.sampled = static_cast<int>(selected.size());
 
-    // Lines 3-10: download, local training, upload — now with faults.
+    // Lines 3-10: download, local training, upload — now with faults,
+    // run as one pool task per selected client. Every RNG fork happens
+    // here, on the coordinating thread, in canonical selection order;
+    // each fork is unconditional given the *config* (never conditional
+    // on another client's fault outcome), so the streams — and thus the
+    // results — are identical for every thread count.
     const std::string global_blob = global_model_->params().Serialize();
     const std::vector<nn::Scalar> global_flat =
         global_model_->params().Flatten();
-    std::vector<std::vector<nn::Scalar>> uploads;
-    double loss_sum = 0.0;
-    int loss_count = 0;
+    std::vector<ClientTask> tasks;
+    tasks.reserve(selected.size());
     for (size_t client_index : selected) {
+      ClientTask task;
+      task.client_index = client_index;
+      task.update_rng = rng_.Fork();
+      if (options_.privacy.enabled()) task.noise_rng = rng_.Fork();
+      if (inject) task.fault_rng = fault_rng_.Fork();
+      tasks.push_back(std::move(task));
+    }
+
+    std::vector<ClientSlot> slots(tasks.size());
+    pool_.ParallelFor(tasks.size(), [&](size_t t) {
+      ClientTask& task = tasks[t];
+      ClientSlot& slot = slots[t];
+      const size_t client_index = task.client_index;
       // Contact the client; a dropout burns one attempt of the retry
       // budget and a simulated backoff delay before the next attempt.
       FaultDraw draw;
-      bool contacted = false;
       for (int attempt = 0;; ++attempt) {
-        result.comm.bytes_downlink += wire_bytes;  // (re)send global model
-        ++result.comm.messages;
-        if (inject) draw = fault_model.Draw(&fault_rng_);
+        ++slot.attempts;  // each attempt (re)sends the global model
+        if (inject) draw = fault_model.Draw(&task.fault_rng);
         if (draw.type != FaultType::kDropout) {
-          contacted = true;
+          slot.contacted = true;
           break;
         }
         if (attempt >= tolerance.retry.max_retries) break;
-        ++record.retries;
-        result.faults.simulated_backoff_s +=
-            BackoffDelaySeconds(tolerance.retry, attempt, &fault_rng_);
+        ++slot.retries;
+        slot.backoff_s +=
+            BackoffDelaySeconds(tolerance.retry, attempt, &task.fault_rng);
       }
-      if (!contacted) {
-        ++record.drops;
-        continue;
-      }
+      if (!slot.contacted) return;
 
       RecoveryModel* client = client_models_[client_index].get();
       LIGHTTR_CHECK_OK(client->params().Deserialize(global_blob));
-      Rng update_rng = rng_.Fork();
-      loss_sum += strategy->Update(static_cast<int>(client_index), client,
+      slot.loss = strategy->Update(static_cast<int>(client_index), client,
                                    client_optimizers_[client_index].get(),
                                    (*clients_)[client_index],
-                                   options_.local_epochs, &update_rng);
-      ++loss_count;
+                                   options_.local_epochs, &task.update_rng);
 
       if (draw.type == FaultType::kStraggler) {
         // The client computed the update but missed the server's round
         // deadline; the server never receives the upload.
-        ++record.stragglers;
-        continue;
+        slot.straggler = true;
+        return;
       }
 
       std::vector<nn::Scalar> upload = client->params().Flatten();
       if (options_.privacy.enabled()) {
-        Rng noise_rng = rng_.Fork();
-        upload =
-            PrivatizeUpload(upload, global_flat, options_.privacy, &noise_rng);
+        upload = PrivatizeUpload(upload, global_flat, options_.privacy,
+                                 &task.noise_rng);
       }
       if (options_.quantize_uploads) {
         const QuantizedBlob blob = QuantizeFlat(upload);
-        result.comm.bytes_uplink += blob.WireBytes();
+        slot.uplink_bytes = blob.WireBytes();
         upload = DequantizeFlat(blob);
       } else {
-        result.comm.bytes_uplink += wire_bytes;
+        slot.uplink_bytes = wire_bytes;
       }
-      ++result.comm.messages;
       if (draw.type == FaultType::kCorruption) {
         // Damage happens on the wire, after the client's privacy and
         // quantization steps and after uplink accounting.
-        FaultModel::Corrupt(draw.corruption, &fault_rng_, &upload);
+        FaultModel::Corrupt(draw.corruption, &task.fault_rng, &upload);
       }
 
-      bool clipped = false;
       const Status screen =
-          ScreenUpload(&upload, global_flat, tolerance.screen, &clipped);
+          ScreenUpload(&upload, global_flat, tolerance.screen, &slot.clipped);
       if (!screen.ok()) {
+        slot.rejected = true;
+        return;
+      }
+      slot.upload = std::move(upload);
+    });
+
+    // Fold the slots in canonical selection order. All floating-point
+    // accumulation (losses, backoff seconds) happens here, on one
+    // thread, in one fixed order.
+    std::vector<std::vector<nn::Scalar>> uploads;
+    uploads.reserve(slots.size());
+    double loss_sum = 0.0;
+    int loss_count = 0;
+    for (ClientSlot& slot : slots) {
+      result.comm.bytes_downlink += wire_bytes * slot.attempts;
+      result.comm.messages += slot.attempts;
+      record.retries += slot.retries;
+      result.faults.simulated_backoff_s += slot.backoff_s;
+      if (!slot.contacted) {
+        ++record.drops;
+        continue;
+      }
+      loss_sum += slot.loss;
+      ++loss_count;
+      if (slot.straggler) {
+        ++record.stragglers;
+        continue;
+      }
+      result.comm.bytes_uplink += slot.uplink_bytes;
+      ++result.comm.messages;
+      if (slot.rejected) {
         ++record.rejected_uploads;
         continue;
       }
-      if (clipped) ++result.faults.clipped_uploads;
-      uploads.push_back(std::move(upload));
+      if (slot.clipped) ++result.faults.clipped_uploads;
+      uploads.push_back(std::move(slot.upload));
     }
     record.reporting = static_cast<int>(uploads.size());
     // A "mid-round" crash lands after local work but before the round

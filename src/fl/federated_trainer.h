@@ -10,6 +10,7 @@
 #include "common/backoff.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "fl/aggregation.h"
 #include "fl/comm_stats.h"
 #include "fl/compression.h"
@@ -26,6 +27,14 @@ namespace lighttr::fl {
 /// Strategy object for the client-side update of one round. The default
 /// performs plain local epochs (FedAvg); LightTR substitutes its
 /// meta-knowledge enhanced local training (Algorithm 2).
+///
+/// Thread-safety contract: with `FederatedTrainerOptions::threads > 1`
+/// the trainer invokes Update concurrently for *distinct* clients of
+/// the same round (never twice for the same client). `model`,
+/// `optimizer`, `data`, and `rng` are private to the call; any mutable
+/// state shared across calls inside the strategy itself must be
+/// internally synchronized, and its values must not depend on the order
+/// in which clients run (or determinism across thread counts breaks).
 class LocalUpdateStrategy {
  public:
   virtual ~LocalUpdateStrategy() = default;
@@ -79,6 +88,13 @@ struct FederatedTrainerOptions {
   /// Crash-safe persistence: periodic snapshots + round journal under
   /// `durability.dir`, and optional resume from it (off by default).
   DurabilityConfig durability;
+  /// Executors for the per-round client loop: 1 = serial reference
+  /// path, >1 = that many (clients of one round train concurrently),
+  /// 0 = LIGHTTR_THREADS env / hardware concurrency. Results are
+  /// bitwise identical for every value — RNG streams are forked on the
+  /// coordinating thread in canonical selection order and uploads are
+  /// merged in that same order.
+  int threads = 0;
 };
 
 /// Outcome of a federated run. (RoundRecord lives in comm_stats.h with
@@ -136,6 +152,10 @@ class FederatedTrainer {
 
   const std::vector<traj::ClientDataset>* clients_;
   FederatedTrainerOptions options_;
+  /// Executes the per-round client loop (`options_.threads` wide). Kept
+  /// per-trainer (not the global pool) so tests can run trainers with
+  /// different widths side by side.
+  ThreadPool pool_;
   Rng rng_;
   // Dedicated streams forked at construction (order matters: the fork
   // sequence is part of the deterministic contract, see the ctor).

@@ -29,12 +29,22 @@ double MetaLocalUpdate::Update(int client_index, fl::RecoveryModel* model,
   double lambda = 0.0;
   double teacher_acc = 0.0;
   if (teacher_ != nullptr) {
-    auto it = teacher_acc_cache_.find(client_index);
-    if (it == teacher_acc_cache_.end()) {
+    bool cached = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = teacher_acc_cache_.find(client_index);
+      if (it != teacher_acc_cache_.end()) {
+        teacher_acc = it->second;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      // Evaluate outside the lock; a concurrent duplicate for the same
+      // client computes the identical value (frozen teacher, fixed
+      // valid set), so first-emplace-wins is deterministic.
       teacher_acc = fl::EvaluateSegmentAccuracy(teacher_, data.valid);
+      std::lock_guard<std::mutex> lock(cache_mutex_);
       teacher_acc_cache_.emplace(client_index, teacher_acc);
-    } else {
-      teacher_acc = it->second;
     }
   }
 

@@ -8,6 +8,7 @@
 #ifndef LIGHTTR_LIGHTTR_META_LOCAL_UPDATE_H_
 #define LIGHTTR_LIGHTTR_META_LOCAL_UPDATE_H_
 
+#include <mutex>
 #include <unordered_map>
 
 #include "fl/federated_trainer.h"
@@ -43,6 +44,11 @@ class MetaLocalUpdate : public fl::LocalUpdateStrategy {
   MetaLocalOptions options_;
   /// Teacher validation accuracy per client (the teacher is frozen
   /// during federated training, so this is computed once per client).
+  /// Guarded by `cache_mutex_`: Update runs concurrently for distinct
+  /// clients under the trainer's pool. Cached *values* are keyed by
+  /// client and deterministic (frozen teacher, fixed valid set), so the
+  /// fill order does not affect results.
+  std::mutex cache_mutex_;
   std::unordered_map<int, double> teacher_acc_cache_;
 };
 

@@ -1,8 +1,12 @@
 // Global floating-point-operation accounting (paper Fig. 5(b)).
 //
-// The matrix kernels and element-wise ops report their work here; scoped
-// counters measure the FLOPs of a region (e.g., one training epoch).
-// The program is single-threaded by design, so a plain counter suffices.
+// The matrix kernels and element-wise ops report their work here. Each
+// thread accumulates into its own registered slot (a relaxed atomic on
+// a private cache line), so counting is race-free under the thread
+// pool; TotalFlops() merges every live slot plus the drained counts of
+// exited threads. The merge is exact at any synchronization barrier:
+// after ThreadPool::ParallelFor returns, all worker-side AddFlops calls
+// happen-before the caller's TotalFlops read.
 #ifndef LIGHTTR_NN_FLOPS_H_
 #define LIGHTTR_NN_FLOPS_H_
 
@@ -10,13 +14,20 @@
 
 namespace lighttr::nn {
 
-/// Adds `n` floating point operations to the global counter.
+/// Adds `n` floating point operations to the calling thread's counter.
 void AddFlops(int64_t n);
 
-/// Total FLOPs recorded since program start.
+/// Total FLOPs recorded since program start, across all threads (live
+/// thread slots + counts drained from exited threads).
 int64_t TotalFlops();
 
-/// Measures FLOPs executed between construction and Elapsed().
+/// FLOPs recorded by the calling thread alone (still included in
+/// TotalFlops; exposed for tests and per-worker telemetry).
+int64_t ThreadFlops();
+
+/// Measures FLOPs executed between construction and Elapsed(). Spans
+/// pool sections correctly when constructed and read on the thread that
+/// issues the ParallelFor (worker counts merge at the barrier).
 class ScopedFlopCount {
  public:
   ScopedFlopCount() : start_(TotalFlops()) {}

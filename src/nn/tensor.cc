@@ -8,8 +8,13 @@
 namespace lighttr::nn {
 
 namespace {
-uint64_t g_sequence = 0;
-int g_no_grad_depth = 0;
+// Both thread_local: each pool worker builds and walks its own client's
+// graph, so creation order only needs to be monotonic per thread (a
+// backward graph never spans threads — ops created during one forward
+// all run on one thread; shared leaves carry no backward_fn, so their
+// cross-thread sequence values never influence the topological sort).
+thread_local uint64_t g_sequence = 0;
+thread_local int g_no_grad_depth = 0;
 }  // namespace
 
 NoGradScope::NoGradScope() { ++g_no_grad_depth; }

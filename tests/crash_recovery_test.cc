@@ -368,6 +368,49 @@ TEST(CrashRecovery, EveryCrashPointResumesBitwiseIdentical) {
   }
 }
 
+// Thread count is a pure performance knob even across a crash: a run
+// interrupted at one width and resumed at another must replay to the
+// exact result of an uninterrupted serial run. (The snapshot carries
+// only rng_/fault_rng_ states; the per-round per-client streams are
+// re-forked from them in canonical order, identically at any width.)
+TEST(CrashRecovery, ResumeUnderDifferentThreadCountIsBitwiseIdentical) {
+  auto clients = MakeClients(4, 53);
+  FederatedTrainerOptions serial_options = LossyOptions();
+  serial_options.threads = 1;
+  FederatedTrainer baseline(MakeStub, &clients, serial_options);
+  const FederatedRunResult expected = baseline.Run();
+  const std::vector<nn::Scalar> expected_params = FinalParams(&baseline);
+
+  FederatedTrainerOptions options = LossyOptions();
+  options.threads = 8;
+  options.durability.dir = FreshDir("crash_threads");
+  options.durability.snapshot_every = 3;
+  options.durability.crash_point = CrashPoint::kMidRound;
+  options.durability.crash_round = 17;
+
+  bool crashed = false;
+  {
+    FederatedTrainer victim(MakeStub, &clients, options);
+    try {
+      victim.Run();
+    } catch (const InjectedCrash& crash) {
+      crashed = true;
+      EXPECT_EQ(crash.point, CrashPoint::kMidRound);
+    }
+  }
+  ASSERT_TRUE(crashed);
+
+  options.threads = 2;
+  options.durability.crash_point = CrashPoint::kNone;
+  options.durability.crash_round = 0;
+  options.durability.resume = true;
+  FederatedTrainer resumed(MakeStub, &clients, options);
+  const FederatedRunResult result = resumed.Run();
+  EXPECT_GT(resumed.resumed_round(), 0);
+  ExpectSameResult(expected, result);
+  EXPECT_EQ(expected_params, FinalParams(&resumed));
+}
+
 TEST(CrashRecovery, CorruptedLatestSnapshotFallsBackToPrevious) {
   auto clients = MakeClients(4, 55);
   FederatedTrainer baseline(MakeStub, &clients, LossyOptions());

@@ -152,5 +152,66 @@ TEST(Determinism, FaultyExperimentIsReproducible) {
   }
 }
 
+// The determinism contract of the parallel substrate: thread count is a
+// pure performance knob. The full pipeline — faults, retries, privacy
+// noise, quantization, screening, aggregation — must produce bitwise
+// identical results at every width because RNG streams are forked on
+// the coordinating thread in canonical selection order and uploads are
+// merged in that same order.
+TEST(Determinism, FederatedRunIsBitwiseIdenticalAcrossThreadCounts) {
+  auto run_with_threads = [](int threads) {
+    eval::ExperimentEnv env(6, 6, 17);
+    traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+    profile.trajectories_per_client = 8;
+    traj::FederatedWorkloadOptions workload;
+    workload.num_clients = 4;
+    workload.keep_ratio = 0.25;
+    const auto clients = env.MakeWorkload(profile, workload, 19);
+    eval::MethodRunOptions options;
+    options.fed.rounds = 3;
+    options.fed.local_epochs = 1;
+    options.fed.client_fraction = 0.75;
+    options.fed.faults.dropout_rate = 0.3;
+    options.fed.faults.corruption_rate = 0.2;
+    options.fed.faults.straggler_rate = 0.1;
+    options.fed.tolerance.retry.max_retries = 1;
+    options.fed.privacy.clip_norm = 5.0;
+    options.fed.privacy.noise_multiplier = 0.01;
+    options.fed.quantize_uploads = true;
+    options.fed.threads = threads;
+    options.max_test_trajectories = 8;
+    return eval::RunFederatedMethod(env, baselines::ModelKind::kLightTr,
+                                    clients, options);
+  };
+  const eval::MethodResult serial = run_with_threads(1);
+  for (int threads : {2, 8}) {
+    const eval::MethodResult parallel = run_with_threads(threads);
+    EXPECT_DOUBLE_EQ(parallel.metrics.recall, serial.metrics.recall)
+        << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(parallel.metrics.precision, serial.metrics.precision);
+    EXPECT_DOUBLE_EQ(parallel.metrics.mae_km, serial.metrics.mae_km);
+    EXPECT_DOUBLE_EQ(parallel.metrics.rmse_km, serial.metrics.rmse_km);
+    EXPECT_EQ(parallel.run.comm.TotalBytes(), serial.run.comm.TotalBytes());
+    EXPECT_EQ(parallel.run.comm.messages, serial.run.comm.messages);
+    EXPECT_EQ(parallel.run.faults.drops, serial.run.faults.drops);
+    EXPECT_EQ(parallel.run.faults.retries, serial.run.faults.retries);
+    EXPECT_EQ(parallel.run.faults.stragglers, serial.run.faults.stragglers);
+    EXPECT_EQ(parallel.run.faults.rejected_uploads,
+              serial.run.faults.rejected_uploads);
+    EXPECT_DOUBLE_EQ(parallel.run.faults.simulated_backoff_s,
+                     serial.run.faults.simulated_backoff_s);
+    ASSERT_EQ(parallel.run.history.size(), serial.run.history.size());
+    for (size_t r = 0; r < serial.run.history.size(); ++r) {
+      EXPECT_EQ(parallel.run.history[r].reporting,
+                serial.run.history[r].reporting);
+      EXPECT_DOUBLE_EQ(parallel.run.history[r].mean_train_loss,
+                       serial.run.history[r].mean_train_loss)
+          << "threads=" << threads << " round=" << r;
+      EXPECT_DOUBLE_EQ(parallel.run.history[r].global_valid_accuracy,
+                       serial.run.history[r].global_valid_accuracy);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lighttr

@@ -256,10 +256,49 @@ TEST(LintTest, LintPathsReportsMissingRoot) {
   EXPECT_EQ(diagnostics[0].rule, "bad-input");
 }
 
+TEST(LintTest, NoRawThreadFiresOutsideThreadPool) {
+  SourceFile file;
+  file.path = "src/fl/worker.cc";
+  file.content =
+      "void A() { std::thread t([] {}); t.join(); }\n"          // 1
+      "void B() { std::jthread t([] {}); }\n"                   // 2
+      "void C() { auto f = std::async([] { return 1; }); }\n";  // 3
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "no-raw-thread");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].file, "src/fl/worker.cc");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_EQ(hits[2].line, 3);
+}
+
+TEST(LintTest, NoRawThreadExemptsThreadPoolButNotAsync) {
+  SourceFile pool;
+  pool.path = "src/common/thread_pool.cc";
+  pool.content =
+      "void Spawn() { std::thread t([] {}); t.detach(); }\n"    // exempt
+      "void Bad() { auto f = std::async([] { return 1; }); }\n";  // not
+  const std::vector<Diagnostic> hits = OfRule(Lint({pool}), "no-raw-thread");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+}
+
+TEST(LintTest, NoRawThreadAllowCommentAndNonMatches) {
+  SourceFile file;
+  file.path = "src/eval/harness.cc";
+  file.content =
+      "void A() { std::thread t; }  // lighttr-lint: allow(no-raw-thread)\n"
+      "int thread = 0;   // unqualified identifier: no match\n"
+      "void B() { pool->ParallelFor(4, [](size_t) {}); }\n"
+      "// std::thread in a comment does not fire\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-raw-thread").empty());
+}
+
 TEST(LintTest, AllRuleNamesListsEveryRule) {
   const std::vector<std::string>& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
   EXPECT_NE(std::find(names.begin(), names.end(), "no-direct-persistence"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-thread"),
             names.end());
 }
 

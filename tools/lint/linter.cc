@@ -217,6 +217,42 @@ void CheckNoRawRand(const ScannedFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-raw-thread
+//
+// common/thread_pool is the only sanctioned home of raw std::thread:
+// every other concurrency use must go through ThreadPool::ParallelFor,
+// whose canonical-order fork/merge discipline is what keeps results
+// bitwise identical across thread counts (and keeps the TSan matrix
+// meaningful). std::async is banned everywhere — its deferred/eager
+// launch policy is scheduler-dependent.
+// ---------------------------------------------------------------------------
+
+void CheckNoRawThread(const ScannedFile& file,
+                      std::vector<Diagnostic>* diagnostics) {
+  const std::string path = NormalizedPath(file.source->path);
+  const bool in_pool = PathEndsWith(path, "common/thread_pool.h") ||
+                       PathEndsWith(path, "common/thread_pool.cc");
+  static const std::regex kThread(R"(\bstd\s*::\s*(thread|jthread)\b)");
+  static const std::regex kAsync(R"(\bstd\s*::\s*async\s*\()");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    std::smatch m;
+    if (!in_pool && std::regex_search(line, m, kThread)) {
+      Report(diagnostics, file, i, "no-raw-thread",
+             "std::" + m[1].str() +
+                 " outside common/thread_pool; run the work through "
+                 "ThreadPool::ParallelFor so determinism and TSan coverage "
+                 "hold");
+    }
+    if (std::regex_search(line, kAsync)) {
+      Report(diagnostics, file, i, "no-raw-thread",
+             "std::async has scheduler-dependent launch semantics; use "
+             "ThreadPool::ParallelFor");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: no-iostream-in-lib
 // ---------------------------------------------------------------------------
 
@@ -493,7 +529,8 @@ std::string FormatDiagnostic(const Diagnostic& diagnostic) {
 const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "no-raw-rand",      "no-ignored-status",     "no-iostream-in-lib",
-      "no-include-cycle", "no-direct-persistence", "banned-fn"};
+      "no-include-cycle", "no-direct-persistence", "banned-fn",
+      "no-raw-thread"};
   return kNames;
 }
 
@@ -506,6 +543,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
   const std::set<std::string> status_fns = CollectStatusFunctions(scanned);
   for (const ScannedFile& file : scanned) {
     CheckNoRawRand(file, &diagnostics);
+    CheckNoRawThread(file, &diagnostics);
     CheckNoIostreamInLib(file, &diagnostics);
     CheckBannedFn(file, &diagnostics);
     CheckNoDirectPersistence(file, &diagnostics);

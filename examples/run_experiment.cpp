@@ -66,6 +66,8 @@ int Usage() {
       "                      [--lr=0.003] [--fraction=1.0]\n"
       "                      [--checkpoint-dir=DIR] [--checkpoint-every=1]\n"
       "                      [--resume] [--threads=0]\n"
+      "                      [--health] [--quarantine-threshold=0.6]\n"
+      "                      [--max-rollbacks=3] [--clip-norm=0]\n"
       "\n"
       "Durability: --checkpoint-dir enables crash-safe snapshots + a round\n"
       "journal under DIR every --checkpoint-every rounds; --resume restarts\n"
@@ -76,7 +78,14 @@ int Usage() {
       "executors and parallelizes large matrix products; results are\n"
       "bitwise identical for every N. --threads=1 forces the serial path;\n"
       "--threads=0 (default) uses LIGHTTR_THREADS or the hardware core\n"
-      "count.\n");
+      "count.\n"
+      "\n"
+      "Self-healing: --health turns on the round health monitor (divergence\n"
+      "rollback + client quarantine, federated methods only);\n"
+      "--quarantine-threshold sets the reputation score that quarantines a\n"
+      "client; --max-rollbacks bounds divergence rollbacks before the run\n"
+      "parks on its last healthy state. --clip-norm=C clips each local\n"
+      "gradient to global L2 norm C before the optimizer step (0 = off).\n");
   return 2;
 }
 
@@ -88,9 +97,12 @@ int main(int argc, char** argv) {
   const std::string checkpoint_dir =
       FlagValue(argc, argv, "checkpoint-dir", "");
   const bool resume = HasFlag(argc, argv, "resume");
+  const bool health = HasFlag(argc, argv, "health");
   double keep = 0.0;
   double lr = 0.0;
   double fraction = 0.0;
+  double quarantine_threshold = 0.0;
+  double clip_norm = 0.0;
   long long clients_ll = 0;
   long long rounds_ll = 0;
   long long epochs_ll = 0;
@@ -99,6 +111,7 @@ int main(int argc, char** argv) {
   long long seed_ll = 0;
   long long checkpoint_every_ll = 0;
   long long threads_ll = 0;
+  long long max_rollbacks_ll = 0;
   if (!ParseDouble(FlagValue(argc, argv, "keep", "0.125"), &keep) ||
       !ParseDouble(FlagValue(argc, argv, "lr", "0.003"), &lr) ||
       !ParseDouble(FlagValue(argc, argv, "fraction", "1.0"), &fraction) ||
@@ -110,7 +123,12 @@ int main(int argc, char** argv) {
       !ParseInt(FlagValue(argc, argv, "seed", "42"), &seed_ll) ||
       !ParseInt(FlagValue(argc, argv, "checkpoint-every", "1"),
                 &checkpoint_every_ll) ||
-      !ParseInt(FlagValue(argc, argv, "threads", "0"), &threads_ll)) {
+      !ParseInt(FlagValue(argc, argv, "threads", "0"), &threads_ll) ||
+      !ParseDouble(FlagValue(argc, argv, "quarantine-threshold", "0.6"),
+                   &quarantine_threshold) ||
+      !ParseDouble(FlagValue(argc, argv, "clip-norm", "0"), &clip_norm) ||
+      !ParseInt(FlagValue(argc, argv, "max-rollbacks", "3"),
+                &max_rollbacks_ll)) {
     return Usage();
   }
   const int clients_n = static_cast<int>(clients_ll);
@@ -122,9 +140,12 @@ int main(int argc, char** argv) {
 
   const int checkpoint_every = static_cast<int>(checkpoint_every_ll);
   const int threads = static_cast<int>(threads_ll);
+  const int max_rollbacks = static_cast<int>(max_rollbacks_ll);
 
   if (keep <= 0.0 || keep > 1.0 || clients_n < 1 || rounds < 1 ||
-      epochs < 1 || grid < 3 || checkpoint_every < 1 || threads < 0) {
+      epochs < 1 || grid < 3 || checkpoint_every < 1 || threads < 0 ||
+      quarantine_threshold <= 0.0 || quarantine_threshold > 1.0 ||
+      clip_norm < 0.0 || max_rollbacks < 0) {
     return Usage();
   }
   // Size the global pool (GEMM row splits) to match the request; the
@@ -198,6 +219,10 @@ int main(int argc, char** argv) {
     options.fed.durability.snapshot_every = checkpoint_every;
     options.fed.durability.resume = resume;
     options.fed.threads = threads;
+    options.fed.healing.enabled = health;
+    options.fed.healing.reputation.quarantine_threshold = quarantine_threshold;
+    options.fed.healing.max_rollbacks = max_rollbacks;
+    options.fed.clip_norm = clip_norm;
     options.teacher.learning_rate = lr;
     options.max_test_trajectories = 100;
     result = eval::RunFederatedMethod(env, kind, clients, options);
@@ -216,6 +241,16 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(
                       static_cast<double>(result.run.comm.TotalBytes()) / 1024.0,
                       0)});
+  }
+  if (health) {
+    table.AddRow({"Diverged rounds",
+                  std::to_string(result.run.faults.diverged_rounds)});
+    table.AddRow({"Rollbacks", std::to_string(result.run.faults.rollbacks)});
+    table.AddRow({"Quarantine events",
+                  std::to_string(result.run.faults.quarantine_events)});
+    table.AddRow({"Parole events",
+                  std::to_string(result.run.faults.parole_events)});
+    table.AddRow({"Gave up", result.run.gave_up ? "yes" : "no"});
   }
   std::printf("%s", table.ToString().c_str());
   return 0;

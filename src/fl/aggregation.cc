@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/finite.h"
 #include "fl/privacy.h"
 
 namespace lighttr::fl {
@@ -29,10 +30,8 @@ Status ScreenUpload(std::vector<nn::Scalar>* upload,
   if (upload->size() != reference.size()) {
     return Status::InvalidArgument("upload has wrong parameter count");
   }
-  for (const nn::Scalar x : *upload) {
-    if (!std::isfinite(static_cast<double>(x))) {
-      return Status::InvalidArgument("upload contains non-finite scalars");
-    }
+  if (!AllFinite(*upload)) {
+    return Status::InvalidArgument("upload contains non-finite scalars");
   }
   if (config.max_delta_norm > 0.0) {
     const double norm = DeltaNorm(*upload, reference);

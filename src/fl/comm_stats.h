@@ -20,6 +20,14 @@ struct FaultStats {
   int64_t sampled_clients = 0;   // sum over rounds of cohort size
   int64_t reporting_clients = 0; // sum over rounds of effective cohort size
   double simulated_backoff_s = 0.0;  // simulated seconds spent backing off
+  // Self-healing telemetry (fl/health + fl/reputation); all zero when
+  // the health layer is disabled.
+  int64_t outlier_uploads = 0;    // accepted uploads flagged as norm outliers
+  int64_t diverged_rounds = 0;    // rounds the monitor judged diverged
+  int64_t rollbacks = 0;          // rollbacks to the last healthy state
+  int64_t quarantine_events = 0;  // clients entering quarantine
+  int64_t parole_events = 0;      // clients released from quarantine
+  int64_t quarantined_skips = 0;  // sampled slots skipped due to quarantine
 
   /// Mean fraction of each round's cohort that actually reported.
   double MeanCohortFraction() const {
@@ -46,6 +54,13 @@ struct RoundRecord {
   int stragglers = 0;        // clients cut off by the deadline
   int rejected_uploads = 0;  // uploads discarded by screening
   bool quorum_met = true;    // false -> previous global model kept
+  // Self-healing telemetry; defaults describe a run with --health off.
+  double valid_loss = 0.0;       // global model's validation loss
+  int verdict = 0;               // fl::HealthVerdict as int (0=healthy)
+  int outlier_uploads = 0;       // accepted uploads flagged as outliers
+  int quarantined = 0;           // clients in quarantine after this round
+  int skipped_quarantined = 0;   // sampled slots skipped (quarantine)
+  bool escalated = false;        // round ran under escalated screening
 };
 
 /// Accumulated transport statistics of one federated run.

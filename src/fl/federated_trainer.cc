@@ -34,11 +34,13 @@ struct ClientSlot {
   bool contacted = false;  // survived the dropout/retry gauntlet
   bool straggler = false;  // trained but missed the round deadline
   bool rejected = false;   // upload failed server-side screening
+  bool corrupt = false;    // rejection was for non-finite scalars
   bool clipped = false;    // upload was norm-clipped by screening
   int attempts = 0;        // downlink sends (first contact + retries)
   int retries = 0;
   double backoff_s = 0.0;
   double loss = 0.0;          // valid when contacted
+  double delta_norm = 0.0;    // L2 delta of the accepted upload
   int64_t uplink_bytes = 0;   // valid when contacted && !straggler
   std::vector<nn::Scalar> upload;  // valid when sent and not rejected
 };
@@ -51,6 +53,7 @@ double PlainLocalUpdate::Update(int /*client_index*/, RecoveryModel* model,
                                 Rng* rng) {
   LocalTrainOptions options;
   options.epochs = epochs;
+  options.clip_norm = clip_norm_;
   return TrainLocal(model, optimizer, data.train, options, rng);
 }
 
@@ -62,7 +65,8 @@ FederatedTrainer::FederatedTrainer(
       pool_(ResolveThreadCount(options.threads)),
       rng_(options.seed),
       fault_rng_(0),
-      valid_rng_(0) {
+      valid_rng_(0),
+      monitor_(options.healing.monitor) {
   LIGHTTR_CHECK(clients != nullptr);
   LIGHTTR_CHECK(!clients->empty());
   LIGHTTR_CHECK_GT(options_.client_fraction, 0.0);
@@ -74,6 +78,12 @@ FederatedTrainer::FederatedTrainer(
   LIGHTTR_CHECK_GE(options_.tolerance.retry.max_retries, 0);
   LIGHTTR_CHECK_GE(options_.durability.snapshot_every, 1);
   LIGHTTR_CHECK_GE(options_.durability.keep_snapshots, 1);
+  LIGHTTR_CHECK_GE(options_.healing.max_rollbacks, 0);
+  LIGHTTR_CHECK_GE(options_.clip_norm, 0.0);
+  if (options_.healing.enabled) {
+    book_ = std::make_unique<ReputationBook>(static_cast<int>(clients->size()),
+                                             options_.healing.reputation);
+  }
 
   Rng init_rng = rng_.Fork();
   global_model_ = factory(&init_rng);
@@ -114,9 +124,8 @@ std::vector<traj::IncompleteTrajectory> FederatedTrainer::SampleValidationPool(
   return pool;
 }
 
-Status FederatedTrainer::SaveSnapshot(int round,
-                                      const FederatedRunResult& result) {
-  const DurabilityConfig& durability = options_.durability;
+ServerRunState FederatedTrainer::CaptureState(int round,
+                                              const FederatedRunResult& result) {
   ServerRunState state;
   state.round = round;
   state.rng_state = rng_.SerializeState();
@@ -131,7 +140,61 @@ Status FederatedTrainer::SaveSnapshot(int round,
   for (const auto& optimizer : client_optimizers_) {
     state.optimizer_blobs.push_back(optimizer->SerializeState());
   }
+  state.reputation_blob = book_ ? book_->Serialize() : std::string();
+  state.monitor_blob = monitor_.SerializeState();
+  state.escalated = escalated_;
+  return state;
+}
 
+Status FederatedTrainer::RestoreFromState(const ServerRunState& state,
+                                          bool restore_reputation) {
+  if (state.optimizer_blobs.size() != client_optimizers_.size()) {
+    return Status::InvalidArgument(
+        "snapshot has optimizer state for " +
+        std::to_string(state.optimizer_blobs.size()) + " clients, trainer has " +
+        std::to_string(client_optimizers_.size()));
+  }
+  LIGHTTR_RETURN_NOT_OK(rng_.DeserializeState(state.rng_state));
+  LIGHTTR_RETURN_NOT_OK(fault_rng_.DeserializeState(state.fault_rng_state));
+  // ParseCheckpoint rejects non-finite payloads, so a poisoned snapshot
+  // can never silently install a NaN/Inf global model.
+  LIGHTTR_RETURN_NOT_OK(
+      nn::ParseCheckpoint(state.global_params_blob, &global_model_->params()));
+  for (size_t i = 0; i < client_optimizers_.size(); ++i) {
+    LIGHTTR_RETURN_NOT_OK(
+        client_optimizers_[i]->DeserializeState(state.optimizer_blobs[i]));
+  }
+  // The monitor's rolling windows always come back: a rollback must
+  // undo the norms the bad round banked.
+  if (!state.monitor_blob.empty()) {
+    LIGHTTR_RETURN_NOT_OK(monitor_.DeserializeState(state.monitor_blob));
+  }
+  if (restore_reputation) {
+    // Cross-process resume: the ledger and the escalation latch come
+    // back too. A rollback deliberately skips this branch — offenders
+    // stay remembered and escalation stays armed, which is exactly why
+    // the replay can end differently.
+    if (book_ != nullptr && !state.reputation_blob.empty()) {
+      LIGHTTR_RETURN_NOT_OK(book_->Deserialize(state.reputation_blob));
+    }
+    escalated_ = state.escalated;
+  }
+  return Status::Ok();
+}
+
+void FederatedTrainer::AssignHealingCounters(FaultStats* faults) const {
+  faults->outlier_uploads = outlier_uploads_;
+  faults->diverged_rounds = diverged_rounds_;
+  faults->rollbacks = rollbacks_;
+  faults->quarantine_events = quarantine_events_;
+  faults->parole_events = parole_events_;
+  faults->quarantined_skips = quarantined_skips_;
+}
+
+Status FederatedTrainer::SaveSnapshot(int round,
+                                      const FederatedRunResult& result) {
+  const DurabilityConfig& durability = options_.durability;
+  const ServerRunState state = CaptureState(round, result);
   const std::string path = SnapshotPath(durability.dir, round);
   if (durability.crash_point == CrashPoint::kMidSave &&
       durability.crash_round == round) {
@@ -169,19 +232,32 @@ Status FederatedTrainer::ResumeFrom(const std::string& dir) {
     }
     const ServerRunState& state = loaded.value();
     if (state.optimizer_blobs.size() != client_optimizers_.size()) {
+      // A shape mismatch is a caller error (wrong trainer for this
+      // directory), not snapshot corruption: fail hard, do not fall
+      // back to an older snapshot that would mismatch identically.
       return Status::InvalidArgument(
           "snapshot has optimizer state for " +
           std::to_string(state.optimizer_blobs.size()) + " clients, trainer has " +
           std::to_string(client_optimizers_.size()));
     }
-    LIGHTTR_RETURN_NOT_OK(rng_.DeserializeState(state.rng_state));
-    LIGHTTR_RETURN_NOT_OK(fault_rng_.DeserializeState(state.fault_rng_state));
-    LIGHTTR_RETURN_NOT_OK(
-        nn::ParseCheckpoint(state.global_params_blob, &global_model_->params()));
-    for (size_t i = 0; i < client_optimizers_.size(); ++i) {
-      LIGHTTR_RETURN_NOT_OK(
-          client_optimizers_[i]->DeserializeState(state.optimizer_blobs[i]));
+    const Status restored = RestoreFromState(state, /*restore_reputation=*/true);
+    if (!restored.ok()) {
+      // Includes non-finite-poisoned global models (ParseCheckpoint
+      // refuses them): warn and fall back, same as a CRC failure.
+      std::fprintf(stderr,
+                   "[lighttr] warning: snapshot %s rejected (%s); falling "
+                   "back to the previous one\n",
+                   path.c_str(), restored.ToString().c_str());
+      continue;
     }
+    // Lifetime healing counters continue from where the snapshot left
+    // off (they live in FaultStats so v1 snapshots restore them as 0).
+    outlier_uploads_ = state.faults.outlier_uploads;
+    diverged_rounds_ = state.faults.diverged_rounds;
+    rollbacks_ = state.faults.rollbacks;
+    quarantine_events_ = state.faults.quarantine_events;
+    parole_events_ = state.faults.parole_events;
+    quarantined_skips_ = state.faults.quarantined_skips;
     start_round_ = state.round;
     resumed_round_ = state.round;
     resume_seed_ = FederatedRunResult{};
@@ -207,7 +283,7 @@ Status FederatedTrainer::ResumeFrom(const std::string& dir) {
 }
 
 FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
-  PlainLocalUpdate plain;
+  PlainLocalUpdate plain(options_.clip_norm);
   if (strategy == nullptr) strategy = &plain;
 
   const DurabilityConfig& durability = options_.durability;
@@ -228,7 +304,7 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
   const int64_t wire_bytes = global_model_->params().WireBytes();
   const FaultModel fault_model(options_.faults);
   const bool inject = options_.faults.enabled();
-  const FaultToleranceConfig& tolerance = options_.tolerance;
+  const bool healing = options_.healing.enabled;
   // Sample the validation pool from a *copy* of the stream so Run() is
   // idempotent with respect to valid_rng_ (a resumed trainer draws the
   // identical pool without any state having been persisted for it).
@@ -237,14 +313,41 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       SampleValidationPool(/*max_trajectories=*/40, &valid_rng);
 
   FederatedRunResult result = resume_seed_;
+  // Rollback anchor: the pre-round-1 (or just-resumed) state counts as
+  // healthy, so even a round-1 divergence has somewhere to return to.
+  if (healing) last_healthy_ = CaptureState(start_round_, result);
   for (int round = start_round_ + 1; round <= options_.rounds; ++round) {
     Stopwatch watch;
     RoundRecord record;
     record.round = round;
-    // Algorithm 3 line 2: randomly select C clients.
-    const std::vector<size_t> selected = rng_.SampleWithoutReplacement(
+    // Effective tolerance for this round: once a divergence has been
+    // seen, screening is forced on and plain-mean aggregation hardens
+    // to the coordinate-wise median for the rest of the run.
+    FaultToleranceConfig tolerance = options_.tolerance;
+    if (escalated_) {
+      tolerance.screen.enabled = true;
+      if (tolerance.aggregator.policy == AggregatorPolicy::kMean) {
+        tolerance.aggregator.policy = AggregatorPolicy::kMedian;
+      }
+      record.escalated = true;
+    }
+    // Algorithm 3 line 2: randomly select C clients. The RNG draw is
+    // identical with healing on or off; quarantine then filters the
+    // cohort without consuming randomness, so the fork sequence below
+    // stays aligned with the reputation state (itself deterministic).
+    std::vector<size_t> selected = rng_.SampleWithoutReplacement(
         static_cast<size_t>(num_clients), static_cast<size_t>(sampled));
     record.sampled = static_cast<int>(selected.size());
+    if (healing && book_->QuarantinedCount() > 0) {
+      auto keep_end = std::remove_if(
+          selected.begin(), selected.end(), [&](size_t client_index) {
+            return book_->IsQuarantined(static_cast<int>(client_index));
+          });
+      record.skipped_quarantined =
+          static_cast<int>(selected.end() - keep_end);
+      selected.erase(keep_end, selected.end());
+      quarantined_skips_ += record.skipped_quarantined;
+    }
 
     // Lines 3-10: download, local training, upload — now with faults,
     // run as one pool task per selected client. Every RNG fork happens
@@ -324,8 +427,13 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
           ScreenUpload(&upload, global_flat, tolerance.screen, &slot.clipped);
       if (!screen.ok()) {
         slot.rejected = true;
+        // InvalidArgument = non-finite scalars; OutOfRange = norm bound.
+        slot.corrupt = screen.code() == StatusCode::kInvalidArgument;
         return;
       }
+      // Computed here (in parallel) for the health monitor; per-slot,
+      // so thread count cannot reorder any accumulation.
+      slot.delta_norm = DeltaNorm(upload, global_flat);
       slot.upload = std::move(upload);
     });
 
@@ -334,9 +442,12 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     // thread, in one fixed order.
     std::vector<std::vector<nn::Scalar>> uploads;
     uploads.reserve(slots.size());
+    std::vector<UpdateObservation> observations;  // canonical order
+    if (healing) observations.reserve(slots.size());
     double loss_sum = 0.0;
     int loss_count = 0;
-    for (ClientSlot& slot : slots) {
+    for (size_t s = 0; s < slots.size(); ++s) {
+      ClientSlot& slot = slots[s];
       result.comm.bytes_downlink += wire_bytes * slot.attempts;
       result.comm.messages += slot.attempts;
       record.retries += slot.retries;
@@ -353,6 +464,17 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       }
       result.comm.bytes_uplink += slot.uplink_bytes;
       ++result.comm.messages;
+      // Every upload that reached screening is evidence for the
+      // reputation ledger — including clean ones, which decay scores.
+      if (healing) {
+        UpdateObservation obs;
+        obs.client_index = static_cast<int>(tasks[s].client_index);
+        obs.corrupt = slot.corrupt;
+        obs.norm_rejected = slot.rejected && !slot.corrupt;
+        obs.accepted = !slot.rejected;
+        obs.delta_norm = slot.delta_norm;
+        observations.push_back(obs);
+      }
       if (slot.rejected) {
         ++record.rejected_uploads;
         continue;
@@ -391,12 +513,72 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     result.faults.sampled_clients += record.sampled;
     result.faults.reporting_clients += record.reporting;
 
-    // Telemetry: validation accuracy of the (possibly kept) global model
-    // over the run-level unbiased validation pool.
+    // Telemetry: validation accuracy + loss of the (possibly kept)
+    // global model over the run-level unbiased validation pool.
     record.mean_train_loss =
         loss_count > 0 ? loss_sum / static_cast<double>(loss_count) : 0.0;
     record.global_valid_accuracy =
         EvaluateSegmentAccuracy(global_model_.get(), valid_pool);
+    record.valid_loss = EvaluateMeanLoss(global_model_.get(), valid_pool);
+
+    // Self-healing: judge the round, book the evidence, and on a
+    // diverged verdict roll back to the last healthy state — all on
+    // the coordinating thread, before anything is journaled.
+    if (healing) {
+      RoundHealthReport report = monitor_.Judge(
+          &observations, global_model_->params().Flatten(), record.valid_loss);
+      record.verdict = static_cast<int>(report.verdict);
+      record.outlier_uploads = report.outlier_uploads;
+      outlier_uploads_ += report.outlier_uploads;
+      for (const UpdateObservation& obs : observations) {
+        if (book_->Observe(obs.client_index, obs.corrupt, obs.norm_rejected,
+                           obs.outlier)) {
+          ++quarantine_events_;
+        }
+      }
+      if (report.verdict == HealthVerdict::kDiverged) {
+        ++diverged_rounds_;
+        escalated_ = true;
+        const int anchor = last_healthy_->round;
+        std::fprintf(stderr,
+                     "[lighttr] round %d diverged (%s%s%s); %s round %d\n",
+                     round, report.global_nonfinite ? "non-finite model " : "",
+                     report.loss_nonfinite ? "non-finite loss " : "",
+                     report.loss_spike ? "validation-loss spike" : "",
+                     rollbacks_ < options_.healing.max_rollbacks
+                         ? "rolling back to"
+                         : "rollback budget exhausted; stopping at",
+                     anchor);
+        if (rollbacks_ < options_.healing.max_rollbacks) {
+          ++rollbacks_;
+          LIGHTTR_CHECK_OK(
+              RestoreFromState(*last_healthy_, /*restore_reputation=*/false));
+          result.comm = last_healthy_->comm;
+          result.faults = last_healthy_->faults;
+          AssignHealingCounters(&result.faults);
+          // The diverged round is neither journaled nor recorded: it
+          // re-executes (with escalation and the updated ledger) as if
+          // it never happened.
+          round = anchor;
+          continue;
+        }
+        // Budget exhausted: park the run at its last healthy state so
+        // the caller still gets a finite model.
+        result.gave_up = true;
+        LIGHTTR_CHECK_OK(
+            RestoreFromState(*last_healthy_, /*restore_reputation=*/false));
+        result.comm = last_healthy_->comm;
+        result.faults = last_healthy_->faults;
+        AssignHealingCounters(&result.faults);
+        break;
+      }
+      // Committed round: advance quarantine clocks (the quarantining
+      // round's tick counts toward parole).
+      parole_events_ += book_->Tick();
+      record.quarantined = book_->QuarantinedCount();
+      AssignHealingCounters(&result.faults);
+      last_healthy_ = CaptureState(round, result);
+    }
     record.wall_seconds = watch.ElapsedSeconds();
     result.history.push_back(record);
 

@@ -5,6 +5,7 @@
 #define LIGHTTR_FL_FEDERATED_TRAINER_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/backoff.h"
@@ -15,9 +16,11 @@
 #include "fl/comm_stats.h"
 #include "fl/compression.h"
 #include "fl/fault_injection.h"
+#include "fl/health.h"
 #include "fl/local_trainer.h"
 #include "fl/privacy.h"
 #include "fl/recovery_model.h"
+#include "fl/reputation.h"
 #include "fl/run_state.h"
 #include "nn/optimizer.h"
 #include "traj/workload.h"
@@ -50,9 +53,28 @@ class LocalUpdateStrategy {
 /// Plain FedAvg local update: `epochs` passes of task-loss SGD.
 class PlainLocalUpdate : public LocalUpdateStrategy {
  public:
+  /// `clip_norm` > 0 bounds each step's global gradient norm (see
+  /// LocalTrainOptions::clip_norm); 0 disables clipping.
+  explicit PlainLocalUpdate(double clip_norm = 0.0) : clip_norm_(clip_norm) {}
+
   double Update(int client_index, RecoveryModel* model,
                 nn::Optimizer* optimizer, const traj::ClientDataset& data,
                 int epochs, Rng* rng) override;
+
+ private:
+  double clip_norm_;
+};
+
+/// Self-healing policy: round health verdicts (fl/health), per-client
+/// reputation + quarantine (fl/reputation), and the rollback protocol
+/// applied on a diverged verdict. Off by default (the paper's setting).
+struct SelfHealingConfig {
+  bool enabled = false;
+  HealthMonitorConfig monitor;
+  ReputationConfig reputation;
+  /// How many times a run may roll back to its last healthy state
+  /// before it gives up (restores that state once more and stops).
+  int max_rollbacks = 3;
 };
 
 /// Server-side fault tolerance knobs: how the round survives the faults
@@ -88,6 +110,13 @@ struct FederatedTrainerOptions {
   /// Crash-safe persistence: periodic snapshots + round journal under
   /// `durability.dir`, and optional resume from it (off by default).
   DurabilityConfig durability;
+  /// Self-healing layer: health verdicts, divergence rollback, client
+  /// quarantine (off by default).
+  SelfHealingConfig healing;
+  /// Global-norm gradient clipping inside local training; 0 disables.
+  /// Applies to the built-in PlainLocalUpdate strategy (external
+  /// strategies read it from their own options, see MetaLocalOptions).
+  double clip_norm = 0.0;
   /// Executors for the per-round client loop: 1 = serial reference
   /// path, >1 = that many (clients of one round train concurrently),
   /// 0 = LIGHTTR_THREADS env / hardware concurrency. Results are
@@ -103,6 +132,9 @@ struct FederatedRunResult {
   CommStats comm;
   FaultStats faults;
   std::vector<RoundRecord> history;
+  /// True when the self-healing layer exhausted its rollback budget and
+  /// stopped the run early at its last healthy state.
+  bool gave_up = false;
 };
 
 /// Simulates horizontal federated learning in-process: one global model
@@ -134,6 +166,10 @@ class FederatedTrainer {
   /// The global model (valid after construction; trained after Run).
   RecoveryModel* global_model() { return global_model_.get(); }
 
+  /// The reputation ledger (null while `options.healing.enabled` is
+  /// false); for tests and telemetry.
+  const ReputationBook* reputation() const { return book_.get(); }
+
   /// Client models (for ablations and tests).
   RecoveryModel* client_model(int i) { return client_models_[i].get(); }
   int num_clients() const { return static_cast<int>(client_models_.size()); }
@@ -144,6 +180,21 @@ class FederatedTrainer {
   /// biasing the telemetry toward their data distribution).
   std::vector<traj::IncompleteTrajectory> SampleValidationPool(
       size_t max_trajectories, Rng* rng) const;
+
+  /// Builds the full ServerRunState after `round` (shared by disk
+  /// snapshots and the in-memory rollback anchor).
+  ServerRunState CaptureState(int round, const FederatedRunResult& result);
+
+  /// Restores trainer state from `state`. With `restore_reputation` the
+  /// reputation ledger + escalation latch come back too (cross-process
+  /// resume); without it they survive (rollback: offenders stay
+  /// remembered so the replay can differ).
+  [[nodiscard]] Status RestoreFromState(const ServerRunState& state,
+                                        bool restore_reputation);
+
+  /// Copies the lifetime self-healing counters into `faults` (they are
+  /// trainer members so a rollback cannot erase them).
+  void AssignHealingCounters(FaultStats* faults) const;
 
   /// Captures full server state after `round` and atomically writes it
   /// to the snapshot directory, honoring kMidSave crash injection.
@@ -169,6 +220,24 @@ class FederatedTrainer {
   int start_round_ = 0;
   int resumed_round_ = 0;
   FederatedRunResult resume_seed_;
+  // Self-healing state (only touched when options_.healing.enabled).
+  RoundHealthMonitor monitor_;
+  std::unique_ptr<ReputationBook> book_;
+  /// Rollback anchor: the newest state that judged non-diverged. Held
+  /// in memory so healing works with durability off; with durability on
+  /// it mirrors what the newest snapshot would contain.
+  std::optional<ServerRunState> last_healthy_;
+  /// Screening-escalation latch: once a round diverges, screening is
+  /// forced on and kMean aggregation is hardened to kMedian for the
+  /// rest of the run.
+  bool escalated_ = false;
+  // Lifetime healing counters (see AssignHealingCounters).
+  int64_t outlier_uploads_ = 0;
+  int64_t diverged_rounds_ = 0;
+  int64_t rollbacks_ = 0;
+  int64_t quarantine_events_ = 0;
+  int64_t parole_events_ = 0;
+  int64_t quarantined_skips_ = 0;
 };
 
 }  // namespace lighttr::fl

@@ -1,0 +1,197 @@
+#include "fl/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/binary_io.h"
+#include "common/check.h"
+#include "common/finite.h"
+
+namespace lighttr::fl {
+namespace {
+
+// Monitor state blob: magic + version so a run_state snapshot that
+// embeds it can evolve independently of the snapshot container.
+constexpr uint32_t kMonitorMagic = 0x4C54484Du;  // "LTHM"
+constexpr uint32_t kMonitorVersion = 1;
+// A window far above any configured size; bounds hostile length fields.
+constexpr uint64_t kMaxWindow = 1u << 20;
+
+void TrimFront(std::vector<double>* window, int cap) {
+  if (cap < 0) cap = 0;
+  const size_t limit = static_cast<size_t>(cap);
+  if (window->size() > limit) {
+    window->erase(window->begin(),
+                  window->end() - static_cast<std::ptrdiff_t>(limit));
+  }
+}
+
+}  // namespace
+
+const char* HealthVerdictName(HealthVerdict verdict) {
+  switch (verdict) {
+    case HealthVerdict::kHealthy:
+      return "healthy";
+    case HealthVerdict::kSuspect:
+      return "suspect";
+    case HealthVerdict::kDiverged:
+      return "diverged";
+  }
+  return "unknown";
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double MedianAbsDeviation(const std::vector<double>& values, double center) {
+  if (values.empty()) return 0.0;
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::fabs(v - center));
+  return Median(std::move(deviations));
+}
+
+RoundHealthMonitor::RoundHealthMonitor(HealthMonitorConfig config)
+    : config_(config) {
+  LIGHTTR_CHECK_GT(config_.norm_window, 0);
+  LIGHTTR_CHECK_GT(config_.loss_window, 0);
+}
+
+RoundHealthReport RoundHealthMonitor::Judge(
+    std::vector<UpdateObservation>* observations,
+    const std::vector<nn::Scalar>& global_params, double valid_loss) {
+  LIGHTTR_CHECK(observations != nullptr);
+  RoundHealthReport report;
+
+  // (b) Norm outliers, judged against the window *before* this round is
+  // admitted so one coordinated burst cannot vouch for itself.
+  const bool norms_armed =
+      static_cast<int>(norm_window_.size()) >= config_.min_norm_history;
+  if (norms_armed) {
+    report.norm_median = Median(norm_window_);
+    report.norm_mad = MedianAbsDeviation(norm_window_, report.norm_median);
+  }
+  const double norm_spread =
+      std::max(report.norm_mad,
+               1e-3 * std::max(1.0, std::fabs(report.norm_median)));
+  const double norm_bound =
+      report.norm_median + config_.norm_outlier_mult * norm_spread;
+  std::vector<double> admitted_norms;
+  for (UpdateObservation& obs : *observations) {
+    if (obs.corrupt) ++report.corrupt_uploads;
+    if (obs.norm_rejected) ++report.rejected_uploads;
+    if (!obs.accepted) continue;
+    if (!IsFinite(obs.delta_norm)) {
+      // Should have been screened out upstream; treat as corrupt.
+      obs.corrupt = true;
+      obs.accepted = false;
+      ++report.corrupt_uploads;
+      continue;
+    }
+    if (norms_armed && obs.delta_norm > norm_bound) {
+      obs.outlier = true;
+      ++report.outlier_uploads;
+      continue;  // outlier norms are not admitted to the window
+    }
+    admitted_norms.push_back(obs.delta_norm);
+  }
+  for (double norm : admitted_norms) norm_window_.push_back(norm);
+  TrimFront(&norm_window_, config_.norm_window);
+
+  // (a) Non-finite scan of the post-aggregation global model: the
+  // hardest divergence signal there is, independent of any history.
+  report.global_nonfinite = !AllFinite(global_params);
+  report.loss_nonfinite = !IsFinite(valid_loss);
+
+  // (c) Validation-loss spike vs the rolling median + MAD envelope of
+  // past non-diverged rounds.
+  if (!report.loss_nonfinite &&
+      static_cast<int>(loss_window_.size()) >= config_.min_loss_history) {
+    report.loss_median = Median(loss_window_);
+    report.loss_mad = MedianAbsDeviation(loss_window_, report.loss_median);
+    const double spread =
+        std::max(report.loss_mad,
+                 config_.loss_mad_floor *
+                     std::max(1.0, std::fabs(report.loss_median)));
+    if (valid_loss > report.loss_median + config_.loss_spike_mult * spread) {
+      report.loss_spike = true;
+    }
+  }
+
+  if (report.global_nonfinite || report.loss_nonfinite || report.loss_spike) {
+    report.verdict = HealthVerdict::kDiverged;
+  } else if (report.corrupt_uploads > 0 || report.rejected_uploads > 0 ||
+             report.outlier_uploads > 0) {
+    report.verdict = HealthVerdict::kSuspect;
+  } else {
+    report.verdict = HealthVerdict::kHealthy;
+  }
+
+  // Only non-diverged rounds teach the loss envelope: a diverged round
+  // is about to be rolled back, so its loss never happened.
+  if (report.verdict != HealthVerdict::kDiverged) {
+    loss_window_.push_back(valid_loss);
+    TrimFront(&loss_window_, config_.loss_window);
+  }
+  return report;
+}
+
+std::string RoundHealthMonitor::SerializeState() const {
+  BinaryWriter writer;
+  writer.WriteU32(kMonitorMagic);
+  writer.WriteU32(kMonitorVersion);
+  writer.WriteU64(norm_window_.size());
+  for (double v : norm_window_) writer.WriteF64(v);
+  writer.WriteU64(loss_window_.size());
+  for (double v : loss_window_) writer.WriteF64(v);
+  return writer.Take();
+}
+
+Status RoundHealthMonitor::DeserializeState(const std::string& bytes) {
+  BinaryReader reader(bytes);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&magic));
+  if (magic != kMonitorMagic) {
+    return Status::InvalidArgument("health monitor blob: bad magic");
+  }
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&version));
+  if (version != kMonitorVersion) {
+    return Status::InvalidArgument("health monitor blob: unknown version " +
+                                   std::to_string(version));
+  }
+  std::vector<double> norms;
+  std::vector<double> losses;
+  for (std::vector<double>* window : {&norms, &losses}) {
+    uint64_t count = 0;
+    LIGHTTR_RETURN_NOT_OK(reader.ReadU64(&count));
+    if (count > kMaxWindow) {
+      return Status::InvalidArgument("health monitor blob: window size " +
+                                     std::to_string(count) + " exceeds cap");
+    }
+    window->reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      double v = 0.0;
+      LIGHTTR_RETURN_NOT_OK(reader.ReadF64(&v));
+      if (!IsFinite(v)) {
+        return Status::InvalidArgument(
+            "health monitor blob: non-finite window entry");
+      }
+      window->push_back(v);
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("health monitor blob: trailing bytes");
+  }
+  norm_window_ = std::move(norms);
+  loss_window_ = std::move(losses);
+  return Status::Ok();
+}
+
+}  // namespace lighttr::fl

@@ -1,0 +1,146 @@
+// Round health monitoring for the self-healing federated loop.
+//
+// Screening (fl/aggregation) protects a single round from a single bad
+// upload; nothing before this module watched the *trajectory* of the
+// run. RoundHealthMonitor turns each completed round into a verdict:
+//
+//   kHealthy  — nothing suspicious; the round may serve as a rollback
+//               anchor.
+//   kSuspect  — corrupt / rejected / norm-outlier uploads were seen but
+//               the global model and validation loss look sane (the
+//               screening + aggregation layers absorbed the damage).
+//   kDiverged — the global model is numerically broken or the
+//               validation loss blew past the rolling median + MAD
+//               envelope; the trainer must roll back and escalate.
+//
+// Three detectors feed the verdict:
+//   (a) non-finite scans of the screened upload outcomes and of the
+//       post-aggregation global model (common/finite helpers);
+//   (b) update-delta-norm outlier detection against a rolling window
+//       (norm > median + k * MAD flags the upload, not the round);
+//   (c) validation-loss spike detection against a rolling median + MAD
+//       of past healthy rounds.
+//
+// Everything is a pure function of the observation sequence, so
+// verdicts are bitwise identical across thread widths, and the window
+// state serializes into fl/run_state snapshots (v2) so a resumed or
+// rolled-back run re-judges identically.
+#ifndef LIGHTTR_FL_HEALTH_H_
+#define LIGHTTR_FL_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/matrix.h"
+
+namespace lighttr::fl {
+
+/// Per-round health verdict, ordered by severity.
+enum class HealthVerdict {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDiverged = 2,
+};
+
+const char* HealthVerdictName(HealthVerdict verdict);
+
+/// Detector thresholds. Defaults are deliberately loose: a self-healing
+/// layer that cries wolf (rolls back healthy rounds) costs more than
+/// one that waits a round longer to be sure.
+struct HealthMonitorConfig {
+  /// Rolling window of accepted update delta norms.
+  int norm_window = 64;
+  /// Outlier detection stays silent until this many norms are banked.
+  int min_norm_history = 8;
+  /// Upload is an outlier when norm > median + this multiple of the MAD
+  /// (with a relative floor so a zero-MAD window cannot flag everything).
+  double norm_outlier_mult = 8.0;
+  /// Rolling window of per-round validation losses (healthy rounds only).
+  int loss_window = 16;
+  /// Spike detection stays silent until this many losses are banked
+  /// (non-finite losses diverge regardless of history).
+  int min_loss_history = 3;
+  /// Round diverged when loss > median + this multiple of max(MAD, floor).
+  double loss_spike_mult = 10.0;
+  /// MAD floor, as a fraction of max(1, |median|): guards the common
+  /// early-training case where the banked losses are nearly identical
+  /// and the raw MAD is ~0.
+  double loss_mad_floor = 0.25;
+};
+
+/// One screened upload outcome, in canonical selection order. The
+/// trainer fills everything except `outlier`; Judge sets `outlier` for
+/// accepted uploads whose delta norm escapes the rolling envelope.
+struct UpdateObservation {
+  int client_index = -1;
+  bool corrupt = false;        // screen-rejected: non-finite scalars
+  bool norm_rejected = false;  // screen-rejected: delta-norm bound
+  bool accepted = false;       // entered aggregation
+  double delta_norm = 0.0;     // L2 delta vs global; valid when accepted
+  bool outlier = false;        // set by Judge
+};
+
+/// Everything Judge decided about one round, for telemetry and tests.
+struct RoundHealthReport {
+  HealthVerdict verdict = HealthVerdict::kHealthy;
+  bool global_nonfinite = false;  // post-aggregation model has NaN/Inf
+  bool loss_nonfinite = false;
+  bool loss_spike = false;
+  int corrupt_uploads = 0;
+  int rejected_uploads = 0;
+  int outlier_uploads = 0;
+  // The envelopes the round was judged against (0 until enough history).
+  double norm_median = 0.0;
+  double norm_mad = 0.0;
+  double loss_median = 0.0;
+  double loss_mad = 0.0;
+};
+
+/// Rolling-window health judge. Not thread-safe; the trainer calls it
+/// once per round from the coordinating thread.
+class RoundHealthMonitor {
+ public:
+  explicit RoundHealthMonitor(HealthMonitorConfig config = {});
+
+  const HealthMonitorConfig& config() const { return config_; }
+
+  /// Judges one completed round. `observations` must be in canonical
+  /// selection order (part of the determinism contract); Judge flags
+  /// norm outliers in place. `global_params` is the post-aggregation
+  /// global model, `valid_loss` its validation loss. Window mutation is
+  /// verdict-aware: accepted non-outlier norms are always banked, the
+  /// loss only when the round did not diverge (a diverged round is
+  /// about to be rolled back and must not poison the envelope).
+  RoundHealthReport Judge(std::vector<UpdateObservation>* observations,
+                          const std::vector<nn::Scalar>& global_params,
+                          double valid_loss);
+
+  /// Banked history sizes (for tests and telemetry).
+  int norm_history() const { return static_cast<int>(norm_window_.size()); }
+  int loss_history() const { return static_cast<int>(loss_window_.size()); }
+
+  /// Serializes the rolling windows (for fl/run_state v2 snapshots).
+  std::string SerializeState() const;
+
+  /// Restores SerializeState output. Rejects malformed input without
+  /// touching the current state.
+  [[nodiscard]] Status DeserializeState(const std::string& bytes);
+
+ private:
+  HealthMonitorConfig config_;
+  // Oldest first; trimmed to the configured window sizes.
+  std::vector<double> norm_window_;
+  std::vector<double> loss_window_;
+};
+
+/// Median of `values` (by copy+sort: deterministic, O(n log n)).
+/// Returns 0 for an empty input.
+double Median(std::vector<double> values);
+
+/// Median absolute deviation around `center`. Returns 0 when empty.
+double MedianAbsDeviation(const std::vector<double>& values, double center);
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_HEALTH_H_

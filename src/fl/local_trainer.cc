@@ -42,6 +42,9 @@ double TrainLocal(RecoveryModel* model, nn::Optimizer* optimizer,
       }
       epoch_loss += loss.ScalarValue();
       loss.Backward();
+      if (options.clip_norm > 0.0) {
+        nn::ClipGradNorm(&model->params(), options.clip_norm);
+      }
       optimizer->Step(&model->params());
     }
     last_epoch_loss = epoch_loss / static_cast<double>(data.size());

@@ -18,6 +18,11 @@ struct LocalTrainOptions {
   double lambda = 0.0;
   /// Teacher (meta-learner) for knowledge distillation; may be null.
   RecoveryModel* teacher = nullptr;
+  /// Global-norm gradient clipping bound applied before each optimizer
+  /// step (nn::ClipGradNorm); <= 0 disables clipping (the default, and
+  /// the paper's setting). Bounds client update norms when inputs or
+  /// labels are corrupted.
+  double clip_norm = 0.0;
 };
 
 /// Trains `model` on `data` for options.epochs epochs, one optimizer step

@@ -1,0 +1,95 @@
+// Per-client reputation and quarantine for the self-healing loop.
+//
+// The health monitor (fl/health) judges rounds; this module remembers
+// *who* caused trouble. Every screened upload outcome becomes an
+// observation: corrupt (non-finite scalars), norm-rejected, or
+// norm-outlier events raise a client's EWMA misbehaviour score, clean
+// reports decay it. A client whose score crosses the quarantine
+// threshold is excluded from future cohorts until it has sat out a
+// parole period, after which it re-enters with a halved score — one
+// more offence sends it straight back.
+//
+// The book lives on the coordinating thread and is a pure function of
+// the observation sequence, so quarantine decisions are bitwise
+// deterministic across thread widths. It serializes into fl/run_state
+// snapshots (v2) so a resumed run remembers its offenders. Rollback,
+// deliberately, does NOT restore the book: the whole point of rolling
+// back is to replay the round with the offenders remembered.
+#ifndef LIGHTTR_FL_REPUTATION_H_
+#define LIGHTTR_FL_REPUTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lighttr::fl {
+
+/// EWMA scoring + quarantine thresholds.
+struct ReputationConfig {
+  /// EWMA smoothing: score = (1-alpha)*score + alpha*event_weight.
+  double alpha = 0.5;
+  /// Quarantine when score reaches this value. With alpha 0.5 and
+  /// corrupt weight 1.0, two corrupt uploads in a row cross 0.6.
+  double quarantine_threshold = 0.6;
+  /// Rounds a quarantined client sits out before parole.
+  int parole_rounds = 4;
+  // Event weights, by decreasing severity. When several apply to one
+  // upload, the maximum wins.
+  double corrupt_weight = 1.0;
+  double rejected_weight = 0.7;
+  double outlier_weight = 0.5;
+};
+
+/// One client's standing.
+struct ClientReputation {
+  double score = 0.0;
+  bool quarantined = false;
+  /// Rounds served in quarantine so far (valid while quarantined).
+  int quarantine_age = 0;
+  // Lifetime event counts, for telemetry.
+  int corrupt_events = 0;
+  int rejected_events = 0;
+  int outlier_events = 0;
+};
+
+/// The server's ledger over all clients. Not thread-safe; coordinator
+/// use only.
+class ReputationBook {
+ public:
+  ReputationBook(int num_clients, ReputationConfig config);
+
+  const ReputationConfig& config() const { return config_; }
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  const ClientReputation& client(int index) const;
+
+  bool IsQuarantined(int index) const { return client(index).quarantined; }
+  int QuarantinedCount() const;
+
+  /// Records one upload outcome for `index` and updates its EWMA score.
+  /// Crossing the threshold quarantines the client; returns true
+  /// exactly when this observation triggered that transition.
+  bool Observe(int index, bool corrupt, bool rejected, bool outlier);
+
+  /// Advances every quarantined client's clock by one round and paroles
+  /// those that served `parole_rounds`, re-admitting them with score
+  /// threshold/2. Returns the number of clients paroled. Call once per
+  /// completed (non-rolled-back) round.
+  int Tick();
+
+  /// Serializes the ledger (for fl/run_state v2 snapshots).
+  std::string Serialize() const;
+
+  /// Restores Serialize output. Rejects malformed input (including a
+  /// client count that disagrees with this book's) without touching
+  /// the current state.
+  [[nodiscard]] Status Deserialize(const std::string& bytes);
+
+ private:
+  ReputationConfig config_;
+  std::vector<ClientReputation> clients_;
+};
+
+}  // namespace lighttr::fl
+
+#endif  // LIGHTTR_FL_REPUTATION_H_

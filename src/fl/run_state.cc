@@ -18,7 +18,12 @@ namespace lighttr::fl {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'T', 'R', 'S'};
-constexpr uint32_t kVersion = 1;
+// v1: original layout (PR 3). v2 appends the self-healing tail (extra
+// FaultStats counters, reputation + monitor blobs, escalation latch)
+// after the optimizer blobs; the shared prefix is byte-identical, and
+// v1 snapshots still decode with the tail left at defaults.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 constexpr char kJournalName[] = "journal.log";
 constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kSnapshotSuffix[] = ".ltrs";
@@ -27,15 +32,21 @@ std::string JournalPath(const std::string& dir) {
   return (std::filesystem::path(dir) / kJournalName).generic_string();
 }
 
-// One journal line: eleven space-separated fields followed by the
+// One journal line: seventeen space-separated fields followed by the
 // CRC-32 (8 hex digits) of everything before the final space. Doubles
-// use %.17g so the text round-trips bit-exactly.
+// use %.17g so the text round-trips bit-exactly. Fields 12..17 are the
+// self-healing columns added in v2; the parser accepts any line with at
+// least the eleven v1 fields and ignores unknown trailing fields, so
+// journals written by newer builds (with further columns) still load.
 std::string FormatJournalBody(const RoundRecord& r) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf), "%d %.17g %.17g %.17g %d %d %d %d %d %d %d",
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "%d %.17g %.17g %.17g %d %d %d %d %d %d %d %.17g %d %d %d %d %d",
                 r.round, r.mean_train_loss, r.global_valid_accuracy,
                 r.wall_seconds, r.sampled, r.reporting, r.drops, r.retries,
-                r.stragglers, r.rejected_uploads, r.quorum_met ? 1 : 0);
+                r.stragglers, r.rejected_uploads, r.quorum_met ? 1 : 0,
+                r.valid_loss, r.verdict, r.outlier_uploads, r.quarantined,
+                r.skipped_quarantined, r.escalated ? 1 : 0);
   return std::string(buf);
 }
 
@@ -51,12 +62,13 @@ bool ParseJournalLine(const std::string& line, RoundRecord* out) {
   if (static_cast<uint32_t>(crc_claim) != Crc32(body)) return false;
 
   std::istringstream tokens(body);
-  std::string field[11];
-  for (auto& f : field) {
-    if (!(tokens >> f)) return false;
-  }
-  std::string extra;
-  if (tokens >> extra) return false;
+  std::vector<std::string> field;
+  std::string token;
+  while (tokens >> token) field.push_back(token);
+  // Eleven v1 fields are mandatory; anything beyond the fields this
+  // build knows is tolerated (forward compatibility with newer builds
+  // that append further columns — the CRC already vouches for them).
+  if (field.size() < 11) return false;
 
   auto to_int = [](const std::string& s, int* v) {
     char* e = nullptr;
@@ -83,6 +95,23 @@ bool ParseJournalLine(const std::string& line, RoundRecord* out) {
     return false;
   }
   out->quorum_met = quorum != 0;
+  // Self-healing columns (v2); a v1 line leaves them at defaults.
+  int escalated = 0;
+  if (field.size() >= 12 && !to_double(field[11], &out->valid_loss)) {
+    return false;
+  }
+  if (field.size() >= 13 && !to_int(field[12], &out->verdict)) return false;
+  if (field.size() >= 14 && !to_int(field[13], &out->outlier_uploads)) {
+    return false;
+  }
+  if (field.size() >= 15 && !to_int(field[14], &out->quarantined)) {
+    return false;
+  }
+  if (field.size() >= 16 && !to_int(field[15], &out->skipped_quarantined)) {
+    return false;
+  }
+  if (field.size() >= 17 && !to_int(field[16], &escalated)) return false;
+  out->escalated = escalated != 0;
   return true;
 }
 
@@ -139,6 +168,17 @@ std::string EncodeRunState(const ServerRunState& state) {
   for (const std::string& blob : state.optimizer_blobs) {
     writer.WriteString(blob);
   }
+  // v2 self-healing tail. Appended last so the v1 prefix stays
+  // byte-identical.
+  writer.WriteI64(state.faults.outlier_uploads);
+  writer.WriteI64(state.faults.diverged_rounds);
+  writer.WriteI64(state.faults.rollbacks);
+  writer.WriteI64(state.faults.quarantine_events);
+  writer.WriteI64(state.faults.parole_events);
+  writer.WriteI64(state.faults.quarantined_skips);
+  writer.WriteString(state.reputation_blob);
+  writer.WriteString(state.monitor_blob);
+  writer.WriteU8(state.escalated ? 1 : 0);
   std::string out = writer.Take();
   const uint32_t crc = Crc32(out);
   out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
@@ -168,7 +208,7 @@ Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
   }
   uint32_t version = 0;
   LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&version));
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::InvalidArgument("unsupported run-state version " +
                                    std::to_string(version));
   }
@@ -198,6 +238,22 @@ Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
     std::string blob;
     LIGHTTR_RETURN_NOT_OK(reader.ReadString(&blob));
     state->optimizer_blobs.push_back(std::move(blob));
+  }
+  if (version >= 2) {
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.outlier_uploads));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.diverged_rounds));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.rollbacks));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.quarantine_events));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.parole_events));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.quarantined_skips));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->reputation_blob));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->monitor_blob));
+    uint8_t escalated = 0;
+    LIGHTTR_RETURN_NOT_OK(reader.ReadU8(&escalated));
+    if (escalated > 1) {
+      return Status::InvalidArgument("run-state snapshot: bad escalation flag");
+    }
+    state->escalated = escalated != 0;
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in run-state snapshot");

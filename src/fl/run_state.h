@@ -76,7 +76,10 @@ void MaybeInjectCrash(const DurabilityConfig& config, CrashPoint point,
 /// Everything the server must persist to resume a run exactly: the
 /// last completed round, both RNG stream states, accumulated telemetry,
 /// the global parameters (float64 checkpoint blob), and each client
-/// optimizer's state.
+/// optimizer's state. Version 2 appends the self-healing state: the
+/// extra FaultStats counters, the reputation ledger, the health
+/// monitor's rolling windows, and the escalation latch. Version 1
+/// snapshots still load (self-healing fields default to "fresh").
 struct ServerRunState {
   int round = 0;
   std::string rng_state;        // FederatedTrainer::rng_
@@ -85,6 +88,10 @@ struct ServerRunState {
   FaultStats faults;
   std::string global_params_blob;            // nn::SerializeCheckpoint, f64
   std::vector<std::string> optimizer_blobs;  // one per client, in order
+  // v2 fields (empty/false when decoded from a v1 snapshot):
+  std::string reputation_blob;  // ReputationBook::Serialize
+  std::string monitor_blob;     // RoundHealthMonitor::SerializeState
+  bool escalated = false;       // screening escalation latch
 };
 
 /// Encodes a snapshot ("LTRS" magic, version, fields, whole-file CRC).

@@ -54,6 +54,7 @@ double MetaLocalUpdate::Update(int client_index, fl::RecoveryModel* model,
     local.epochs = 1;
     local.lambda = lambda;
     local.teacher = (lambda > 0.0) ? teacher_ : nullptr;
+    local.clip_norm = options_.clip_norm;
     last_loss = fl::TrainLocal(model, optimizer, data.train, local, rng);
 
     if (teacher_ == nullptr) continue;

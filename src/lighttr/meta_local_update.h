@@ -20,6 +20,9 @@ namespace lighttr::core {
 struct MetaLocalOptions {
   double lambda0 = 5.0;  // base distillation weight (paper best: 5)
   double l_t = 0.4;      // guidance threshold (paper best: 0.4)
+  /// Global-norm gradient clipping bound forwarded to every local
+  /// training step (see LocalTrainOptions::clip_norm); <= 0 disables.
+  double clip_norm = 0.0;
 };
 
 /// The LightTR client-side update strategy (Algorithm 2) plugged into

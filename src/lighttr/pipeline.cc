@@ -45,7 +45,9 @@ LightTrResult LightTrPipeline::Train() {
     teacher_ = TrainTeacher(factory_, *clients_, options_.teacher);
     result.teacher_seconds = watch.ElapsedSeconds();
   }
-  MetaLocalUpdate strategy(teacher_.get(), options_.meta);
+  MetaLocalOptions meta = options_.meta;
+  if (meta.clip_norm <= 0.0) meta.clip_norm = options_.federated.clip_norm;
+  MetaLocalUpdate strategy(teacher_.get(), meta);
   result.federated = trainer_->Run(options_.use_teacher ? &strategy : nullptr);
   return result;
 }

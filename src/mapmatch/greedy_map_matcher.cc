@@ -14,9 +14,9 @@ GreedyMapMatcher::GreedyMapMatcher(const roadnet::SegmentIndex& index,
 
 Result<traj::MatchedTrajectory> GreedyMapMatcher::Match(
     const traj::RawTrajectory& raw) const {
-  if (raw.points.empty()) {
-    return Status::InvalidArgument("empty trajectory");
-  }
+  // Ingestion boundary: refuse malformed GPS input (non-finite values,
+  // time travel, far-out-of-grid points) before any matching math.
+  LIGHTTR_RETURN_NOT_OK(traj::ValidateTrajectory(index_.network(), raw));
   traj::MatchedTrajectory matched;
   matched.driver_id = raw.driver_id;
   matched.epsilon_s = options_.epsilon_s;

@@ -27,9 +27,9 @@ HmmMapMatcher::HmmMapMatcher(const roadnet::SegmentIndex& index,
 
 Result<traj::MatchedTrajectory> HmmMapMatcher::Match(
     const traj::RawTrajectory& raw) const {
-  if (raw.points.empty()) {
-    return Status::InvalidArgument("empty trajectory");
-  }
+  // Ingestion boundary: refuse malformed GPS input (non-finite values,
+  // time travel, far-out-of-grid points) before any matching math.
+  LIGHTTR_RETURN_NOT_OK(traj::ValidateTrajectory(index_.network(), raw));
   const roadnet::RoadNetwork& network = index_.network();
   const size_t n = raw.points.size();
 

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/file_util.h"
+#include "common/finite.h"
 
 namespace lighttr::nn {
 
@@ -144,7 +145,7 @@ Status ParseCheckpoint(const std::string& bytes, ParameterSet* params) {
         LIGHTTR_RETURN_NOT_OK(reader.ReadF32(&f));
         v = static_cast<double>(f);
       }
-      if (!std::isfinite(v)) {
+      if (!IsFinite(v)) {
         return Status::InvalidArgument("non-finite value in parameter " + name);
       }
       m.data()[i] = static_cast<Scalar>(v);

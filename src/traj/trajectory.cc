@@ -1,6 +1,9 @@
 #include "traj/trajectory.h"
 
 #include <cmath>
+#include <string>
+
+#include "common/finite.h"
 
 namespace lighttr::traj {
 
@@ -25,6 +28,37 @@ RawTrajectory ToRawTrajectory(const roadnet::RoadNetwork& network,
   return raw;
 }
 
+Status ValidateTrajectory(const roadnet::RoadNetwork& network,
+                          const RawTrajectory& trajectory,
+                          double grid_margin_deg) {
+  if (trajectory.points.empty()) {
+    return Status::InvalidArgument("raw trajectory has no points");
+  }
+  const geo::GeoPoint lo = network.min_corner();
+  const geo::GeoPoint hi = network.max_corner();
+  for (size_t i = 0; i < trajectory.points.size(); ++i) {
+    const RawPoint& p = trajectory.points[i];
+    if (!IsFinite(p.position.lat) || !IsFinite(p.position.lng) ||
+        !IsFinite(p.t)) {
+      return Status::InvalidArgument(
+          "raw point " + std::to_string(i) +
+          " has a non-finite coordinate or timestamp");
+    }
+    if (i > 0 && p.t <= trajectory.points[i - 1].t) {
+      return Status::InvalidArgument("raw point " + std::to_string(i) +
+                                     " has a non-increasing timestamp");
+    }
+    if (p.position.lat < lo.lat - grid_margin_deg ||
+        p.position.lat > hi.lat + grid_margin_deg ||
+        p.position.lng < lo.lng - grid_margin_deg ||
+        p.position.lng > hi.lng + grid_margin_deg) {
+      return Status::InvalidArgument("raw point " + std::to_string(i) +
+                                     " lies outside the road-network grid");
+    }
+  }
+  return Status::Ok();
+}
+
 Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
                                  const MatchedTrajectory& trajectory) {
   if (trajectory.points.empty()) {
@@ -39,8 +73,12 @@ Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
         mp.position.segment >= network.num_segments()) {
       return Status::InvalidArgument("point references invalid segment");
     }
-    if (mp.position.ratio < 0.0 || mp.position.ratio > 1.0) {
+    if (!IsFinite(mp.position.ratio) || mp.position.ratio < 0.0 ||
+        mp.position.ratio > 1.0) {
       return Status::InvalidArgument("moving ratio outside [0, 1]");
+    }
+    if (!IsFinite(mp.t)) {
+      return Status::InvalidArgument("matched point has non-finite timestamp");
     }
     if (i > 0 && trajectory.points[i].tid != trajectory.points[i - 1].tid + 1) {
       return Status::InvalidArgument(

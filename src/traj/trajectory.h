@@ -80,8 +80,19 @@ RawTrajectory ToRawTrajectory(const roadnet::RoadNetwork& network,
                               const MatchedTrajectory& matched,
                               double noise_m, Rng* rng);
 
+/// Ingestion-boundary validation of a raw GPS trajectory (Definition
+/// 3): rejects non-finite coordinates/timestamps, non-monotonic
+/// timestamps, and points outside the road network's bounding box
+/// (padded by `grid_margin_deg` degrees, since GPS noise legitimately
+/// strays slightly past the outermost vertices). Malformed inputs are
+/// refused here so NaNs never propagate into map matching or training.
+[[nodiscard]] Status ValidateTrajectory(const roadnet::RoadNetwork& network,
+                                        const RawTrajectory& trajectory,
+                                        double grid_margin_deg = 0.01);
+
 /// Validates Definition 5 invariants: consecutive tids differ by one,
-/// ratios are within [0, 1], and segments are valid ids.
+/// ratios are within [0, 1], segments are valid ids, and timestamps and
+/// ratios are finite.
 [[nodiscard]] Status ValidateMatchedTrajectory(const roadnet::RoadNetwork& network,
                                  const MatchedTrajectory& trajectory);
 

@@ -65,6 +65,13 @@ std::vector<ClientDataset> GenerateFederatedWorkload(
       }
       MatchedTrajectory matched = std::move(traj).value();
       matched.driver_id = c;
+      // Ingestion hardening: a generated trajectory that violates the
+      // Definition 5 invariants (or carries non-finite values) is a
+      // failed draw, not training data.
+      if (!ValidateMatchedTrajectory(network, matched).ok()) {
+        LIGHTTR_CHECK_LT(++failures, 1000);
+        continue;
+      }
       all.push_back(MakeIncomplete(std::move(matched), options.keep_ratio, rng));
     }
 

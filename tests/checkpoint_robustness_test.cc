@@ -9,14 +9,21 @@
 #include <cstring>
 #include <filesystem>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/crc32.h"
 #include "common/file_util.h"
 #include "common/rng.h"
+#include "fl/federated_trainer.h"
+#include "fl/run_state.h"
 #include "nn/checkpoint.h"
+#include "nn/losses.h"
 #include "nn/parameter.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+#include "traj/workload.h"
 
 namespace lighttr::nn {
 namespace {
@@ -201,6 +208,24 @@ TEST(CheckpointRobustness, NonFinitePayloadIsRejected) {
   EXPECT_NE(status.message().find("non-finite"), std::string::npos);
 }
 
+TEST(CheckpointRobustness, InfinitePayloadIsRejected) {
+  for (const Scalar poison : {std::numeric_limits<Scalar>::infinity(),
+                              -std::numeric_limits<Scalar>::infinity()}) {
+    ParameterSet poisoned = MakeParams();
+    std::vector<Scalar> flat = poisoned.Flatten();
+    flat.back() = poison;
+    poisoned.AssignFlat(flat);
+    for (const CheckpointDtype dtype :
+         {CheckpointDtype::kFloat32, CheckpointDtype::kFloat64}) {
+      ParameterSet victim = MakeParams(2.0);
+      const Status status =
+          ParseCheckpoint(SerializeCheckpoint(poisoned, dtype), &victim);
+      EXPECT_FALSE(status.ok());
+      EXPECT_NE(status.message().find("non-finite"), std::string::npos);
+    }
+  }
+}
+
 TEST(CheckpointRobustness, WrongArchitectureIsRejectedNotLoaded) {
   const std::string blob = SerializeCheckpoint(MakeParams());
 
@@ -228,6 +253,199 @@ TEST(CheckpointRobustness, EmptyAndTinyInputsAreRejected) {
     ParameterSet victim = MakeParams(2.0);
     EXPECT_FALSE(ParseCheckpoint(input, &victim).ok());
   }
+}
+
+// --------------------------------------------------------------------
+// Poisoned run-state snapshots. These mutants keep every container CRC
+// valid — only the payload carries NaN/Inf or a malformed healing tail —
+// so the rejection has to come from payload validation, not checksums.
+// ResumeFrom must warn and fall back to the previous snapshot, exactly
+// as it does for file-level corruption, and must never install a
+// non-finite global model.
+
+class SnapshotStubModel : public fl::RecoveryModel {
+ public:
+  explicit SnapshotStubModel(Rng* rng) {
+    w_ = Tensor::Variable(
+        Matrix::Full(1, 1, rng != nullptr ? rng->Uniform(-1, 1) : 0.0));
+    params_.Register("w", w_);
+  }
+
+  const std::string& name() const override { return name_; }
+  ParameterSet& params() override { return params_; }
+
+  fl::ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                            bool /*training*/, Rng* /*rng*/) override {
+    Matrix target(1, 1);
+    target(0, 0) = static_cast<Scalar>(trajectory.ground_truth.driver_id);
+    fl::ForwardResult result;
+    result.loss = MseLoss(w_, target);
+    result.representation = w_;
+    return result;
+  }
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override {
+    return std::vector<roadnet::PointPosition>(trajectory.size(),
+                                               roadnet::PointPosition{0, 0.0});
+  }
+
+ private:
+  std::string name_ = "Stub";
+  ParameterSet params_;
+  Tensor w_;
+};
+
+std::unique_ptr<fl::RecoveryModel> MakeSnapshotStub(Rng* rng) {
+  return std::make_unique<SnapshotStubModel>(rng);
+}
+
+std::vector<traj::ClientDataset> MakeFederatedClients(int n, uint64_t seed) {
+  Rng rng(seed);
+  roadnet::CityGridOptions options;
+  options.rows = 6;
+  options.cols = 6;
+  static roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = n;
+  return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / name).generic_string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+fl::FederatedTrainerOptions SnapshotOptions(const std::string& dir,
+                                            int rounds = 6) {
+  fl::FederatedTrainerOptions options;
+  options.rounds = rounds;
+  options.local_epochs = 2;
+  options.learning_rate = 0.05;
+  options.durability.dir = dir;
+  options.durability.snapshot_every = 1;
+  options.durability.keep_snapshots = 3;
+  return options;
+}
+
+// Rewrites the global model payload of the snapshot at `round` with a
+// checkpoint whose single weight is `poison`. SaveRunState re-signs the
+// container, so every CRC stays valid.
+void PoisonSnapshotModel(const std::string& dir, int round, Scalar poison) {
+  const std::string path = fl::SnapshotPath(dir, round);
+  Result<fl::ServerRunState> loaded = fl::LoadRunState(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  fl::ServerRunState state = loaded.value();
+  ParameterSet poisoned;
+  poisoned.Register("w", Tensor::Variable(Matrix::Full(1, 1, poison)));
+  state.global_params_blob =
+      SerializeCheckpoint(poisoned, CheckpointDtype::kFloat64);
+  ASSERT_TRUE(fl::SaveRunState(path, state).ok());
+}
+
+TEST(SnapshotRobustness, NonFinitePoisonedSnapshotFallsBackToPrevious) {
+  auto clients = MakeFederatedClients(4, 63);
+  fl::FederatedTrainerOptions baseline_options;
+  baseline_options.rounds = 6;
+  baseline_options.local_epochs = 2;
+  baseline_options.learning_rate = 0.05;
+  fl::FederatedTrainer baseline(MakeSnapshotStub, &clients, baseline_options);
+  baseline.Run();
+  const std::vector<Scalar> expected =
+      baseline.global_model()->params().Flatten();
+
+  struct Case {
+    const char* label;
+    Scalar poison;
+  };
+  const Case cases[] = {
+      {"nan", std::numeric_limits<Scalar>::quiet_NaN()},
+      {"inf", std::numeric_limits<Scalar>::infinity()},
+      {"neg_inf", -std::numeric_limits<Scalar>::infinity()},
+  };
+  std::string last_dir;
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    fl::FederatedTrainerOptions options =
+        SnapshotOptions(FreshDir(std::string("poison_snapshot_") + c.label));
+    last_dir = options.durability.dir;
+    {
+      fl::FederatedTrainer first(MakeSnapshotStub, &clients, options);
+      first.Run();
+    }
+    PoisonSnapshotModel(options.durability.dir, 6, c.poison);
+
+    options.durability.resume = true;
+    fl::FederatedTrainer resumed(MakeSnapshotStub, &clients, options);
+    ASSERT_TRUE(resumed.ResumeFrom(options.durability.dir).ok());
+    EXPECT_EQ(resumed.resumed_round(), 5);
+    resumed.Run();
+    const std::vector<Scalar> params =
+        resumed.global_model()->params().Flatten();
+    ASSERT_EQ(params.size(), expected.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(params[i]));
+    }
+    // Replaying the final round from the older snapshot converges to the
+    // exact bits of an uninterrupted run.
+    EXPECT_EQ(params, expected);
+  }
+
+  // When every snapshot is poisoned there is nothing to fall back to:
+  // resume reports an error instead of loading a non-finite model.
+  Result<std::vector<int>> rounds = fl::ListSnapshotRounds(last_dir);
+  ASSERT_TRUE(rounds.ok());
+  for (int round : rounds.value()) {
+    PoisonSnapshotModel(last_dir, round,
+                        std::numeric_limits<Scalar>::quiet_NaN());
+  }
+  fl::FederatedTrainerOptions options = SnapshotOptions(last_dir);
+  fl::FederatedTrainer stranded(MakeSnapshotStub, &clients, options);
+  EXPECT_FALSE(stranded.ResumeFrom(last_dir).ok());
+  EXPECT_EQ(stranded.resumed_round(), 0);
+  for (const Scalar v : stranded.global_model()->params().Flatten()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+// The v2 healing tail gets the same treatment: a snapshot whose monitor
+// or reputation blob fails validation is rejected as a whole, falling
+// back one snapshot per damaged tail.
+TEST(SnapshotRobustness, CorruptHealingTailFallsBackToPrevious) {
+  auto clients = MakeFederatedClients(4, 65);
+  fl::FederatedTrainerOptions options = SnapshotOptions(FreshDir("poison_tail"));
+  options.healing.enabled = true;
+  {
+    fl::FederatedTrainer first(MakeSnapshotStub, &clients, options);
+    first.Run();
+  }
+  {
+    // Garbage monitor window on the newest snapshot.
+    const std::string path = fl::SnapshotPath(options.durability.dir, 6);
+    Result<fl::ServerRunState> loaded = fl::LoadRunState(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    fl::ServerRunState state = loaded.value();
+    state.monitor_blob = "not a monitor blob";
+    ASSERT_TRUE(fl::SaveRunState(path, state).ok());
+  }
+  {
+    // Garbage reputation ledger on the one before it.
+    const std::string path = fl::SnapshotPath(options.durability.dir, 5);
+    Result<fl::ServerRunState> loaded = fl::LoadRunState(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    fl::ServerRunState state = loaded.value();
+    state.reputation_blob = "not a ledger";
+    ASSERT_TRUE(fl::SaveRunState(path, state).ok());
+  }
+
+  options.durability.resume = true;
+  fl::FederatedTrainer resumed(MakeSnapshotStub, &clients, options);
+  ASSERT_TRUE(resumed.ResumeFrom(options.durability.dir).ok());
+  EXPECT_EQ(resumed.resumed_round(), 4);
 }
 
 }  // namespace

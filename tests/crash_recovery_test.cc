@@ -3,11 +3,13 @@
 // bitwise-identical resume of an interrupted federated run.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/file_util.h"
 #include "fl/federated_trainer.h"
 #include "fl/run_state.h"
@@ -280,6 +282,67 @@ TEST(Journal, MissingJournalIsEmptyHistory) {
   Result<std::vector<RoundRecord>> records = ReadJournal(dir);
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records.value().empty());
+}
+
+// Forward compatibility: a newer build may append further columns to
+// the journal line. The CRC vouches for the whole body, and this build
+// must parse the prefix it understands and ignore the extras.
+TEST(Journal, ExtraTrailingFieldsFromNewerBuildsAreTolerated) {
+  const std::string dir = FreshDir("journal_forward");
+  ASSERT_TRUE(AppendJournalRecord(dir, MakeRecord(1)).ok());
+  ASSERT_TRUE(AppendJournalRecord(dir, MakeRecord(2)).ok());
+  const std::string path =
+      (std::filesystem::path(dir) / "journal.log").string();
+  Result<std::string> contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  std::string text = contents.value();
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  text.pop_back();
+  // Graft two extra columns onto record 2's body and re-sign the line.
+  const size_t line_start = text.rfind('\n') + 1;
+  const size_t crc_space = text.rfind(' ');
+  ASSERT_GT(crc_space, line_start);
+  std::string body = text.substr(line_start, crc_space - line_start);
+  body += " 7 0.25";
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(body));
+  text = text.substr(0, line_start) + body + " " + crc + "\n";
+  ASSERT_TRUE(WriteFileAtomic(path, text).ok());
+
+  Result<std::vector<RoundRecord>> records = ReadJournal(dir);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  ExpectSameRecord(records.value()[1], MakeRecord(2));
+}
+
+// Backward compatibility: an eleven-field line written by the
+// pre-self-healing build still parses, with the healing columns left at
+// their defaults.
+TEST(Journal, LegacyElevenFieldLinesStillParse) {
+  const std::string dir = FreshDir("journal_v1");
+  std::filesystem::create_directories(dir);
+  const std::string body = "9 0.5 0.25 0.001 4 3 1 2 0 1 1";
+  char crc[16];
+  std::snprintf(crc, sizeof(crc), "%08x", Crc32(body));
+  ASSERT_TRUE(
+      AppendToFile((std::filesystem::path(dir) / "journal.log").string(),
+                   body + " " + std::string(crc) + "\n")
+          .ok());
+  Result<std::vector<RoundRecord>> records = ReadJournal(dir);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  const RoundRecord& r = records.value()[0];
+  EXPECT_EQ(r.round, 9);
+  EXPECT_EQ(r.sampled, 4);
+  EXPECT_EQ(r.retries, 2);
+  EXPECT_TRUE(r.quorum_met);
+  EXPECT_EQ(r.valid_loss, 0.0);
+  EXPECT_EQ(r.verdict, 0);
+  EXPECT_EQ(r.outlier_uploads, 0);
+  EXPECT_EQ(r.quarantined, 0);
+  EXPECT_EQ(r.skipped_quarantined, 0);
+  EXPECT_FALSE(r.escalated);
 }
 
 TEST(Journal, RewriteTruncatesAtomically) {

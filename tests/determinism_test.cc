@@ -3,7 +3,11 @@
 // identical end-to-end experiment results.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "eval/harness.h"
+#include "nn/losses.h"
 #include "roadnet/generators.h"
 
 namespace lighttr {
@@ -209,6 +213,146 @@ TEST(Determinism, FederatedRunIsBitwiseIdenticalAcrossThreadCounts) {
           << "threads=" << threads << " round=" << r;
       EXPECT_DOUBLE_EQ(parallel.run.history[r].global_valid_accuracy,
                        serial.run.history[r].global_valid_accuracy);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Self-healing across thread widths: the health verdicts, rollback
+// points, and quarantine decisions are all computed on the coordinating
+// thread from canonically ordered observations, so a run that diverges,
+// rolls back, and quarantines an offender must be bitwise identical at
+// every width.
+
+class HealingStubModel : public fl::RecoveryModel {
+ public:
+  explicit HealingStubModel(Rng* rng) {
+    w_ = nn::Tensor::Variable(
+        nn::Matrix::Full(1, 1, rng != nullptr ? rng->Uniform(-1, 1) : 0.0));
+    params_.Register("w", w_);
+  }
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  fl::ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                            bool /*training*/, Rng* /*rng*/) override {
+    nn::Matrix target(1, 1);
+    target(0, 0) = static_cast<nn::Scalar>(trajectory.ground_truth.driver_id);
+    fl::ForwardResult result;
+    result.loss = nn::MseLoss(w_, target);
+    result.representation = w_;
+    return result;
+  }
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override {
+    return std::vector<roadnet::PointPosition>(trajectory.size(),
+                                               roadnet::PointPosition{0, 0.0});
+  }
+
+  double weight() const { return w_.value()(0, 0); }
+
+ private:
+  std::string name_ = "Stub";
+  nn::ParameterSet params_;
+  nn::Tensor w_;
+};
+
+// Poisons client 0's uploads after 3 clean rounds (cf. health_test's
+// TurncoatUpdate). Only client 0's task ever touches the counter and a
+// client runs at most once per round, so the count — and therefore the
+// poison schedule — is identical at every thread width.
+class HostileClientUpdate : public fl::LocalUpdateStrategy {
+ public:
+  double Update(int client_index, fl::RecoveryModel* model,
+                nn::Optimizer* optimizer, const traj::ClientDataset& data,
+                int epochs, Rng* rng) override {
+    const double loss =
+        plain_.Update(client_index, model, optimizer, data, epochs, rng);
+    if (client_index == 0 && ++hostile_updates_ > 3) {
+      model->params().AssignFlat(
+          std::vector<nn::Scalar>(model->params().Flatten().size(),
+                                  nn::Scalar{1e8}));
+    }
+    return loss;
+  }
+
+ private:
+  fl::PlainLocalUpdate plain_;
+  int hostile_updates_ = 0;
+};
+
+TEST(Determinism, SelfHealingRunIsBitwiseIdenticalAcrossThreadCounts) {
+  auto make_clients = [] {
+    Rng rng(61);
+    roadnet::CityGridOptions options;
+    options.rows = 6;
+    options.cols = 6;
+    const roadnet::RoadNetwork net =
+        roadnet::GenerateCityGrid(options, &rng);
+    traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+    profile.trajectories_per_client = 6;
+    traj::FederatedWorkloadOptions workload;
+    workload.num_clients = 4;
+    return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+  };
+  auto run_with_threads = [&](int threads) {
+    auto clients = make_clients();
+    fl::FederatedTrainerOptions options;
+    options.rounds = 12;
+    options.local_epochs = 2;
+    options.learning_rate = 0.05;
+    options.threads = threads;
+    options.tolerance.screen.enabled = false;  // let the poison through
+    options.healing.enabled = true;
+    options.healing.reputation.quarantine_threshold = 0.4;
+    fl::FederatedTrainer trainer(
+        [](Rng* rng) -> std::unique_ptr<fl::RecoveryModel> {
+          return std::make_unique<HealingStubModel>(rng);
+        },
+        &clients, options);
+    HostileClientUpdate strategy;
+    fl::FederatedRunResult result = trainer.Run(&strategy);
+    return std::make_pair(
+        result,
+        dynamic_cast<HealingStubModel*>(trainer.global_model())->weight());
+  };
+
+  const auto [serial, serial_w] = run_with_threads(1);
+  // The scenario actually exercises the healing path.
+  ASSERT_GE(serial.faults.diverged_rounds, 1);
+  ASSERT_GE(serial.faults.rollbacks, 1);
+  ASSERT_GE(serial.faults.quarantine_events, 1);
+
+  for (int threads : {2, 8}) {
+    const auto [parallel, parallel_w] = run_with_threads(threads);
+    EXPECT_EQ(parallel_w, serial_w) << "threads=" << threads;
+    EXPECT_EQ(parallel.faults.diverged_rounds, serial.faults.diverged_rounds);
+    EXPECT_EQ(parallel.faults.rollbacks, serial.faults.rollbacks);
+    EXPECT_EQ(parallel.faults.outlier_uploads, serial.faults.outlier_uploads);
+    EXPECT_EQ(parallel.faults.quarantine_events,
+              serial.faults.quarantine_events);
+    EXPECT_EQ(parallel.faults.parole_events, serial.faults.parole_events);
+    EXPECT_EQ(parallel.faults.quarantined_skips,
+              serial.faults.quarantined_skips);
+    EXPECT_EQ(parallel.gave_up, serial.gave_up);
+    ASSERT_EQ(parallel.history.size(), serial.history.size());
+    for (size_t r = 0; r < serial.history.size(); ++r) {
+      EXPECT_EQ(parallel.history[r].verdict, serial.history[r].verdict)
+          << "threads=" << threads << " round=" << r;
+      EXPECT_EQ(parallel.history[r].outlier_uploads,
+                serial.history[r].outlier_uploads);
+      EXPECT_EQ(parallel.history[r].quarantined,
+                serial.history[r].quarantined);
+      EXPECT_EQ(parallel.history[r].skipped_quarantined,
+                serial.history[r].skipped_quarantined);
+      EXPECT_EQ(parallel.history[r].escalated, serial.history[r].escalated);
+      EXPECT_DOUBLE_EQ(parallel.history[r].valid_loss,
+                       serial.history[r].valid_loss)
+          << "threads=" << threads << " round=" << r;
+      EXPECT_DOUBLE_EQ(parallel.history[r].mean_train_loss,
+                       serial.history[r].mean_train_loss);
     }
   }
 }

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common/backoff.h"
+#include "common/finite.h"
 #include "eval/harness.h"
 #include "fl/aggregation.h"
 #include "fl/fault_injection.h"
@@ -133,13 +134,13 @@ TEST(FaultModel, CorruptionKindsDamageUploads) {
   std::vector<nn::Scalar> nan_upload(50, 1.0);
   FaultModel::Corrupt(CorruptionKind::kNaN, &rng, &nan_upload);
   bool has_nan = false;
-  for (nn::Scalar x : nan_upload) has_nan |= std::isnan(x);
+  for (nn::Scalar x : nan_upload) has_nan |= IsNan(x);
   EXPECT_TRUE(has_nan);
 
   std::vector<nn::Scalar> inf_upload(50, 1.0);
   FaultModel::Corrupt(CorruptionKind::kInf, &rng, &inf_upload);
   bool has_inf = false;
-  for (nn::Scalar x : inf_upload) has_inf |= std::isinf(x);
+  for (nn::Scalar x : inf_upload) has_inf |= IsInf(x);
   EXPECT_TRUE(has_inf);
 
   std::vector<nn::Scalar> scaled(50, 1.0);

@@ -293,12 +293,58 @@ TEST(LintTest, NoRawThreadAllowCommentAndNonMatches) {
   EXPECT_TRUE(OfRule(Lint({file}), "no-raw-thread").empty());
 }
 
+TEST(LintTest, NoRawNonfiniteFiresOutsideCommonAndHealth) {
+  SourceFile file;
+  file.path = "src/traj/check.cc";
+  file.content =
+      "bool A(double x) { return std::isnan(x); }\n"              // 1
+      "bool B(double x) { return isinf(x); }\n"                   // 2
+      "bool C(double x) { return std::isfinite(x); }\n"           // isfinite ok
+      "bool D(double x) { return std::isnan(x); }"
+      "  // lighttr-lint: allow(no-raw-nonfinite)\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "no-raw-nonfinite");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].file, "src/traj/check.cc");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("isnan"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_NE(hits[1].message.find("isinf"), std::string::npos);
+}
+
+TEST(LintTest, NoRawNonfiniteExemptsCommonAndHealth) {
+  const std::string body = "bool A(double x) { return std::isnan(x); }\n";
+  SourceFile finite;
+  finite.path = "src/common/finite.h";
+  finite.content = body;
+  SourceFile health_h;
+  health_h.path = "src/fl/health.h";
+  health_h.content = body;
+  SourceFile health_cc;
+  health_cc.path = "src/fl/health.cc";
+  health_cc.content = body;
+  EXPECT_TRUE(OfRule(Lint({finite, health_h, health_cc}), "no-raw-nonfinite")
+                  .empty());
+}
+
+TEST(LintTest, NoRawNonfiniteIgnoresMembersAndIdentifiers) {
+  SourceFile file;
+  file.path = "src/fl/other.cc";
+  file.content =
+      "void A(Obj* o) { o->isnan(1.0); }\n"       // member access: allowed
+      "int my_isnan = 0;\n"                       // identifier: no call
+      "bool B(double x) { return IsNan(x); }\n";  // the sanctioned wrapper
+  EXPECT_TRUE(OfRule(Lint({file}), "no-raw-nonfinite").empty());
+}
+
 TEST(LintTest, AllRuleNamesListsEveryRule) {
   const std::vector<std::string>& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 8u);
   EXPECT_NE(std::find(names.begin(), names.end(), "no-direct-persistence"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-thread"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-nonfinite"),
             names.end());
 }
 

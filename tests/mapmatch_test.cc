@@ -34,7 +34,9 @@ TEST(HmmMapMatcher, FarAwayPointRejected) {
   raw.points.push_back({{10.0, 10.0}, 0.0});  // nowhere near the city
   const auto result = matcher.Match(raw);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  // The ingestion boundary (traj::ValidateTrajectory) rejects far
+  // out-of-grid points as malformed input before any candidate search.
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(HmmMapMatcher, NoiseFreeTrajectoryRecoveredClosely) {

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/finite.h"
 #include "nn/flops.h"
 #include "nn/layers.h"
 #include "nn/losses.h"
@@ -98,7 +99,7 @@ TEST(Ops, SoftmaxRowsSumToOneAndOrder) {
   }
   EXPECT_GT(p(0, 2), p(0, 1));
   EXPECT_GT(p(1, 0), p(1, 2));
-  EXPECT_FALSE(std::isnan(p(1, 0)));
+  EXPECT_FALSE(lighttr::IsNan(p(1, 0)));
 }
 
 TEST(Ops, SumAndMean) {

@@ -439,6 +439,37 @@ void CheckNoIgnoredStatus(const ScannedFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-raw-nonfinite
+//
+// Raw std::isnan / std::isinf calls scattered through the tree made the
+// self-healing work inconsistent: some sites forgot the Inf half, others
+// broke under -ffast-math assumptions. common/finite.h (IsNan / IsInf /
+// IsFinite / ScanFinite) is the one sanctioned wrapper; src/fl/health is
+// the classifier built on top of it. std::isfinite stays legal — the
+// wrappers are for the two easy-to-misuse predicates.
+// ---------------------------------------------------------------------------
+
+void CheckNoRawNonfinite(const ScannedFile& file,
+                         std::vector<Diagnostic>* diagnostics) {
+  const std::string path = NormalizedPath(file.source->path);
+  if (PathContainsDir(path, "src/common") ||
+      PathEndsWith(path, "fl/health.h") || PathEndsWith(path, "fl/health.cc")) {
+    return;  // the wrappers themselves, and the classifier built on them
+  }
+  static const std::regex kRaw(
+      R"((^|[^\w.>:])(std\s*::\s*)?(isnan|isinf)\s*\()");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(file.code[i], m, kRaw)) {
+      Report(diagnostics, file, i, "no-raw-nonfinite",
+             m[3].str() +
+                 " outside common/finite; use lighttr::IsNan/IsInf (or "
+                 "ScanFinite) so non-finite handling stays uniform");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: no-include-cycle
 // ---------------------------------------------------------------------------
 
@@ -530,7 +561,7 @@ const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "no-raw-rand",      "no-ignored-status",     "no-iostream-in-lib",
       "no-include-cycle", "no-direct-persistence", "banned-fn",
-      "no-raw-thread"};
+      "no-raw-thread",    "no-raw-nonfinite"};
   return kNames;
 }
 
@@ -547,6 +578,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckNoIostreamInLib(file, &diagnostics);
     CheckBannedFn(file, &diagnostics);
     CheckNoDirectPersistence(file, &diagnostics);
+    CheckNoRawNonfinite(file, &diagnostics);
     CheckNoIgnoredStatus(file, status_fns, &diagnostics);
   }
   CheckIncludeCycles(scanned, &diagnostics);

@@ -68,6 +68,10 @@ int Usage() {
       "                      [--resume] [--threads=0]\n"
       "                      [--health] [--quarantine-threshold=0.6]\n"
       "                      [--max-rollbacks=3] [--clip-norm=0]\n"
+      "                      [--net-drop=0] [--net-corrupt=0] [--net-delay=0]\n"
+      "                      [--net-dup=0] [--net-reorder=0]\n"
+      "                      [--net-truncate=0] [--net-retries=3]\n"
+      "                      [--net-seed=1592639710] [--no-transport]\n"
       "\n"
       "Durability: --checkpoint-dir enables crash-safe snapshots + a round\n"
       "journal under DIR every --checkpoint-every rounds; --resume restarts\n"
@@ -85,7 +89,15 @@ int Usage() {
       "--quarantine-threshold sets the reputation score that quarantines a\n"
       "client; --max-rollbacks bounds divergence rollbacks before the run\n"
       "parks on its last healthy state. --clip-norm=C clips each local\n"
-      "gradient to global L2 norm C before the optimizer step (0 = off).\n");
+      "gradient to global L2 norm C before the optimizer step (0 = off).\n"
+      "\n"
+      "Transport: federated traffic travels as CRC32-framed messages over\n"
+      "a simulated per-client channel with idempotent retries. --net-drop/\n"
+      "--net-corrupt/--net-delay/--net-dup/--net-reorder/--net-truncate\n"
+      "set per-frame fault probabilities in [0,1); --net-retries bounds\n"
+      "retransmissions per exchange; --net-seed re-rolls the network's\n"
+      "weather without touching any training draw. --no-transport falls\n"
+      "back to the legacy in-process handoff with estimated byte counts.\n");
   return 2;
 }
 
@@ -98,6 +110,7 @@ int main(int argc, char** argv) {
       FlagValue(argc, argv, "checkpoint-dir", "");
   const bool resume = HasFlag(argc, argv, "resume");
   const bool health = HasFlag(argc, argv, "health");
+  const bool no_transport = HasFlag(argc, argv, "no-transport");
   double keep = 0.0;
   double lr = 0.0;
   double fraction = 0.0;
@@ -112,6 +125,14 @@ int main(int argc, char** argv) {
   long long checkpoint_every_ll = 0;
   long long threads_ll = 0;
   long long max_rollbacks_ll = 0;
+  double net_drop = 0.0;
+  double net_corrupt = 0.0;
+  double net_delay = 0.0;
+  double net_dup = 0.0;
+  double net_reorder = 0.0;
+  double net_truncate = 0.0;
+  long long net_retries_ll = 0;
+  long long net_seed_ll = 0;
   if (!ParseDouble(FlagValue(argc, argv, "keep", "0.125"), &keep) ||
       !ParseDouble(FlagValue(argc, argv, "lr", "0.003"), &lr) ||
       !ParseDouble(FlagValue(argc, argv, "fraction", "1.0"), &fraction) ||
@@ -128,7 +149,17 @@ int main(int argc, char** argv) {
                    &quarantine_threshold) ||
       !ParseDouble(FlagValue(argc, argv, "clip-norm", "0"), &clip_norm) ||
       !ParseInt(FlagValue(argc, argv, "max-rollbacks", "3"),
-                &max_rollbacks_ll)) {
+                &max_rollbacks_ll) ||
+      !ParseDouble(FlagValue(argc, argv, "net-drop", "0"), &net_drop) ||
+      !ParseDouble(FlagValue(argc, argv, "net-corrupt", "0"), &net_corrupt) ||
+      !ParseDouble(FlagValue(argc, argv, "net-delay", "0"), &net_delay) ||
+      !ParseDouble(FlagValue(argc, argv, "net-dup", "0"), &net_dup) ||
+      !ParseDouble(FlagValue(argc, argv, "net-reorder", "0"), &net_reorder) ||
+      !ParseDouble(FlagValue(argc, argv, "net-truncate", "0"),
+                   &net_truncate) ||
+      !ParseInt(FlagValue(argc, argv, "net-retries", "3"), &net_retries_ll) ||
+      !ParseInt(FlagValue(argc, argv, "net-seed", "1592639710"),
+                &net_seed_ll)) {
     return Usage();
   }
   const int clients_n = static_cast<int>(clients_ll);
@@ -142,10 +173,17 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(threads_ll);
   const int max_rollbacks = static_cast<int>(max_rollbacks_ll);
 
+  // Fault probabilities live in [0,1): a rate of exactly 1.0 on every
+  // frame can never complete a round, which is a test scenario, not an
+  // experiment.
+  const auto valid_rate = [](double rate) { return rate >= 0.0 && rate < 1.0; };
   if (keep <= 0.0 || keep > 1.0 || clients_n < 1 || rounds < 1 ||
       epochs < 1 || grid < 3 || checkpoint_every < 1 || threads < 0 ||
       quarantine_threshold <= 0.0 || quarantine_threshold > 1.0 ||
-      clip_norm < 0.0 || max_rollbacks < 0) {
+      clip_norm < 0.0 || max_rollbacks < 0 || !valid_rate(net_drop) ||
+      !valid_rate(net_corrupt) || !valid_rate(net_delay) ||
+      !valid_rate(net_dup) || !valid_rate(net_reorder) ||
+      !valid_rate(net_truncate) || net_retries_ll < 0) {
     return Usage();
   }
   // Size the global pool (GEMM row splits) to match the request; the
@@ -223,6 +261,16 @@ int main(int argc, char** argv) {
     options.fed.healing.reputation.quarantine_threshold = quarantine_threshold;
     options.fed.healing.max_rollbacks = max_rollbacks;
     options.fed.clip_norm = clip_norm;
+    options.fed.transport.enabled = !no_transport;
+    options.fed.transport.channel_seed = static_cast<uint64_t>(net_seed_ll);
+    options.fed.transport.channel.drop_rate = net_drop;
+    options.fed.transport.channel.corrupt_rate = net_corrupt;
+    options.fed.transport.channel.delay_rate = net_delay;
+    options.fed.transport.channel.duplicate_rate = net_dup;
+    options.fed.transport.channel.reorder_rate = net_reorder;
+    options.fed.transport.channel.truncate_rate = net_truncate;
+    options.fed.transport.retry.max_retries =
+        static_cast<int>(net_retries_ll);
     options.teacher.learning_rate = lr;
     options.max_test_trajectories = 100;
     result = eval::RunFederatedMethod(env, kind, clients, options);
@@ -241,6 +289,19 @@ int main(int argc, char** argv) {
                   TablePrinter::Fmt(
                       static_cast<double>(result.run.comm.TotalBytes()) / 1024.0,
                       0)});
+  }
+  const fl::FaultStats& faults = result.run.faults;
+  const bool net_active = faults.net_retries > 0 || faults.net_timeouts > 0 ||
+                          faults.net_crc_drops > 0 ||
+                          faults.net_dedup_drops > 0 ||
+                          faults.net_late_drops > 0 || faults.net_lost > 0;
+  if (net_active) {
+    table.AddRow({"Net retries", std::to_string(faults.net_retries)});
+    table.AddRow({"Net timeouts", std::to_string(faults.net_timeouts)});
+    table.AddRow({"Net CRC drops", std::to_string(faults.net_crc_drops)});
+    table.AddRow({"Net dedup drops", std::to_string(faults.net_dedup_drops)});
+    table.AddRow({"Net late drops", std::to_string(faults.net_late_drops)});
+    table.AddRow({"Net lost clients", std::to_string(faults.net_lost)});
   }
   if (health) {
     table.AddRow({"Diverged rounds",

@@ -31,4 +31,29 @@ uint32_t Crc32Update(uint32_t crc, const void* data, size_t n) {
   return c ^ 0xFFFFFFFFu;
 }
 
+void AppendCrc32Trailer(std::string* buffer) {
+  const uint32_t crc = Crc32(*buffer);
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer->push_back(static_cast<char>((crc >> shift) & 0xFFu));
+  }
+}
+
+Status CheckCrc32Trailer(const std::string& bytes, size_t* body_len) {
+  if (bytes.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument("buffer too short to hold a CRC-32 trailer");
+  }
+  const size_t n = bytes.size() - sizeof(uint32_t);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(static_cast<unsigned char>(bytes[n + i]))
+              << (8 * i);
+  }
+  if (Crc32Update(0, bytes.data(), n) != stored) {
+    return Status::InvalidArgument(
+        "CRC-32 trailer mismatch (truncated or corrupted bytes)");
+  }
+  *body_len = n;
+  return Status::Ok();
+}
+
 }  // namespace lighttr

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.h"
+
 namespace lighttr {
 
 /// Extends a running CRC-32 over `n` bytes. Start from `crc = 0` and
@@ -26,6 +28,20 @@ inline uint32_t Crc32(const void* data, size_t n) {
 inline uint32_t Crc32(const std::string& bytes) {
   return Crc32Update(0, bytes.data(), bytes.size());
 }
+
+/// Appends the CRC-32 of `buffer` as four trailing bytes (low byte
+/// first). This is the one sanctioned way to stamp the integrity
+/// trailer every persistence blob and wire frame carries; pairing it
+/// with CheckCrc32Trailer keeps the byte layout in a single place
+/// instead of ad-hoc reinterpret_cast/memcpy at every call site.
+void AppendCrc32Trailer(std::string* buffer);
+
+/// Verifies a trailer appended by AppendCrc32Trailer. On success stores
+/// the body length (bytes before the trailer) in `body_len`. A short
+/// buffer or a checksum mismatch — truncation, bit rot, an in-flight
+/// flip — yields a non-OK Status.
+[[nodiscard]] Status CheckCrc32Trailer(const std::string& bytes,
+                                       size_t* body_len);
 
 }  // namespace lighttr
 

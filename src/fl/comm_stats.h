@@ -28,6 +28,16 @@ struct FaultStats {
   int64_t quarantine_events = 0;  // clients entering quarantine
   int64_t parole_events = 0;      // clients released from quarantine
   int64_t quarantined_skips = 0;  // sampled slots skipped due to quarantine
+  // Wire-transport telemetry (fl/transport): what the network did to
+  // frames in flight. All zero with transport disabled or a clean
+  // channel. These faults are attributed to the NETWORK — they never
+  // touch a client's reputation.
+  int64_t net_retries = 0;     // request re-sends after unusable exchanges
+  int64_t net_timeouts = 0;    // exchanges that produced no usable response
+  int64_t net_crc_drops = 0;   // frames discarded (CRC/decode/misroute)
+  int64_t net_dedup_drops = 0; // duplicate pushes absorbed by server dedup
+  int64_t net_late_drops = 0;  // frames discarded for missing the deadline
+  int64_t net_lost = 0;        // client-rounds lost to a dead link
 
   /// Mean fraction of each round's cohort that actually reported.
   double MeanCohortFraction() const {
@@ -61,9 +71,20 @@ struct RoundRecord {
   int quarantined = 0;           // clients in quarantine after this round
   int skipped_quarantined = 0;   // sampled slots skipped (quarantine)
   bool escalated = false;        // round ran under escalated screening
+  // Wire-transport telemetry for this round (see FaultStats).
+  int net_retries = 0;
+  int net_timeouts = 0;
+  int net_crc_drops = 0;
+  int net_dedup_drops = 0;
+  int net_late_drops = 0;
+  int net_lost = 0;              // contacted clients lost to network faults
 };
 
-/// Accumulated transport statistics of one federated run.
+/// Accumulated transport statistics of one federated run. With the wire
+/// transport enabled (the default) every figure is *measured* from
+/// encoded frame lengths — retransmissions and channel-injected
+/// duplicates included; with transport disabled they fall back to the
+/// legacy per-contact estimate (kept as the bench baseline).
 struct CommStats {
   int64_t bytes_downlink = 0;  // server -> clients
   int64_t bytes_uplink = 0;    // clients -> server

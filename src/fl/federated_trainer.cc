@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 
 #include "common/check.h"
 #include "common/file_util.h"
 #include "common/stopwatch.h"
+#include "fl/transport/link.h"
 #include "nn/checkpoint.h"
 
 namespace lighttr::fl {
@@ -24,6 +26,7 @@ struct ClientTask {
   Rng update_rng{0};  // local-update stream (always forked)
   Rng noise_rng{0};   // privacy stream (forked only when privacy is on)
   Rng fault_rng{0};   // dropout/backoff/corruption (only when injecting)
+  Rng net_rng{0};     // channel faults (only when the transport can fault)
 };
 
 // One client's outcome, written by exactly one task into a pre-sized
@@ -32,16 +35,19 @@ struct ClientTask {
 // fixed order regardless of thread count.
 struct ClientSlot {
   bool contacted = false;  // survived the dropout/retry gauntlet
+  bool trained = false;    // ran the local update (pull succeeded)
   bool straggler = false;  // trained but missed the round deadline
+  bool net_lost = false;   // pull or push lost to network faults
   bool rejected = false;   // upload failed server-side screening
   bool corrupt = false;    // rejection was for non-finite scalars
   bool clipped = false;    // upload was norm-clipped by screening
   int attempts = 0;        // downlink sends (first contact + retries)
   int retries = 0;
   double backoff_s = 0.0;
-  double loss = 0.0;          // valid when contacted
+  double loss = 0.0;          // valid when trained
   double delta_norm = 0.0;    // L2 delta of the accepted upload
-  int64_t uplink_bytes = 0;   // valid when contacted && !straggler
+  int64_t uplink_bytes = 0;   // legacy estimate (transport disabled only)
+  transport::LinkStats link;  // exact frame accounting (transport on)
   std::vector<nn::Scalar> upload;  // valid when sent and not rejected
 };
 
@@ -66,6 +72,7 @@ FederatedTrainer::FederatedTrainer(
       rng_(options.seed),
       fault_rng_(0),
       valid_rng_(0),
+      net_rng_(options.transport.channel_seed),
       monitor_(options.healing.monitor) {
   LIGHTTR_CHECK(clients != nullptr);
   LIGHTTR_CHECK(!clients->empty());
@@ -143,6 +150,7 @@ ServerRunState FederatedTrainer::CaptureState(int round,
   state.reputation_blob = book_ ? book_->Serialize() : std::string();
   state.monitor_blob = monitor_.SerializeState();
   state.escalated = escalated_;
+  state.net_rng_state = net_rng_.SerializeState();
   return state;
 }
 
@@ -156,6 +164,13 @@ Status FederatedTrainer::RestoreFromState(const ServerRunState& state,
   }
   LIGHTTR_RETURN_NOT_OK(rng_.DeserializeState(state.rng_state));
   LIGHTTR_RETURN_NOT_OK(fault_rng_.DeserializeState(state.fault_rng_state));
+  // The channel stream rewinds with the round (pre-v3 snapshots carry
+  // none — the freshly seeded stream stands in): both resume and
+  // rollback replay the same network weather, which the lossy-channel
+  // determinism contract requires.
+  if (!state.net_rng_state.empty()) {
+    LIGHTTR_RETURN_NOT_OK(net_rng_.DeserializeState(state.net_rng_state));
+  }
   // ParseCheckpoint rejects non-finite payloads, so a poisoned snapshot
   // can never silently install a NaN/Inf global model.
   LIGHTTR_RETURN_NOT_OK(
@@ -305,6 +320,11 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
   const FaultModel fault_model(options_.faults);
   const bool inject = options_.faults.enabled();
   const bool healing = options_.healing.enabled;
+  const bool use_transport = options_.transport.enabled;
+  // Config-only conditionality (like `inject`): whether per-task
+  // channel streams are forked depends on the fault *configuration*,
+  // never on any outcome, so the fork sequence is fixed per round.
+  const bool net_faulty = use_transport && options_.transport.faulty();
   // Sample the validation pool from a *copy* of the stream so Run() is
   // idempotent with respect to valid_rng_ (a resumed trainer draws the
   // identical pool without any state having been persisted for it).
@@ -358,6 +378,17 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     const std::string global_blob = global_model_->params().Serialize();
     const std::vector<nn::Scalar> global_flat =
         global_model_->params().Flatten();
+    // The round's pull reply is identical for every client: encode the
+    // frame once on the coordinating thread and share it read-only.
+    std::string pull_reply_frame;
+    if (use_transport) {
+      transport::ModelPullReply reply;
+      reply.round = round;
+      reply.model_blob = global_blob;
+      pull_reply_frame =
+          transport::EncodeFrame(transport::FrameType::kModelPullReply,
+                                 transport::EncodeModelPullReply(reply));
+    }
     std::vector<ClientTask> tasks;
     tasks.reserve(selected.size());
     for (size_t client_index : selected) {
@@ -366,6 +397,7 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       task.update_rng = rng_.Fork();
       if (options_.privacy.enabled()) task.noise_rng = rng_.Fork();
       if (inject) task.fault_rng = fault_rng_.Fork();
+      if (net_faulty) task.net_rng = net_rng_.Fork();
       tasks.push_back(std::move(task));
     }
 
@@ -392,16 +424,38 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       if (!slot.contacted) return;
 
       RecoveryModel* client = client_models_[client_index].get();
-      LIGHTTR_CHECK_OK(client->params().Deserialize(global_blob));
+      // The client's link for this round: both channel directions plus
+      // the server endpoint (dedup + the shared pull-reply frame). All
+      // state is task-private, so links run concurrently unshared.
+      std::optional<transport::ReliableLink> link;
+      if (use_transport) {
+        link.emplace(
+            options_.transport.LinkConfig(static_cast<int>(client_index)),
+            options_.transport.retry, round, static_cast<int>(client_index),
+            &pull_reply_frame, net_faulty ? &task.net_rng : nullptr);
+        Result<std::string> blob = link->PullModelBlob();
+        if (!blob.ok()) {
+          // The link is down before the client ever saw the model:
+          // charged to the network, not the client.
+          slot.net_lost = true;
+          slot.link = link->stats();
+          return;
+        }
+        LIGHTTR_CHECK_OK(client->params().Deserialize(blob.value()));
+      } else {
+        LIGHTTR_CHECK_OK(client->params().Deserialize(global_blob));
+      }
       slot.loss = strategy->Update(static_cast<int>(client_index), client,
                                    client_optimizers_[client_index].get(),
                                    (*clients_)[client_index],
                                    options_.local_epochs, &task.update_rng);
+      slot.trained = true;
 
       if (draw.type == FaultType::kStraggler) {
         // The client computed the update but missed the server's round
         // deadline; the server never receives the upload.
         slot.straggler = true;
+        if (use_transport) slot.link = link->stats();
         return;
       }
 
@@ -410,17 +464,54 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
         upload = PrivatizeUpload(upload, global_flat, options_.privacy,
                                  &task.noise_rng);
       }
-      if (options_.quantize_uploads) {
-        const QuantizedBlob blob = QuantizeFlat(upload);
-        slot.uplink_bytes = blob.WireBytes();
-        upload = DequantizeFlat(blob);
+      if (use_transport) {
+        transport::UpdatePush push;
+        push.round = round;
+        push.client_id = static_cast<int>(client_index);
+        push.msg_id =
+            transport::PushMsgId(round, static_cast<int>(client_index));
+        push.train_loss = slot.loss;
+        if (options_.quantize_uploads &&
+            draw.type != FaultType::kCorruption) {
+          push.kind = transport::PayloadKind::kQuantizedInt8;
+          push.quantized = QuantizeFlat(upload);
+        } else {
+          if (options_.quantize_uploads) {
+            // The client still quantizes; the injected fault then
+            // damages the *decoded* scalars, so the frame stays
+            // CRC-valid and screening (not the CRC) catches it —
+            // client-behaviour corruption must keep scoring against
+            // the client, unlike wire damage.
+            upload = DequantizeFlat(QuantizeFlat(upload));
+          }
+          if (draw.type == FaultType::kCorruption) {
+            FaultModel::Corrupt(draw.corruption, &task.fault_rng, &upload);
+          }
+          push.kind = transport::PayloadKind::kRawF64;
+          push.raw = upload;
+        }
+        Result<std::vector<double>> received = link->PushUpdate(push);
+        slot.link = link->stats();
+        if (!received.ok()) {
+          slot.net_lost = true;
+          return;
+        }
+        // Aggregation consumes what the SERVER received (dequantized
+        // server-side when the push was quantized).
+        upload = std::move(received).value();
       } else {
-        slot.uplink_bytes = wire_bytes;
-      }
-      if (draw.type == FaultType::kCorruption) {
-        // Damage happens on the wire, after the client's privacy and
-        // quantization steps and after uplink accounting.
-        FaultModel::Corrupt(draw.corruption, &task.fault_rng, &upload);
+        if (options_.quantize_uploads) {
+          const QuantizedBlob blob = QuantizeFlat(upload);
+          slot.uplink_bytes = blob.WireBytes();
+          upload = DequantizeFlat(blob);
+        } else {
+          slot.uplink_bytes = wire_bytes;
+        }
+        if (draw.type == FaultType::kCorruption) {
+          // Damage happens on the wire, after the client's privacy and
+          // quantization steps and after uplink accounting.
+          FaultModel::Corrupt(draw.corruption, &task.fault_rng, &upload);
+        }
       }
 
       const Status screen =
@@ -448,22 +539,49 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     int loss_count = 0;
     for (size_t s = 0; s < slots.size(); ++s) {
       ClientSlot& slot = slots[s];
-      result.comm.bytes_downlink += wire_bytes * slot.attempts;
-      result.comm.messages += slot.attempts;
+      if (use_transport) {
+        // Exact accounting measured from encoded frames: every
+        // transmitted copy counts — retransmissions included.
+        result.comm.bytes_downlink += slot.link.downlink_bytes;
+        result.comm.bytes_uplink += slot.link.uplink_bytes;
+        result.comm.messages +=
+            slot.link.uplink_frames + slot.link.downlink_frames;
+        record.net_retries += slot.link.retries;
+        record.net_timeouts += slot.link.timeouts;
+        record.net_crc_drops += slot.link.crc_drops;
+        record.net_dedup_drops += slot.link.dedup_drops;
+        record.net_late_drops += slot.link.late_drops;
+        result.faults.simulated_backoff_s +=
+            slot.backoff_s + slot.link.backoff_s;
+      } else {
+        // Legacy estimate: one model-size message per contact attempt.
+        result.comm.bytes_downlink += wire_bytes * slot.attempts;
+        result.comm.messages += slot.attempts;
+        result.faults.simulated_backoff_s += slot.backoff_s;
+      }
       record.retries += slot.retries;
-      result.faults.simulated_backoff_s += slot.backoff_s;
       if (!slot.contacted) {
         ++record.drops;
         continue;
       }
-      loss_sum += slot.loss;
-      ++loss_count;
+      if (slot.trained) {
+        loss_sum += slot.loss;
+        ++loss_count;
+      }
+      if (slot.net_lost) {
+        // Lost to the wire, not to the client: never a drop, straggler,
+        // or reputation observation.
+        ++record.net_lost;
+        continue;
+      }
       if (slot.straggler) {
         ++record.stragglers;
         continue;
       }
-      result.comm.bytes_uplink += slot.uplink_bytes;
-      ++result.comm.messages;
+      if (!use_transport) {
+        result.comm.bytes_uplink += slot.uplink_bytes;
+        ++result.comm.messages;
+      }
       // Every upload that reached screening is evidence for the
       // reputation ledger — including clean ones, which decay scores.
       if (healing) {
@@ -512,6 +630,12 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     result.faults.rejected_uploads += record.rejected_uploads;
     result.faults.sampled_clients += record.sampled;
     result.faults.reporting_clients += record.reporting;
+    result.faults.net_retries += record.net_retries;
+    result.faults.net_timeouts += record.net_timeouts;
+    result.faults.net_crc_drops += record.net_crc_drops;
+    result.faults.net_dedup_drops += record.net_dedup_drops;
+    result.faults.net_late_drops += record.net_late_drops;
+    result.faults.net_lost += record.net_lost;
 
     // Telemetry: validation accuracy + loss of the (possibly kept)
     // global model over the run-level unbiased validation pool.

@@ -22,6 +22,7 @@
 #include "fl/recovery_model.h"
 #include "fl/reputation.h"
 #include "fl/run_state.h"
+#include "fl/transport/channel.h"
 #include "nn/optimizer.h"
 #include "traj/workload.h"
 
@@ -113,6 +114,13 @@ struct FederatedTrainerOptions {
   /// Self-healing layer: health verdicts, divergence rollback, client
   /// quarantine (off by default).
   SelfHealingConfig healing;
+  /// Wire-level transport (on by default): model pulls and update
+  /// pushes travel as CRC32-framed messages over a per-client
+  /// SimulatedChannel with idempotent retries, and CommStats is
+  /// measured from the encoded frames. `transport.enabled = false`
+  /// falls back to the legacy in-process handoff with estimated byte
+  /// accounting (kept as the bench baseline).
+  transport::TransportConfig transport;
   /// Global-norm gradient clipping inside local training; 0 disables.
   /// Applies to the built-in PlainLocalUpdate strategy (external
   /// strategies read it from their own options, see MetaLocalOptions).
@@ -212,6 +220,11 @@ class FederatedTrainer {
   // sequence is part of the deterministic contract, see the ctor).
   Rng fault_rng_;
   Rng valid_rng_;
+  /// Channel-fault stream, seeded directly from
+  /// `transport.channel_seed` (NOT forked from rng_): the network's
+  /// weather is an independent knob, so changing the channel seed never
+  /// perturbs model init, client sampling, or local-training draws.
+  Rng net_rng_;
   std::unique_ptr<RecoveryModel> global_model_;
   std::vector<std::unique_ptr<RecoveryModel>> client_models_;
   std::vector<std::unique_ptr<nn::Optimizer>> client_optimizers_;

@@ -20,9 +20,11 @@ namespace {
 constexpr char kMagic[4] = {'L', 'T', 'R', 'S'};
 // v1: original layout (PR 3). v2 appends the self-healing tail (extra
 // FaultStats counters, reputation + monitor blobs, escalation latch)
-// after the optimizer blobs; the shared prefix is byte-identical, and
-// v1 snapshots still decode with the tail left at defaults.
-constexpr uint32_t kVersion = 2;
+// after the optimizer blobs. v3 appends the wire-transport tail (the
+// six net fault counters + the channel RNG stream). Each version's
+// shared prefix is byte-identical, and older snapshots still decode
+// with the newer tails left at defaults.
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 constexpr char kJournalName[] = "journal.log";
 constexpr char kSnapshotPrefix[] = "snapshot-";
@@ -32,21 +34,25 @@ std::string JournalPath(const std::string& dir) {
   return (std::filesystem::path(dir) / kJournalName).generic_string();
 }
 
-// One journal line: seventeen space-separated fields followed by the
+// One journal line: twenty-three space-separated fields followed by the
 // CRC-32 (8 hex digits) of everything before the final space. Doubles
 // use %.17g so the text round-trips bit-exactly. Fields 12..17 are the
-// self-healing columns added in v2; the parser accepts any line with at
-// least the eleven v1 fields and ignores unknown trailing fields, so
-// journals written by newer builds (with further columns) still load.
+// self-healing columns added in v2, fields 18..23 the wire-transport
+// columns added in v3; the parser accepts any line with at least the
+// eleven v1 fields and ignores unknown trailing fields, so journals
+// written by newer builds (with further columns) still load.
 std::string FormatJournalBody(const RoundRecord& r) {
-  char buf[384];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "%d %.17g %.17g %.17g %d %d %d %d %d %d %d %.17g %d %d %d %d %d",
+                "%d %.17g %.17g %.17g %d %d %d %d %d %d %d %.17g %d %d %d %d %d"
+                " %d %d %d %d %d %d",
                 r.round, r.mean_train_loss, r.global_valid_accuracy,
                 r.wall_seconds, r.sampled, r.reporting, r.drops, r.retries,
                 r.stragglers, r.rejected_uploads, r.quorum_met ? 1 : 0,
                 r.valid_loss, r.verdict, r.outlier_uploads, r.quarantined,
-                r.skipped_quarantined, r.escalated ? 1 : 0);
+                r.skipped_quarantined, r.escalated ? 1 : 0, r.net_retries,
+                r.net_timeouts, r.net_crc_drops, r.net_dedup_drops,
+                r.net_late_drops, r.net_lost);
   return std::string(buf);
 }
 
@@ -112,6 +118,23 @@ bool ParseJournalLine(const std::string& line, RoundRecord* out) {
   }
   if (field.size() >= 17 && !to_int(field[16], &escalated)) return false;
   out->escalated = escalated != 0;
+  // Wire-transport columns (v3); an older line leaves them at defaults.
+  if (field.size() >= 18 && !to_int(field[17], &out->net_retries)) {
+    return false;
+  }
+  if (field.size() >= 19 && !to_int(field[18], &out->net_timeouts)) {
+    return false;
+  }
+  if (field.size() >= 20 && !to_int(field[19], &out->net_crc_drops)) {
+    return false;
+  }
+  if (field.size() >= 21 && !to_int(field[20], &out->net_dedup_drops)) {
+    return false;
+  }
+  if (field.size() >= 22 && !to_int(field[21], &out->net_late_drops)) {
+    return false;
+  }
+  if (field.size() >= 23 && !to_int(field[22], &out->net_lost)) return false;
   return true;
 }
 
@@ -179,9 +202,16 @@ std::string EncodeRunState(const ServerRunState& state) {
   writer.WriteString(state.reputation_blob);
   writer.WriteString(state.monitor_blob);
   writer.WriteU8(state.escalated ? 1 : 0);
+  // v3 wire-transport tail.
+  writer.WriteI64(state.faults.net_retries);
+  writer.WriteI64(state.faults.net_timeouts);
+  writer.WriteI64(state.faults.net_crc_drops);
+  writer.WriteI64(state.faults.net_dedup_drops);
+  writer.WriteI64(state.faults.net_late_drops);
+  writer.WriteI64(state.faults.net_lost);
+  writer.WriteString(state.net_rng_state);
   std::string out = writer.Take();
-  const uint32_t crc = Crc32(out);
-  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  AppendCrc32Trailer(&out);
   return out;
 }
 
@@ -192,13 +222,12 @@ Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
   }
   // Integrity first: nothing is interpreted until the whole-file CRC
   // proves the bytes are exactly what was written.
-  const std::string body = bytes.substr(0, bytes.size() - sizeof(uint32_t));
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, bytes.data() + body.size(), sizeof(stored_crc));
-  if (Crc32(body) != stored_crc) {
+  size_t body_len = 0;
+  if (!CheckCrc32Trailer(bytes, &body_len).ok()) {
     return Status::InvalidArgument(
         "run-state snapshot failed CRC check (truncated or corrupted)");
   }
+  const std::string body = bytes.substr(0, body_len);
 
   BinaryReader reader(body);
   char magic[4];
@@ -254,6 +283,15 @@ Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
       return Status::InvalidArgument("run-state snapshot: bad escalation flag");
     }
     state->escalated = escalated != 0;
+  }
+  if (version >= 3) {
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_retries));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_timeouts));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_crc_drops));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_dedup_drops));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_late_drops));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_lost));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->net_rng_state));
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in run-state snapshot");

@@ -74,12 +74,15 @@ void MaybeInjectCrash(const DurabilityConfig& config, CrashPoint point,
                       int round);
 
 /// Everything the server must persist to resume a run exactly: the
-/// last completed round, both RNG stream states, accumulated telemetry,
+/// last completed round, the RNG stream states, accumulated telemetry,
 /// the global parameters (float64 checkpoint blob), and each client
 /// optimizer's state. Version 2 appends the self-healing state: the
 /// extra FaultStats counters, the reputation ledger, the health
-/// monitor's rolling windows, and the escalation latch. Version 1
-/// snapshots still load (self-healing fields default to "fresh").
+/// monitor's rolling windows, and the escalation latch. Version 3
+/// appends the wire-transport state: the net fault counters and the
+/// channel RNG stream (so a resumed run replays the same network
+/// weather). Older snapshots still load, the newer tails defaulting to
+/// "fresh".
 struct ServerRunState {
   int round = 0;
   std::string rng_state;        // FederatedTrainer::rng_
@@ -92,6 +95,9 @@ struct ServerRunState {
   std::string reputation_blob;  // ReputationBook::Serialize
   std::string monitor_blob;     // RoundHealthMonitor::SerializeState
   bool escalated = false;       // screening escalation latch
+  // v3 fields (empty when decoded from an older snapshot); the six
+  // FaultStats net counters also ride in the v3 tail:
+  std::string net_rng_state;    // dedicated channel-fault stream
 };
 
 /// Encodes a snapshot ("LTRS" magic, version, fields, whole-file CRC).

@@ -1,0 +1,165 @@
+#include "fl/transport/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/backoff.h"
+#include "common/check.h"
+
+namespace lighttr::fl::transport {
+
+ReliableLink::ReliableLink(const ChannelFaultConfig& faults,
+                           const BackoffConfig& retry, int round,
+                           int client_id, const std::string* pull_reply_frame,
+                           Rng* rng)
+    : faults_(faults),
+      retry_(retry),
+      round_(round),
+      client_id_(client_id),
+      pull_reply_frame_(pull_reply_frame),
+      rng_(rng),
+      uplink_(faults),
+      downlink_(faults) {
+  if (faults_.enabled()) {
+    LIGHTTR_CHECK(rng_ != nullptr);
+  }
+}
+
+std::string ReliableLink::Serve(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kModelPullRequest: {
+      ModelPullRequest request;
+      if (!DecodeModelPullRequest(frame.payload, &request).ok()) return "";
+      if (request.round != round_ || request.client_id != client_id_) {
+        return "";
+      }
+      LIGHTTR_CHECK(pull_reply_frame_ != nullptr);
+      return *pull_reply_frame_;
+    }
+    case FrameType::kUpdatePush: {
+      UpdatePush push;
+      if (!DecodeUpdatePush(frame.payload, &push).ok()) return "";
+      if (push.round != round_ || push.client_id != client_id_) return "";
+      PushAck ack;
+      ack.round = round_;
+      ack.client_id = client_id_;
+      ack.msg_id = push.msg_id;
+      if (seen_push_ids_.count(push.msg_id) > 0) {
+        // Retransmission of an already-processed push: acknowledge it so
+        // the client stops retrying, but deliver the payload only once.
+        ack.duplicate = true;
+        stats_.dedup_drops++;
+      } else {
+        seen_push_ids_.insert(push.msg_id);
+        delivered_update_ = push.kind == PayloadKind::kRawF64
+                                ? push.raw
+                                : DequantizeFlat(push.quantized);
+        update_delivered_ = true;
+      }
+      return EncodeFrame(FrameType::kPushAck, EncodePushAck(ack));
+    }
+    default:
+      return "";
+  }
+}
+
+Result<std::string> ReliableLink::Exchange(FrameType request_type,
+                                           const std::string& request_payload,
+                                           FrameType expected_reply) {
+  const std::string request_frame =
+      EncodeFrame(request_type, request_payload);
+  const int attempts = 1 + std::max(0, retry_.max_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      stats_.retries++;
+      stats_.backoff_s += BackoffDelaySeconds(retry_, attempt - 1, rng_);
+    }
+    stats_.uplink_bytes += static_cast<int64_t>(request_frame.size());
+    stats_.uplink_frames++;
+    std::string reply_payload;
+    bool got_reply = false;
+    for (const Delivery& delivery : uplink_.Transmit(request_frame, rng_)) {
+      if (delivery.late) {
+        stats_.late_drops++;
+        continue;
+      }
+      Frame frame;
+      if (!DecodeFrame(delivery.bytes, &frame).ok()) {
+        // Damaged in flight: charged to the network, not the sender.
+        stats_.crc_drops++;
+        continue;
+      }
+      const std::string response = Serve(frame);
+      if (response.empty()) {
+        // Intact envelope but unusable content (misroute, stale round):
+        // still a wire-level discard, never a client-behaviour signal.
+        stats_.crc_drops++;
+        continue;
+      }
+      stats_.downlink_bytes += static_cast<int64_t>(response.size());
+      stats_.downlink_frames++;
+      for (const Delivery& down : downlink_.Transmit(response, rng_)) {
+        if (down.late) {
+          stats_.late_drops++;
+          continue;
+        }
+        Frame reply;
+        if (!DecodeFrame(down.bytes, &reply).ok()) {
+          stats_.crc_drops++;
+          continue;
+        }
+        if (reply.type != expected_reply) {
+          stats_.crc_drops++;
+          continue;
+        }
+        if (!got_reply) {
+          reply_payload = std::move(reply.payload);
+          got_reply = true;
+        }
+      }
+    }
+    if (got_reply) return reply_payload;
+    stats_.timeouts++;
+  }
+  return Status::IoError("link to client " + std::to_string(client_id_) +
+                         " down: no usable " +
+                         std::string(FrameTypeName(expected_reply)) +
+                         " after " + std::to_string(attempts) + " attempts");
+}
+
+Result<std::string> ReliableLink::PullModelBlob() {
+  ModelPullRequest request;
+  request.round = round_;
+  request.client_id = client_id_;
+  Result<std::string> payload =
+      Exchange(FrameType::kModelPullRequest, EncodeModelPullRequest(request),
+               FrameType::kModelPullReply);
+  if (!payload.ok()) return payload.status();
+  ModelPullReply reply;
+  LIGHTTR_RETURN_NOT_OK(DecodeModelPullReply(payload.value(), &reply));
+  if (reply.round != round_) {
+    return Status::InvalidArgument("pull reply names round " +
+                                   std::to_string(reply.round) +
+                                   ", expected " + std::to_string(round_));
+  }
+  return std::move(reply.model_blob);
+}
+
+Result<std::vector<double>> ReliableLink::PushUpdate(const UpdatePush& push) {
+  LIGHTTR_CHECK_EQ(push.round, round_);
+  LIGHTTR_CHECK_EQ(push.client_id, client_id_);
+  Result<std::string> payload = Exchange(
+      FrameType::kUpdatePush, EncodeUpdatePush(push), FrameType::kPushAck);
+  if (!payload.ok()) return payload.status();
+  PushAck ack;
+  LIGHTTR_RETURN_NOT_OK(DecodePushAck(payload.value(), &ack));
+  if (ack.msg_id != push.msg_id) {
+    return Status::InvalidArgument("push ack names msg_id " +
+                                   std::to_string(ack.msg_id) + ", expected " +
+                                   std::to_string(push.msg_id));
+  }
+  LIGHTTR_CHECK(update_delivered_);
+  return delivered_update_;
+}
+
+}  // namespace lighttr::fl::transport

@@ -1,0 +1,141 @@
+// Wire-level message codec for the federated client/server boundary.
+//
+// Until now the trainer handed model updates between "client" and
+// "server" as in-process structs and merely *estimated* transferred
+// bytes. This module defines the real message boundary: four explicit
+// request/response messages (model pull, update push, and their
+// replies) encoded through common/binary_io, wrapped in a CRC32-framed,
+// versioned envelope. Every decoder is hostile-input hardened — a
+// truncated, bit-flipped, or length-lied frame comes back as a Status,
+// never a crash or a silently-garbage message — because frames arrive
+// from a simulated (or, one day, real) network that is allowed to
+// damage them arbitrarily.
+//
+// Frame layout (all fixed-width fields host-order, the binary_io
+// convention):
+//
+//   'L' 'T' 'R' 'F'   magic
+//   u8                wire version (kWireVersion)
+//   u8                FrameType
+//   u32               payload length
+//   bytes             payload (message-specific, see Encode*/Decode*)
+//   u32               CRC-32 of everything above
+//
+// The CRC is the integrity boundary: any in-flight damage fails the
+// check and the frame is discarded by the *receiver* — attributed to
+// the network, never to the peer that sent it (see fl/reputation).
+#ifndef LIGHTTR_FL_TRANSPORT_WIRE_H_
+#define LIGHTTR_FL_TRANSPORT_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fl/compression.h"
+
+namespace lighttr::fl::transport {
+
+/// Current (and only) wire version. Bumped on any layout change; a
+/// decoder refuses frames from versions it does not speak.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Fixed per-frame overhead: magic + version + type + length + CRC.
+inline constexpr int64_t kFrameOverheadBytes = 4 + 1 + 1 + 4 + 4;
+
+/// Message kind carried by a frame.
+enum class FrameType : uint8_t {
+  kModelPullRequest = 1,  // client -> server: send me the global model
+  kModelPullReply = 2,    // server -> client: the global model blob
+  kUpdatePush = 3,        // client -> server: my local update
+  kPushAck = 4,           // server -> client: push received (or duplicate)
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// A decoded frame: its type plus the raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kModelPullRequest;
+  std::string payload;
+};
+
+/// Wraps `payload` in the framed envelope (magic, version, type,
+/// length, trailing CRC-32).
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+/// Decodes one frame. Any violation — short buffer, bad magic, unknown
+/// version or type, length disagreeing with the actual byte count, CRC
+/// mismatch — yields a non-OK Status and leaves `out` unspecified.
+[[nodiscard]] Status DecodeFrame(const std::string& bytes, Frame* out);
+
+// ---------------------------------------------------------------------
+// Messages. Every message names its round (and, where it matters, the
+// sending client), so a stale or misrouted frame is rejected by the
+// protocol layer even when the envelope itself is intact.
+
+/// Client asks the server for the current global model.
+struct ModelPullRequest {
+  int32_t round = 0;
+  int32_t client_id = 0;
+};
+
+/// Server answers a pull with the serialized global parameters (the
+/// float32 ParameterSet wire blob — the same bytes every client of the
+/// round receives, so the reply frame is encoded once and shared).
+struct ModelPullReply {
+  int32_t round = 0;
+  std::string model_blob;
+};
+
+/// How an UpdatePush carries its parameters.
+enum class PayloadKind : uint8_t {
+  kRawF64 = 0,        // full-precision flat vector
+  kQuantizedInt8 = 1, // fl/compression affine int8 blob
+};
+
+/// Client pushes its local update. `msg_id` identifies the *logical*
+/// push: retransmissions reuse it, and the server dedups on it so the
+/// message is idempotent (see link.h).
+struct UpdatePush {
+  int32_t round = 0;
+  int32_t client_id = 0;
+  uint64_t msg_id = 0;
+  double train_loss = 0.0;
+  PayloadKind kind = PayloadKind::kRawF64;
+  std::vector<double> raw;   // valid when kind == kRawF64
+  QuantizedBlob quantized;   // valid when kind == kQuantizedInt8
+};
+
+/// Server acknowledges an UpdatePush. `duplicate` marks a push whose
+/// msg_id was already processed (the retransmission of an update whose
+/// first ack got lost): the sender treats it as success, the payload is
+/// not delivered twice.
+struct PushAck {
+  int32_t round = 0;
+  int32_t client_id = 0;
+  uint64_t msg_id = 0;
+  bool duplicate = false;
+};
+
+// Payload codecs (the bytes inside the frame envelope). Decoders are
+// hostile-input hardened like the envelope: hostile lengths and counts
+// are rejected before any allocation proportional to them.
+
+std::string EncodeModelPullRequest(const ModelPullRequest& msg);
+[[nodiscard]] Status DecodeModelPullRequest(const std::string& payload,
+                                            ModelPullRequest* out);
+
+std::string EncodeModelPullReply(const ModelPullReply& msg);
+[[nodiscard]] Status DecodeModelPullReply(const std::string& payload,
+                                          ModelPullReply* out);
+
+std::string EncodeUpdatePush(const UpdatePush& msg);
+[[nodiscard]] Status DecodeUpdatePush(const std::string& payload,
+                                      UpdatePush* out);
+
+std::string EncodePushAck(const PushAck& msg);
+[[nodiscard]] Status DecodePushAck(const std::string& payload, PushAck* out);
+
+}  // namespace lighttr::fl::transport
+
+#endif  // LIGHTTR_FL_TRANSPORT_WIRE_H_

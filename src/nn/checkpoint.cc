@@ -52,8 +52,7 @@ std::string SerializeCheckpoint(const ParameterSet& params,
     writer.WriteBytes(payload.bytes().data(), payload.bytes().size());
   }
   std::string out = writer.Take();
-  const uint32_t file_crc = Crc32(out);
-  out.append(reinterpret_cast<const char*>(&file_crc), sizeof(file_crc));
+  AppendCrc32Trailer(&out);
   return out;
 }
 
@@ -69,13 +68,12 @@ Status ParseCheckpoint(const std::string& bytes, ParameterSet* params) {
   if (bytes.size() < sizeof(kMagicV2) + sizeof(uint32_t)) {
     return Status::InvalidArgument("checkpoint too short to hold a header");
   }
-  const std::string body = bytes.substr(0, bytes.size() - sizeof(uint32_t));
-  uint32_t stored_crc = 0;
-  std::memcpy(&stored_crc, bytes.data() + body.size(), sizeof(stored_crc));
-  if (Crc32(body) != stored_crc) {
+  size_t body_len = 0;
+  if (!CheckCrc32Trailer(bytes, &body_len).ok()) {
     return Status::InvalidArgument(
         "checkpoint failed whole-file CRC check (truncated or corrupted)");
   }
+  const std::string body = bytes.substr(0, body_len);
 
   BinaryReader reader(body);
   char magic[4];

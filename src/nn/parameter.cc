@@ -1,8 +1,10 @@
 #include "nn/parameter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 #include "common/finite.h"
 
@@ -11,17 +13,6 @@ namespace lighttr::nn {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'T', 'R', '1'};
-
-void AppendBytes(std::string* out, const void* data, size_t n) {
-  out->append(static_cast<const char*>(data), n);
-}
-
-bool ReadBytes(const std::string& in, size_t* offset, void* data, size_t n) {
-  if (*offset + n > in.size()) return false;
-  std::memcpy(data, in.data() + *offset, n);
-  *offset += n;
-  return true;
-}
 
 }  // namespace
 
@@ -65,7 +56,7 @@ void ParameterSet::AssignFlat(const std::vector<Scalar>& flat) {
   size_t offset = 0;
   for (auto& [name, tensor] : items_) {
     Matrix& m = tensor.mutable_value();
-    std::memcpy(m.data(), flat.data() + offset, m.size() * sizeof(Scalar));
+    std::copy(flat.data() + offset, flat.data() + offset + m.size(), m.data());
     offset += m.size();
   }
 }
@@ -86,37 +77,31 @@ int64_t ParameterSet::WireBytes() const {
 }
 
 std::string ParameterSet::Serialize() const {
-  std::string out;
-  out.reserve(static_cast<size_t>(WireBytes()));
-  AppendBytes(&out, kMagic, sizeof(kMagic));
-  const auto count = static_cast<uint32_t>(items_.size());
-  AppendBytes(&out, &count, sizeof(count));
+  BinaryWriter writer;
+  writer.WriteBytes(kMagic, sizeof(kMagic));
+  writer.WriteU32(static_cast<uint32_t>(items_.size()));
   for (const auto& [name, tensor] : items_) {
-    const auto name_len = static_cast<uint32_t>(name.size());
-    AppendBytes(&out, &name_len, sizeof(name_len));
-    AppendBytes(&out, name.data(), name.size());
+    writer.WriteU32(static_cast<uint32_t>(name.size()));
+    writer.WriteBytes(name.data(), name.size());
     const Matrix& m = tensor.value();
-    const auto rows = static_cast<uint32_t>(m.rows());
-    const auto cols = static_cast<uint32_t>(m.cols());
-    AppendBytes(&out, &rows, sizeof(rows));
-    AppendBytes(&out, &cols, sizeof(cols));
+    writer.WriteU32(static_cast<uint32_t>(m.rows()));
+    writer.WriteU32(static_cast<uint32_t>(m.cols()));
     for (size_t i = 0; i < m.size(); ++i) {
-      const auto v = static_cast<float>(m.data()[i]);
-      AppendBytes(&out, &v, sizeof(v));
+      writer.WriteF32(static_cast<float>(m.data()[i]));
     }
   }
-  return out;
+  return writer.Take();
 }
 
 Status ParameterSet::Deserialize(const std::string& bytes) {
-  size_t offset = 0;
+  BinaryReader reader(bytes);
   char magic[4];
-  if (!ReadBytes(bytes, &offset, magic, sizeof(magic)) ||
+  if (!reader.ReadBytes(magic, sizeof(magic)).ok() ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("bad parameter blob magic");
   }
   uint32_t count = 0;
-  if (!ReadBytes(bytes, &offset, &count, sizeof(count))) {
+  if (!reader.ReadU32(&count).ok()) {
     return Status::InvalidArgument("truncated parameter blob");
   }
   if (count != items_.size()) {
@@ -124,11 +109,14 @@ Status ParameterSet::Deserialize(const std::string& bytes) {
   }
   for (auto& [name, tensor] : items_) {
     uint32_t name_len = 0;
-    if (!ReadBytes(bytes, &offset, &name_len, sizeof(name_len))) {
+    if (!reader.ReadU32(&name_len).ok()) {
+      return Status::InvalidArgument("truncated parameter blob");
+    }
+    if (name_len > reader.remaining()) {
       return Status::InvalidArgument("truncated parameter blob");
     }
     std::string read_name(name_len, '\0');
-    if (!ReadBytes(bytes, &offset, read_name.data(), name_len)) {
+    if (!reader.ReadBytes(read_name.data(), name_len).ok()) {
       return Status::InvalidArgument("truncated parameter blob");
     }
     if (read_name != name) {
@@ -137,8 +125,7 @@ Status ParameterSet::Deserialize(const std::string& bytes) {
     }
     uint32_t rows = 0;
     uint32_t cols = 0;
-    if (!ReadBytes(bytes, &offset, &rows, sizeof(rows)) ||
-        !ReadBytes(bytes, &offset, &cols, sizeof(cols))) {
+    if (!reader.ReadU32(&rows).ok() || !reader.ReadU32(&cols).ok()) {
       return Status::InvalidArgument("truncated parameter blob");
     }
     Matrix& m = tensor.mutable_value();
@@ -147,13 +134,13 @@ Status ParameterSet::Deserialize(const std::string& bytes) {
     }
     for (size_t i = 0; i < m.size(); ++i) {
       float v = 0.0f;
-      if (!ReadBytes(bytes, &offset, &v, sizeof(v))) {
+      if (!reader.ReadF32(&v).ok()) {
         return Status::InvalidArgument("truncated parameter blob");
       }
       m.data()[i] = static_cast<Scalar>(v);
     }
   }
-  if (offset != bytes.size()) {
+  if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in parameter blob");
   }
   return Status::Ok();

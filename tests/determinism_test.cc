@@ -3,10 +3,13 @@
 // identical end-to-end experiment results.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "eval/harness.h"
+#include "fl/run_state.h"
 #include "nn/losses.h"
 #include "roadnet/generators.h"
 
@@ -354,6 +357,148 @@ TEST(Determinism, SelfHealingRunIsBitwiseIdenticalAcrossThreadCounts) {
       EXPECT_DOUBLE_EQ(parallel.history[r].mean_train_loss,
                        serial.history[r].mean_train_loss);
     }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Hostile network across thread widths and crashes: every channel fault
+// is drawn from a per-link Rng forked on the coordinating thread and
+// consumed sequentially by that link alone, so the network's "weather" —
+// and everything downstream of it (retries, dedups, which client times
+// out) — is a pure function of the channel seed, never of scheduling.
+
+fl::FederatedTrainerOptions LossyChannelOptions(int rounds) {
+  fl::FederatedTrainerOptions options;
+  options.rounds = rounds;
+  options.local_epochs = 2;
+  options.learning_rate = 0.05;
+  options.transport.channel.drop_rate = 0.15;
+  options.transport.channel.duplicate_rate = 0.1;
+  options.transport.channel.reorder_rate = 0.1;
+  options.transport.channel.corrupt_rate = 0.15;
+  options.transport.channel.delay_rate = 0.05;
+  options.transport.retry.max_retries = 32;
+  return options;
+}
+
+std::vector<traj::ClientDataset> MakeLossyClients(uint64_t seed) {
+  Rng rng(seed);
+  roadnet::CityGridOptions grid;
+  grid.rows = 6;
+  grid.cols = 6;
+  const roadnet::RoadNetwork net = roadnet::GenerateCityGrid(grid, &rng);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = 4;
+  return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+}
+
+std::unique_ptr<fl::RecoveryModel> MakeHealingStub(Rng* rng) {
+  return std::make_unique<HealingStubModel>(rng);
+}
+
+TEST(Determinism, LossyChannelRunIsBitwiseIdenticalAcrossThreadCounts) {
+  auto run_with_threads = [](int threads) {
+    auto clients = MakeLossyClients(67);
+    fl::FederatedTrainerOptions options = LossyChannelOptions(10);
+    options.threads = threads;
+    fl::FederatedTrainer trainer(MakeHealingStub, &clients, options);
+    fl::FederatedRunResult result = trainer.Run();
+    return std::make_pair(std::move(result),
+                          trainer.global_model()->params().Serialize());
+  };
+
+  const auto [serial, serial_params] = run_with_threads(1);
+  // The weather actually happened: frames were damaged and retried.
+  ASSERT_GT(serial.faults.net_crc_drops, 0);
+  ASSERT_GT(serial.faults.net_retries, 0);
+
+  for (int threads : {2, 8}) {
+    const auto [parallel, parallel_params] = run_with_threads(threads);
+    EXPECT_EQ(parallel_params, serial_params) << "threads=" << threads;
+    EXPECT_EQ(parallel.comm.messages, serial.comm.messages);
+    EXPECT_EQ(parallel.comm.bytes_uplink, serial.comm.bytes_uplink);
+    EXPECT_EQ(parallel.comm.bytes_downlink, serial.comm.bytes_downlink);
+    EXPECT_EQ(parallel.faults.net_retries, serial.faults.net_retries);
+    EXPECT_EQ(parallel.faults.net_timeouts, serial.faults.net_timeouts);
+    EXPECT_EQ(parallel.faults.net_crc_drops, serial.faults.net_crc_drops);
+    EXPECT_EQ(parallel.faults.net_dedup_drops, serial.faults.net_dedup_drops);
+    EXPECT_EQ(parallel.faults.net_late_drops, serial.faults.net_late_drops);
+    EXPECT_EQ(parallel.faults.net_lost, serial.faults.net_lost);
+    ASSERT_EQ(parallel.history.size(), serial.history.size());
+    for (size_t r = 0; r < serial.history.size(); ++r) {
+      EXPECT_EQ(parallel.history[r].net_retries, serial.history[r].net_retries)
+          << "threads=" << threads << " round=" << r;
+      EXPECT_EQ(parallel.history[r].net_crc_drops,
+                serial.history[r].net_crc_drops);
+      EXPECT_EQ(parallel.history[r].reporting, serial.history[r].reporting);
+      EXPECT_DOUBLE_EQ(parallel.history[r].valid_loss,
+                       serial.history[r].valid_loss)
+          << "threads=" << threads << " round=" << r;
+    }
+  }
+}
+
+TEST(Determinism, CrashResumeOverLossyChannelIsBitwiseIdentical) {
+  // A run killed mid-round over a hostile network must resume to the
+  // exact bits of an uninterrupted run: the snapshot carries the channel
+  // RNG state, so the replay sees the same network weather.
+  auto clients = MakeLossyClients(71);
+  fl::FederatedTrainerOptions baseline_options = LossyChannelOptions(12);
+  fl::FederatedTrainer baseline(MakeHealingStub, &clients, baseline_options);
+  const fl::FederatedRunResult expected = baseline.Run();
+  ASSERT_GT(expected.faults.net_crc_drops, 0);
+  const std::string expected_params =
+      baseline.global_model()->params().Serialize();
+
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "lossy_crash_resume")
+          .generic_string();
+  std::filesystem::remove_all(dir);
+  fl::FederatedTrainerOptions options = LossyChannelOptions(12);
+  options.durability.dir = dir;
+  options.durability.snapshot_every = 3;
+  options.durability.crash_point = fl::CrashPoint::kMidRound;
+  options.durability.crash_round = 8;
+
+  bool crashed = false;
+  {
+    fl::FederatedTrainer victim(MakeHealingStub, &clients, options);
+    try {
+      victim.Run();
+    } catch (const fl::InjectedCrash& crash) {
+      crashed = true;
+      EXPECT_EQ(crash.round, 8);
+    }
+  }
+  ASSERT_TRUE(crashed);
+
+  options.durability.crash_point = fl::CrashPoint::kNone;
+  options.durability.crash_round = 0;
+  options.durability.resume = true;
+  fl::FederatedTrainer resumed(MakeHealingStub, &clients, options);
+  const fl::FederatedRunResult result = resumed.Run();
+  EXPECT_GT(resumed.resumed_round(), 0);
+  EXPECT_EQ(resumed.global_model()->params().Serialize(), expected_params);
+  EXPECT_EQ(result.comm.messages, expected.comm.messages);
+  EXPECT_EQ(result.comm.bytes_uplink, expected.comm.bytes_uplink);
+  EXPECT_EQ(result.comm.bytes_downlink, expected.comm.bytes_downlink);
+  EXPECT_EQ(result.faults.net_retries, expected.faults.net_retries);
+  EXPECT_EQ(result.faults.net_timeouts, expected.faults.net_timeouts);
+  EXPECT_EQ(result.faults.net_crc_drops, expected.faults.net_crc_drops);
+  EXPECT_EQ(result.faults.net_dedup_drops, expected.faults.net_dedup_drops);
+  EXPECT_EQ(result.faults.net_late_drops, expected.faults.net_late_drops);
+  EXPECT_EQ(result.faults.net_lost, expected.faults.net_lost);
+  ASSERT_EQ(result.history.size(), expected.history.size());
+  for (size_t r = 0; r < expected.history.size(); ++r) {
+    EXPECT_EQ(result.history[r].net_retries, expected.history[r].net_retries)
+        << "round=" << r;
+    EXPECT_EQ(result.history[r].net_crc_drops,
+              expected.history[r].net_crc_drops);
+    EXPECT_EQ(result.history[r].net_dedup_drops,
+              expected.history[r].net_dedup_drops);
+    EXPECT_EQ(result.history[r].reporting, expected.history[r].reporting);
   }
 }
 

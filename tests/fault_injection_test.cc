@@ -397,6 +397,9 @@ TEST(FaultTolerantTrainer, StragglersAreCutOffAtTheDeadline) {
   FederatedTrainerOptions options = BaseOptions(1);
   options.faults.straggler_rate = 1.0;
   options.faults.straggler_slowdown_mean = 1000.0;
+  // Legacy accounting: uplink counts model uploads only. (Under the
+  // framed transport stragglers still send their pull-request frame.)
+  options.transport.enabled = false;
   FederatedTrainer trainer(MakeStub, &clients, options);
   const FederatedRunResult result = trainer.Run();
   EXPECT_EQ(result.faults.stragglers, 3);

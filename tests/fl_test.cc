@@ -7,6 +7,7 @@
 #include "fl/cyclic_trainer.h"
 #include "fl/federated_trainer.h"
 #include "fl/local_trainer.h"
+#include "fl/transport/wire.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 #include "roadnet/generators.h"
@@ -152,6 +153,9 @@ TEST(FederatedTrainer, CommAccounting) {
   options.rounds = 3;
   options.local_epochs = 1;
   options.client_fraction = 0.6;  // -> 3 of 5 clients per round
+  // Legacy estimated accounting (one abstract message each way per
+  // contact); kept as the bench baseline alongside the framed transport.
+  options.transport.enabled = false;
   FederatedTrainer trainer(
       [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
       options);
@@ -164,6 +168,73 @@ TEST(FederatedTrainer, CommAccounting) {
   EXPECT_EQ(result.history.size(), 3u);
 }
 
+TEST(FederatedTrainer, TransportCommAccountingMeasuresEncodedFrames) {
+  // With the framed transport on (the default), comm stats are measured
+  // from the bytes actually put on the wire: four frames per contact
+  // (pull request, pull reply, update push, push ack), sized by the
+  // encoder rather than estimated from WireBytes().
+  auto clients = MakeClients(5, 10);
+  FederatedTrainerOptions options;
+  options.rounds = 3;
+  options.local_epochs = 1;
+  options.client_fraction = 0.6;  // -> 3 of 5 clients per round
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+
+  const int64_t contacts = 3 * 3;
+  using namespace lighttr::fl::transport;  // NOLINT
+  ModelPullRequest req;
+  const auto pull_request_frame =
+      EncodeFrame(FrameType::kModelPullRequest, EncodeModelPullRequest(req));
+  ModelPullReply reply;
+  reply.model_blob = trainer.global_model()->params().Serialize();
+  const auto pull_reply_frame =
+      EncodeFrame(FrameType::kModelPullReply, EncodeModelPullReply(reply));
+  UpdatePush push;
+  push.kind = PayloadKind::kRawF64;
+  push.raw.assign(
+      static_cast<size_t>(trainer.global_model()->params().NumScalars()), 0.0);
+  const auto push_frame =
+      EncodeFrame(FrameType::kUpdatePush, EncodeUpdatePush(push));
+  PushAck ack;
+  const auto ack_frame = EncodeFrame(FrameType::kPushAck, EncodePushAck(ack));
+
+  EXPECT_EQ(result.comm.rounds, 3);
+  EXPECT_EQ(result.comm.messages, contacts * 4);
+  EXPECT_EQ(result.comm.bytes_uplink,
+            contacts * static_cast<int64_t>(pull_request_frame.size() +
+                                            push_frame.size()));
+  EXPECT_EQ(result.comm.bytes_downlink,
+            contacts * static_cast<int64_t>(pull_reply_frame.size() +
+                                            ack_frame.size()));
+  // A clean channel produces no network-layer incidents.
+  EXPECT_EQ(result.faults.net_retries, 0);
+  EXPECT_EQ(result.faults.net_timeouts, 0);
+  EXPECT_EQ(result.faults.net_crc_drops, 0);
+  EXPECT_EQ(result.faults.net_dedup_drops, 0);
+  EXPECT_EQ(result.faults.net_lost, 0);
+}
+
+TEST(FederatedTrainer, TransportMatchesLegacyModelTrajectory) {
+  // The transport is a faithful pipe: on a clean channel the recovered
+  // global model is bitwise identical to the legacy in-process path.
+  auto run = [](bool enabled) {
+    auto clients = MakeClients(4, 21);
+    FederatedTrainerOptions options;
+    options.rounds = 4;
+    options.local_epochs = 1;
+    options.transport.enabled = enabled;
+    FederatedTrainer trainer(
+        [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+        options);
+    trainer.Run();
+    return trainer.global_model()->params().Serialize();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
 TEST(FederatedTrainer, FractionOneUsesAllClients) {
   auto clients = MakeClients(3, 11);
   FederatedTrainerOptions options;
@@ -172,7 +243,8 @@ TEST(FederatedTrainer, FractionOneUsesAllClients) {
       [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
       options);
   const FederatedRunResult result = trainer.Run();
-  EXPECT_EQ(result.comm.messages, 3 * 2);
+  // Four transport frames (pull request/reply, push, ack) per contact.
+  EXPECT_EQ(result.comm.messages, 3 * 4);
 }
 
 TEST(FederatedTrainer, FaultFreeRunHasCleanTelemetry) {
@@ -204,6 +276,9 @@ TEST(FederatedTrainer, DropoutAccountingCountsEveryContactAttempt) {
   options.local_epochs = 1;
   options.faults.dropout_rate = 1.0;
   options.tolerance.retry.max_retries = 2;
+  // Legacy estimated accounting: the model broadcast is charged per
+  // contact attempt even though the client never answers.
+  options.transport.enabled = false;
   FederatedTrainer trainer(
       [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
       options);
@@ -212,6 +287,26 @@ TEST(FederatedTrainer, DropoutAccountingCountsEveryContactAttempt) {
   // Each client: initial contact + 2 retries, all downlink, no upload.
   EXPECT_EQ(result.comm.messages, 2 * 3);
   EXPECT_EQ(result.comm.bytes_downlink, 2 * 3 * wire);
+  EXPECT_EQ(result.comm.bytes_uplink, 0);
+  EXPECT_EQ(result.faults.drops, 2);
+  EXPECT_EQ(result.faults.retries, 2 * 2);
+}
+
+TEST(FederatedTrainer, DroppedOutClientsPutNoFramesOnTheWire) {
+  // Under the framed transport a dropped-out client never initiates its
+  // pull, so — unlike the legacy estimate — nothing crosses the wire.
+  auto clients = MakeClients(2, 14);
+  FederatedTrainerOptions options;
+  options.rounds = 1;
+  options.local_epochs = 1;
+  options.faults.dropout_rate = 1.0;
+  options.tolerance.retry.max_retries = 2;
+  FederatedTrainer trainer(
+      [](Rng* rng) { return std::make_unique<StubModel>(rng); }, &clients,
+      options);
+  const FederatedRunResult result = trainer.Run();
+  EXPECT_EQ(result.comm.messages, 0);
+  EXPECT_EQ(result.comm.bytes_downlink, 0);
   EXPECT_EQ(result.comm.bytes_uplink, 0);
   EXPECT_EQ(result.faults.drops, 2);
   EXPECT_EQ(result.faults.retries, 2 * 2);

@@ -507,5 +507,63 @@ TEST(SelfHealingTrainer, ReputationSurvivesSnapshotResume) {
   EXPECT_EQ(second.resumed_round(), 8);
 }
 
+// ---------------------------------------------------------------------
+// Attribution guard: network damage vs. client misbehaviour.
+
+TEST(SelfHealingTrainer, WireCorruptionNeverFeedsReputation) {
+  // A filthy wire with an ample retry budget: every damaged frame fails
+  // its CRC, is discarded, and is re-sent intact. Reputation judges
+  // only payloads that survived the CRC, so it must see zero evidence
+  // against any client — no events, no score, no quarantine.
+  auto clients = MakeClients(3, 61);
+  FederatedTrainerOptions options;
+  options.rounds = 6;
+  options.local_epochs = 1;
+  options.healing.enabled = true;
+  options.healing.reputation.quarantine_threshold = 0.4;
+  options.transport.channel.corrupt_rate = 0.4;
+  options.transport.retry.max_retries = 64;
+  FederatedTrainer trainer(MakeStub, &clients, options);
+  const FederatedRunResult result = trainer.Run();
+
+  EXPECT_GT(result.faults.net_crc_drops, 0);  // the wire really was hostile
+  EXPECT_GT(result.faults.net_retries, 0);
+  ASSERT_NE(trainer.reputation(), nullptr);
+  for (int c = 0; c < trainer.num_clients(); ++c) {
+    EXPECT_DOUBLE_EQ(trainer.reputation()->client(c).score, 0.0);
+    EXPECT_EQ(trainer.reputation()->client(c).corrupt_events, 0);
+    EXPECT_EQ(trainer.reputation()->client(c).outlier_events, 0);
+    EXPECT_FALSE(trainer.reputation()->client(c).quarantined);
+  }
+  EXPECT_EQ(result.faults.quarantine_events, 0);
+  EXPECT_EQ(result.faults.rejected_uploads, 0);
+}
+
+TEST(SelfHealingTrainer, ClientCorruptionStillScoresThroughTheTransport) {
+  // The mirror image: FaultModel corruption is *client* misbehaviour.
+  // It ships inside CRC-valid frames, so screening and reputation see
+  // it and score the offender even with the framed transport on.
+  auto clients = MakeClients(3, 63);
+  FederatedTrainerOptions options;
+  options.rounds = 8;
+  options.local_epochs = 1;
+  options.healing.enabled = true;
+  options.faults.corruption_rate = 1.0;
+  FederatedTrainer trainer(MakeStub, &clients, options);
+  const FederatedRunResult result = trainer.Run();
+
+  EXPECT_GT(result.faults.rejected_uploads, 0);
+  ASSERT_NE(trainer.reputation(), nullptr);
+  int corrupt_events = 0;
+  for (int c = 0; c < trainer.num_clients(); ++c) {
+    corrupt_events += trainer.reputation()->client(c).corrupt_events;
+  }
+  EXPECT_GT(corrupt_events, 0);
+  // And the clean wire stays clean: no network-attributed incidents.
+  EXPECT_EQ(result.faults.net_crc_drops, 0);
+  EXPECT_EQ(result.faults.net_retries, 0);
+  EXPECT_EQ(result.faults.net_lost, 0);
+}
+
 }  // namespace
 }  // namespace lighttr::fl

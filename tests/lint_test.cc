@@ -337,14 +337,61 @@ TEST(LintTest, NoRawNonfiniteIgnoresMembersAndIdentifiers) {
   EXPECT_TRUE(OfRule(Lint({file}), "no-raw-nonfinite").empty());
 }
 
+TEST(LintTest, NoRawWireFiresOnCastAndMemcpyInSrc) {
+  SourceFile file;
+  file.path = "src/fl/run_state.cc";
+  file.content =
+      "void A(char* p, const T& t) { std::memcpy(p, &t, sizeof(t)); }\n"  // 1
+      "const T* B(const char* p) { return reinterpret_cast<const T*>(p); "
+      "}\n"                                                 // 2
+      "void C(char* d, const char* s) { memcpy(d, s, 4); }"  // 3, unqualified
+      "\nvoid D(char* p, const T& t) { std::memcpy(p, &t, sizeof(t)); }"
+      "  // lighttr-lint: allow(no-raw-wire)\n";
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "no-raw-wire");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("memcpy"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_NE(hits[1].message.find("reinterpret_cast"), std::string::npos);
+  EXPECT_EQ(hits[2].line, 3);
+}
+
+TEST(LintTest, NoRawWireExemptsBinaryIoAndTransport) {
+  const std::string body =
+      "void A(char* p, const T& t) { std::memcpy(p, &t, sizeof(t)); }\n";
+  SourceFile io;
+  io.path = "src/common/binary_io.h";
+  io.content = body;
+  SourceFile wire;
+  wire.path = "src/fl/transport/wire.cc";
+  wire.content = body;
+  SourceFile test_file;  // scope is src/ only
+  test_file.path = "tests/some_test.cc";
+  test_file.content = body;
+  EXPECT_TRUE(
+      OfRule(Lint({io, wire, test_file}), "no-raw-wire").empty());
+}
+
+TEST(LintTest, NoRawWireIgnoresMembersAndIdentifiers) {
+  SourceFile file;
+  file.path = "src/fl/other.cc";
+  file.content =
+      "void A(Obj* o) { o->memcpy(1); }\n"       // member access: allowed
+      "int my_memcpy = 0;\n"                     // identifier: no call
+      "bool B(const char* a, const char* b) { return memcmp(a, b, 4); }\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-raw-wire").empty());
+}
+
 TEST(LintTest, AllRuleNamesListsEveryRule) {
   const std::vector<std::string>& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 9u);
   EXPECT_NE(std::find(names.begin(), names.end(), "no-direct-persistence"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-thread"),
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-nonfinite"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-wire"),
             names.end());
 }
 

@@ -1,0 +1,571 @@
+// Tests for the wire-level federated transport: frame/message codecs
+// under hostile input (truncation at every boundary, bit flips, lying
+// length fields), the deterministic channel fault simulator, the
+// ReliableLink retry/dedup state machine, and end-to-end federated runs
+// over lossy links (quorum degradation, network-vs-client attribution).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "fl/federated_trainer.h"
+#include "fl/transport/channel.h"
+#include "fl/transport/link.h"
+#include "fl/transport/wire.h"
+#include "nn/losses.h"
+#include "roadnet/generators.h"
+#include "traj/generator.h"
+#include "traj/workload.h"
+
+namespace lighttr::fl::transport {
+namespace {
+
+// ---------------------------------------------------------------------
+// Codec round-trips
+
+TEST(WireCodec, ModelPullRequestRoundTrips) {
+  ModelPullRequest msg;
+  msg.round = 12;
+  msg.client_id = 3;
+  ModelPullRequest out;
+  ASSERT_TRUE(DecodeModelPullRequest(EncodeModelPullRequest(msg), &out).ok());
+  EXPECT_EQ(out.round, 12);
+  EXPECT_EQ(out.client_id, 3);
+}
+
+TEST(WireCodec, ModelPullReplyRoundTrips) {
+  ModelPullReply msg;
+  msg.round = 4;
+  msg.model_blob = std::string("blob\x00with\xff""bytes", 15);
+  ModelPullReply out;
+  ASSERT_TRUE(DecodeModelPullReply(EncodeModelPullReply(msg), &out).ok());
+  EXPECT_EQ(out.round, 4);
+  EXPECT_EQ(out.model_blob, msg.model_blob);
+}
+
+TEST(WireCodec, RawUpdatePushRoundTripsBitwise) {
+  UpdatePush msg;
+  msg.round = 7;
+  msg.client_id = 2;
+  msg.msg_id = PushMsgId(7, 2);
+  msg.train_loss = 0.125;
+  msg.kind = PayloadKind::kRawF64;
+  // Values chosen to require exact f64 round-tripping.
+  msg.raw = {1.0 / 3.0, -0.0, 1e-308, 123456.789012345};
+  UpdatePush out;
+  ASSERT_TRUE(DecodeUpdatePush(EncodeUpdatePush(msg), &out).ok());
+  EXPECT_EQ(out.round, 7);
+  EXPECT_EQ(out.client_id, 2);
+  EXPECT_EQ(out.msg_id, PushMsgId(7, 2));
+  EXPECT_DOUBLE_EQ(out.train_loss, 0.125);
+  EXPECT_EQ(out.kind, PayloadKind::kRawF64);
+  ASSERT_EQ(out.raw.size(), msg.raw.size());
+  for (size_t i = 0; i < msg.raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.raw[i], msg.raw[i]);
+  }
+}
+
+TEST(WireCodec, QuantizedUpdatePushRoundTrips) {
+  UpdatePush msg;
+  msg.round = 1;
+  msg.client_id = 0;
+  msg.msg_id = PushMsgId(1, 0);
+  msg.kind = PayloadKind::kQuantizedInt8;
+  msg.quantized.min_value = -2.5;
+  msg.quantized.max_value = 3.5;
+  msg.quantized.codes = {0, 17, 255, 128};
+  UpdatePush out;
+  ASSERT_TRUE(DecodeUpdatePush(EncodeUpdatePush(msg), &out).ok());
+  EXPECT_EQ(out.kind, PayloadKind::kQuantizedInt8);
+  EXPECT_DOUBLE_EQ(out.quantized.min_value, -2.5);
+  EXPECT_DOUBLE_EQ(out.quantized.max_value, 3.5);
+  EXPECT_EQ(out.quantized.codes, msg.quantized.codes);
+}
+
+TEST(WireCodec, PushAckRoundTrips) {
+  PushAck msg;
+  msg.round = 9;
+  msg.client_id = 5;
+  msg.msg_id = PushMsgId(9, 5);
+  msg.duplicate = true;
+  PushAck out;
+  ASSERT_TRUE(DecodePushAck(EncodePushAck(msg), &out).ok());
+  EXPECT_EQ(out.round, 9);
+  EXPECT_EQ(out.client_id, 5);
+  EXPECT_EQ(out.msg_id, PushMsgId(9, 5));
+  EXPECT_TRUE(out.duplicate);
+}
+
+TEST(WireCodec, FrameRoundTripsAndMeasuresOverhead) {
+  const std::string payload = "hello frame";
+  const std::string frame = EncodeFrame(FrameType::kUpdatePush, payload);
+  EXPECT_EQ(static_cast<int64_t>(frame.size()),
+            kFrameOverheadBytes + static_cast<int64_t>(payload.size()));
+  Frame out;
+  ASSERT_TRUE(DecodeFrame(frame, &out).ok());
+  EXPECT_EQ(out.type, FrameType::kUpdatePush);
+  EXPECT_EQ(out.payload, payload);
+}
+
+// ---------------------------------------------------------------------
+// Hostile-input battery
+
+// A realistic frame for mutation: an UpdatePush with a payload vector.
+std::string RealisticFrame() {
+  UpdatePush msg;
+  msg.round = 3;
+  msg.client_id = 1;
+  msg.msg_id = PushMsgId(3, 1);
+  msg.train_loss = 0.5;
+  msg.kind = PayloadKind::kRawF64;
+  for (int i = 0; i < 16; ++i) msg.raw.push_back(0.25 * i);
+  return EncodeFrame(FrameType::kUpdatePush, EncodeUpdatePush(msg));
+}
+
+TEST(WireFuzz, TruncationAtEveryBoundaryIsAStatusNotACrash) {
+  const std::string frame = RealisticFrame();
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Frame out;
+    const Status status = DecodeFrame(frame.substr(0, len), &out);
+    EXPECT_FALSE(status.ok()) << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(WireFuzz, EverySingleBitFlipFailsTheCrc) {
+  const std::string frame = RealisticFrame();
+  Rng rng(99);
+  // 64 seeded random single-bit flips across the whole frame (magic,
+  // header, payload, CRC itself) — each must be rejected.
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string damaged = frame;
+    const auto pos = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(frame.size()) - 1));
+    const int bit = static_cast<int>(rng.UniformInt(0, 7));
+    damaged[pos] = static_cast<char>(static_cast<unsigned char>(damaged[pos]) ^
+                                     (1u << bit));
+    Frame out;
+    EXPECT_FALSE(DecodeFrame(damaged, &out).ok())
+        << "bit " << bit << " of byte " << pos << " flipped undetected";
+  }
+}
+
+TEST(WireFuzz, PayloadTruncationInsideValidFrameIsAStatus) {
+  // Re-frame progressively truncated payloads: the envelope is intact
+  // (fresh CRC), so this exercises the message decoders' bounds checks
+  // rather than the CRC.
+  UpdatePush msg;
+  msg.kind = PayloadKind::kRawF64;
+  msg.raw = {1.0, 2.0, 3.0};
+  const std::string payload = EncodeUpdatePush(msg);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    UpdatePush out;
+    EXPECT_FALSE(DecodeUpdatePush(payload.substr(0, len), &out).ok())
+        << "payload truncated to " << len << " bytes decoded";
+  }
+}
+
+TEST(WireFuzz, HostileElementCountIsRejectedBeforeAllocation) {
+  // Hand-craft an UpdatePush payload whose element count claims 2^32-1
+  // doubles but carries none: the decoder must reject the count against
+  // the remaining byte budget instead of allocating 32 GiB.
+  UpdatePush msg;
+  msg.kind = PayloadKind::kRawF64;
+  msg.raw = {1.0};
+  std::string payload = EncodeUpdatePush(msg);
+  // The count field is the u32 immediately after round(i32), client(i32),
+  // msg_id(u64), loss(f64), kind(u8) = 25 bytes in.
+  const size_t count_offset = 4 + 4 + 8 + 8 + 1;
+  ASSERT_LT(count_offset + 4, payload.size());
+  for (size_t i = 0; i < 4; ++i) payload[count_offset + i] = '\xff';
+  UpdatePush out;
+  EXPECT_FALSE(DecodeUpdatePush(payload, &out).ok());
+}
+
+TEST(WireFuzz, WrongVersionTypeAndLengthAreRejected) {
+  const std::string frame = RealisticFrame();
+  Frame out;
+
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  // (CRC also fails, but the point is: it does not decode.)
+  EXPECT_FALSE(DecodeFrame(bad_magic, &out).ok());
+
+  // Re-encode with a hostile version / type / length by rebuilding the
+  // envelope by hand so the CRC is *valid* — only the field is hostile.
+  auto reframe = [&](uint8_t version, uint8_t type, uint32_t length_delta) {
+    Frame parsed;
+    EXPECT_TRUE(DecodeFrame(frame, &parsed).ok());
+    std::string raw;
+    raw += "LTRF";
+    raw += static_cast<char>(version);
+    raw += static_cast<char>(type);
+    const auto len =
+        static_cast<uint32_t>(parsed.payload.size()) + length_delta;
+    for (int i = 0; i < 4; ++i) {
+      raw += static_cast<char>((len >> (8 * i)) & 0xff);
+    }
+    raw += parsed.payload;
+    AppendCrc32Trailer(&raw);
+    return raw;
+  };
+  EXPECT_FALSE(DecodeFrame(reframe(kWireVersion + 1, 3, 0), &out).ok())
+      << "future wire version accepted";
+  EXPECT_FALSE(DecodeFrame(reframe(kWireVersion, 200, 0), &out).ok())
+      << "unknown frame type accepted";
+  EXPECT_FALSE(DecodeFrame(reframe(kWireVersion, 3, 5), &out).ok())
+      << "length field lying long accepted";
+  EXPECT_TRUE(DecodeFrame(reframe(kWireVersion, 3, 0), &out).ok())
+      << "control re-framing must decode (the harness itself works)";
+}
+
+// ---------------------------------------------------------------------
+// SimulatedChannel
+
+TEST(SimulatedChannel, CleanChannelIsDrawFreeAndLossless) {
+  ChannelFaultConfig config;  // all rates zero
+  EXPECT_FALSE(config.enabled());
+  SimulatedChannel channel(config);
+  const std::string frame = RealisticFrame();
+  // Null rng is legal on a clean channel: zero rates consume no draws.
+  const std::vector<Delivery> arrived = channel.Transmit(frame, nullptr);
+  ASSERT_EQ(arrived.size(), 1u);
+  EXPECT_EQ(arrived[0].bytes, frame);
+  EXPECT_FALSE(arrived[0].late);
+}
+
+TEST(SimulatedChannel, SameSeedSameWeather) {
+  ChannelFaultConfig config;
+  config.drop_rate = 0.3;
+  config.duplicate_rate = 0.2;
+  config.corrupt_rate = 0.2;
+  config.reorder_rate = 0.2;
+  config.delay_rate = 0.1;
+  const std::string frame = RealisticFrame();
+  auto run = [&]() {
+    SimulatedChannel channel(config);
+    Rng rng(1234);
+    std::vector<std::pair<std::string, bool>> trace;
+    for (int i = 0; i < 200; ++i) {
+      for (const Delivery& d : channel.Transmit(frame, &rng)) {
+        trace.emplace_back(d.bytes, d.late);
+      }
+    }
+    for (const Delivery& d : channel.Flush()) {
+      trace.emplace_back(d.bytes, d.late);
+    }
+    return trace;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // The gauntlet actually fired: not every transmit arrived verbatim.
+  size_t intact = 0;
+  for (const auto& [bytes, late] : a) intact += (bytes == frame && !late);
+  EXPECT_LT(intact, a.size());
+  EXPECT_GT(a.size(), 0u);
+}
+
+TEST(SimulatedChannel, FullDropDeliversNothing) {
+  ChannelFaultConfig config;
+  config.drop_rate = 1.0;
+  SimulatedChannel channel(config);
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(channel.Transmit(RealisticFrame(), &rng).empty());
+  }
+}
+
+TEST(SimulatedChannel, ReorderHoldsBackThenReleases) {
+  ChannelFaultConfig config;
+  config.reorder_rate = 1.0;
+  SimulatedChannel channel(config);
+  Rng rng(6);
+  // Every frame is held back and released ahead of the *next* transmit.
+  EXPECT_TRUE(channel.Transmit("frame-a", &rng).empty());
+  const std::vector<Delivery> second = channel.Transmit("frame-b", &rng);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].bytes, "frame-a");
+  const std::vector<Delivery> flushed = channel.Flush();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].bytes, "frame-b");
+}
+
+// ---------------------------------------------------------------------
+// ReliableLink
+
+// One round-shared pull-reply frame for link tests.
+std::string PullReplyFrame(int round, const std::string& blob) {
+  ModelPullReply reply;
+  reply.round = round;
+  reply.model_blob = blob;
+  return EncodeFrame(FrameType::kModelPullReply, EncodeModelPullReply(reply));
+}
+
+UpdatePush MakePush(int round, int client, std::vector<double> values) {
+  UpdatePush push;
+  push.round = round;
+  push.client_id = client;
+  push.msg_id = PushMsgId(round, client);
+  push.train_loss = 0.25;
+  push.kind = PayloadKind::kRawF64;
+  push.raw = std::move(values);
+  return push;
+}
+
+TEST(ReliableLink, CleanLinkExchangesWithExactStats) {
+  const std::string reply_frame = PullReplyFrame(2, "the-global-model");
+  ChannelFaultConfig clean;
+  BackoffConfig retry;
+  ReliableLink link(clean, retry, /*round=*/2, /*client_id=*/1, &reply_frame,
+                    /*rng=*/nullptr);
+
+  Result<std::string> blob = link.PullModelBlob();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value(), "the-global-model");
+
+  Result<std::vector<double>> received =
+      link.PushUpdate(MakePush(2, 1, {1.0, -2.0, 3.0}));
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value(), (std::vector<double>{1.0, -2.0, 3.0}));
+
+  const LinkStats& stats = link.stats();
+  EXPECT_EQ(stats.uplink_frames, 2);    // pull request + push
+  EXPECT_EQ(stats.downlink_frames, 2);  // pull reply + ack
+  EXPECT_EQ(stats.downlink_bytes,
+            static_cast<int64_t>(reply_frame.size()) +
+                static_cast<int64_t>(
+                    EncodeFrame(FrameType::kPushAck, EncodePushAck(PushAck{}))
+                        .size()));
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_EQ(stats.timeouts, 0);
+  EXPECT_EQ(stats.crc_drops, 0);
+  EXPECT_EQ(stats.dedup_drops, 0);
+  EXPECT_DOUBLE_EQ(stats.backoff_s, 0.0);
+}
+
+TEST(ReliableLink, DuplicatedPushIsDeliveredExactlyOnce) {
+  const std::string reply_frame = PullReplyFrame(0, "m");
+  ChannelFaultConfig faults;
+  faults.duplicate_rate = 1.0;  // every frame arrives twice
+  BackoffConfig retry;
+  Rng rng(77);
+  ReliableLink link(faults, retry, 0, 0, &reply_frame, &rng);
+  ASSERT_TRUE(link.PullModelBlob().ok());
+  Result<std::vector<double>> received =
+      link.PushUpdate(MakePush(0, 0, {4.0, 5.0}));
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value(), (std::vector<double>{4.0, 5.0}));
+  // The second copy of the push hit server-side dedup: absorbed, acked
+  // as duplicate, payload delivered exactly once.
+  EXPECT_GE(link.stats().dedup_drops, 1);
+}
+
+TEST(ReliableLink, CorruptionIsRetriedAndAttributedToTheNetwork) {
+  const std::string reply_frame = PullReplyFrame(0, "model-bytes");
+  ChannelFaultConfig faults;
+  faults.corrupt_rate = 0.6;  // most frames damaged; retries get through
+  BackoffConfig retry;
+  retry.max_retries = 64;  // ample budget: this test is about attribution
+  Rng rng(11);
+  ReliableLink link(faults, retry, 0, 0, &reply_frame, &rng);
+  Result<std::string> blob = link.PullModelBlob();
+  ASSERT_TRUE(blob.ok());
+  // The blob that survives is *intact* — damaged frames were discarded
+  // wholesale, never partially accepted.
+  EXPECT_EQ(blob.value(), "model-bytes");
+  ASSERT_TRUE(link.PushUpdate(MakePush(0, 0, {1.0})).ok());
+  const LinkStats& stats = link.stats();
+  EXPECT_GT(stats.crc_drops, 0);
+  EXPECT_GT(stats.retries, 0);
+  EXPECT_GT(stats.backoff_s, 0.0);
+}
+
+TEST(ReliableLink, DeadLinkExhaustsRetryBudgetAndReportsDown) {
+  const std::string reply_frame = PullReplyFrame(0, "m");
+  ChannelFaultConfig faults;
+  faults.drop_rate = 1.0;
+  BackoffConfig retry;
+  retry.max_retries = 3;
+  Rng rng(13);
+  ReliableLink link(faults, retry, 0, 0, &reply_frame, &rng);
+  Result<std::string> blob = link.PullModelBlob();
+  EXPECT_FALSE(blob.ok());
+  EXPECT_EQ(link.stats().timeouts, 4);  // initial attempt + 3 retries
+  EXPECT_EQ(link.stats().retries, 3);
+}
+
+TEST(ReliableLink, ReorderingLeaksStaleFramesAcrossExchangesHarmlessly) {
+  // With reordering forced on, frames from the pull exchange straggle
+  // into the push exchange (and vice versa). The server endpoint and
+  // reply-type check must discard the strays — charged to the network —
+  // while retries carry both exchanges to completion with the payload
+  // delivered exactly once.
+  const std::string reply_frame = PullReplyFrame(0, "the-model");
+  ChannelFaultConfig faults;
+  faults.reorder_rate = 1.0;
+  BackoffConfig retry;
+  retry.max_retries = 16;
+  Rng rng(19);
+  ReliableLink link(faults, retry, 0, 0, &reply_frame, &rng);
+  Result<std::string> blob = link.PullModelBlob();
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value(), "the-model");
+  Result<std::vector<double>> received =
+      link.PushUpdate(MakePush(0, 0, {6.0, 7.0}));
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value(), (std::vector<double>{6.0, 7.0}));
+  EXPECT_GT(link.stats().retries, 0);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over lossy links
+
+class StubModel : public RecoveryModel {
+ public:
+  explicit StubModel(Rng* rng) {
+    w_ = nn::Tensor::Variable(
+        nn::Matrix::Full(1, 1, rng != nullptr ? rng->Uniform(-1, 1) : 0.0));
+    params_.Register("w", w_);
+  }
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                        bool /*training*/, Rng* /*rng*/) override {
+    nn::Matrix target(1, 1);
+    target(0, 0) = static_cast<nn::Scalar>(trajectory.ground_truth.driver_id);
+    ForwardResult result;
+    result.loss = nn::MseLoss(w_, target);
+    result.representation = w_;
+    return result;
+  }
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override {
+    return std::vector<roadnet::PointPosition>(trajectory.size(),
+                                               roadnet::PointPosition{0, 0.0});
+  }
+
+  double weight() const { return w_.value()(0, 0); }
+
+ private:
+  std::string name_ = "Stub";
+  nn::ParameterSet params_;
+  nn::Tensor w_;
+};
+
+std::vector<traj::ClientDataset> MakeClients(int n, uint64_t seed) {
+  Rng rng(seed);
+  roadnet::CityGridOptions options;
+  options.rows = 6;
+  options.cols = 6;
+  static roadnet::RoadNetwork net = roadnet::GenerateCityGrid(options, &rng);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 5;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = n;
+  return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+}
+
+std::unique_ptr<RecoveryModel> MakeStub(Rng* rng) {
+  return std::make_unique<StubModel>(rng);
+}
+
+TEST(TransportEndToEnd, MinorityDeadLinksDegradeToQuorum) {
+  auto clients = MakeClients(4, 31);
+  FederatedTrainerOptions options;
+  options.rounds = 3;
+  options.local_epochs = 1;
+  options.tolerance.quorum_fraction = 0.5;
+  // Client 0's link is 100% loss in both directions; everyone else is
+  // clean. The round must complete on the surviving 3/4 cohort.
+  ChannelFaultConfig dead;
+  dead.drop_rate = 1.0;
+  options.transport.link_overrides.emplace_back(0, dead);
+  FederatedTrainer trainer(MakeStub, &clients, options);
+  const FederatedRunResult result = trainer.Run();
+
+  EXPECT_EQ(result.faults.net_lost, 3);  // client 0, every round
+  EXPECT_GT(result.faults.net_timeouts, 0);
+  EXPECT_EQ(result.faults.quorum_misses, 0);
+  for (const RoundRecord& record : result.history) {
+    EXPECT_TRUE(record.quorum_met);
+    EXPECT_EQ(record.sampled, 4);
+    EXPECT_EQ(record.reporting, 3);
+    EXPECT_EQ(record.net_lost, 1);
+  }
+  // A dead link is a network fact, not client misbehavior: no drops
+  // (dropout faults), no rejected uploads charged anywhere.
+  EXPECT_EQ(result.faults.drops, 0);
+  EXPECT_EQ(result.faults.rejected_uploads, 0);
+}
+
+TEST(TransportEndToEnd, WireCorruptionNeverReachesAggregationOrScreening) {
+  auto clients = MakeClients(3, 33);
+  FederatedTrainerOptions options;
+  options.rounds = 3;
+  options.local_epochs = 1;
+  options.transport.channel.corrupt_rate = 0.4;
+  options.transport.retry.max_retries = 64;  // damage recovers via retry
+  FederatedTrainer trainer(MakeStub, &clients, options);
+  const FederatedRunResult result = trainer.Run();
+
+  // The hostile wire shows up in network telemetry...
+  EXPECT_GT(result.faults.net_crc_drops, 0);
+  EXPECT_GT(result.faults.net_retries, 0);
+  // ...but every payload that reached aggregation survived its CRC, so
+  // screening saw only intact uploads and every client reported.
+  EXPECT_EQ(result.faults.rejected_uploads, 0);
+  EXPECT_EQ(result.faults.net_lost, 0);
+  for (const RoundRecord& record : result.history) {
+    EXPECT_EQ(record.reporting, record.sampled);
+    EXPECT_TRUE(record.quorum_met);
+  }
+}
+
+TEST(TransportEndToEnd, ChannelSeedChangesWeatherNotTraining) {
+  // Changing the channel seed re-rolls the network's faults but must
+  // not perturb model init / sampling / training draws: on a clean
+  // channel the trained model is bitwise identical across seeds.
+  auto run = [](uint64_t channel_seed) {
+    auto clients = MakeClients(3, 35);
+    FederatedTrainerOptions options;
+    options.rounds = 2;
+    options.local_epochs = 1;
+    options.transport.channel_seed = channel_seed;
+    FederatedTrainer trainer(MakeStub, &clients, options);
+    trainer.Run();
+    return trainer.global_model()->params().Serialize();
+  };
+  EXPECT_EQ(run(1), run(2));
+}
+
+TEST(TransportEndToEnd, LossyRunIsReproducibleFromTheChannelSeed) {
+  auto run = [] {
+    auto clients = MakeClients(4, 37);
+    FederatedTrainerOptions options;
+    options.rounds = 3;
+    options.local_epochs = 1;
+    options.transport.channel.drop_rate = 0.15;
+    options.transport.channel.corrupt_rate = 0.2;
+    options.transport.channel.duplicate_rate = 0.1;
+    options.transport.retry.max_retries = 32;
+    FederatedTrainer trainer(MakeStub, &clients, options);
+    const FederatedRunResult result = trainer.Run();
+    return std::make_pair(trainer.global_model()->params().Serialize(),
+                          result.faults.net_crc_drops +
+                              result.faults.net_retries * 1000);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace lighttr::fl::transport

@@ -470,6 +470,45 @@ void CheckNoRawNonfinite(const ScannedFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: no-raw-wire
+//
+// reinterpret_cast / memcpy struct (de)serialization scattered through
+// the tree is how silent layout drift and unchecked-bounds decode bugs
+// happen. common/binary_io is the one sanctioned place bytes are
+// reinterpreted (bounds-checked, length-capped); fl/transport builds
+// the framed wire protocol on top of it. Everywhere else in src/,
+// serialization must flow through BinaryWriter/BinaryReader, and CRC
+// trailers through common/crc32's Append/CheckCrc32Trailer.
+// ---------------------------------------------------------------------------
+
+void CheckNoRawWire(const ScannedFile& file,
+                    std::vector<Diagnostic>* diagnostics) {
+  const std::string path = NormalizedPath(file.source->path);
+  if (!PathContainsDir(path, "src")) return;  // tests may craft hostile bytes
+  if (PathEndsWith(path, "common/binary_io.h") ||
+      PathContainsDir(path, "fl/transport")) {
+    return;
+  }
+  static const std::regex kCast(R"(\breinterpret_cast\s*<)");
+  static const std::regex kMemcpy(R"((^|[^\w.>:])(std\s*::\s*)?memcpy\s*\()");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (std::regex_search(line, kCast)) {
+      Report(diagnostics, file, i, "no-raw-wire",
+             "reinterpret_cast in library code; (de)serialize through "
+             "common/binary_io (BinaryWriter/BinaryReader) instead of "
+             "reinterpreting struct bytes");
+    }
+    if (std::regex_search(line, kMemcpy)) {
+      Report(diagnostics, file, i, "no-raw-wire",
+             "memcpy-based serialization outside common/binary_io and "
+             "fl/transport; use BinaryWriter/BinaryReader (or std::copy "
+             "for typed buffers)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: no-include-cycle
 // ---------------------------------------------------------------------------
 
@@ -561,7 +600,7 @@ const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
       "no-raw-rand",      "no-ignored-status",     "no-iostream-in-lib",
       "no-include-cycle", "no-direct-persistence", "banned-fn",
-      "no-raw-thread",    "no-raw-nonfinite"};
+      "no-raw-thread",    "no-raw-nonfinite",      "no-raw-wire"};
   return kNames;
 }
 
@@ -579,6 +618,7 @@ std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
     CheckBannedFn(file, &diagnostics);
     CheckNoDirectPersistence(file, &diagnostics);
     CheckNoRawNonfinite(file, &diagnostics);
+    CheckNoRawWire(file, &diagnostics);
     CheckNoIgnoredStatus(file, status_fns, &diagnostics);
   }
   CheckIncludeCycles(scanned, &diagnostics);

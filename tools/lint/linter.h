@@ -18,6 +18,11 @@
 //                      append), or a crash can tear files
 //   banned-fn          calls to atof/strcpy/sprintf/system/... class
 //                      functions with safer repo-idiomatic replacements
+//   no-raw-wire        no reinterpret_cast/memcpy struct serialization
+//                      in src/ outside common/binary_io and fl/transport
+//                      — bytes are (de)coded through BinaryWriter/
+//                      BinaryReader so layout lives in one place and
+//                      every decode is bounds-checked
 //
 // Diagnostics carry file:line and the rule name. A violation is
 // suppressed by a comment on the same line:

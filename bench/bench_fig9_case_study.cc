@@ -13,6 +13,7 @@
 #include "common/file_util.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
+#include "lighttr/pipeline.h"
 
 namespace {
 

@@ -1,6 +1,5 @@
 #include "baselines/mt_head.h"
 
-#include "common/check.h"
 #include "nn/losses.h"
 #include "nn/ops.h"
 

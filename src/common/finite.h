@@ -19,7 +19,7 @@ namespace lighttr {
 /// True when `x` is neither NaN nor an infinity.
 inline bool IsFinite(double x) { return std::isfinite(x); }
 
-/// True when `x` is NaN.  // lighttr-lint: allow(no-raw-nonfinite)
+/// True when `x` is NaN.
 inline bool IsNan(double x) { return std::isnan(x); }
 
 /// True when `x` is +Inf or -Inf.

@@ -4,6 +4,8 @@
 #include "common/stopwatch.h"
 #include "baselines/centralized_trainer.h"
 #include "fl/local_trainer.h"
+#include "lighttr/pipeline.h"
+#include "roadnet/generators.h"
 #include "nn/flops.h"
 #include "nn/optimizer.h"
 

@@ -12,8 +12,9 @@
 #include "eval/metrics.h"
 #include "eval/scale.h"
 #include "fl/federated_trainer.h"
-#include "lighttr/pipeline.h"
-#include "roadnet/generators.h"
+#include "lighttr/meta_local_update.h"
+#include "lighttr/teacher_training.h"
+#include "roadnet/road_network.h"
 #include "roadnet/segment_index.h"
 #include "traj/encoding.h"
 #include "traj/workload.h"

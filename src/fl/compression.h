@@ -9,7 +9,6 @@
 #include <string>
 #include <vector>
 
-#include "common/status.h"
 #include "nn/matrix.h"
 
 namespace lighttr::fl {

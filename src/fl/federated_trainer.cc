@@ -9,6 +9,8 @@
 #include "common/check.h"
 #include "common/file_util.h"
 #include "common/stopwatch.h"
+#include "fl/compression.h"
+#include "fl/local_trainer.h"
 #include "fl/transport/link.h"
 #include "nn/checkpoint.h"
 
@@ -402,7 +404,8 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     }
 
     std::vector<ClientSlot> slots(tasks.size());
-    pool_.ParallelFor(tasks.size(), [&](size_t t) {
+    // Each worker owns exactly one pre-sized slot: tasks[t]/slots[t].
+    pool_.ParallelFor(tasks.size(), [&](size_t t) {  // lint: shared-state(slots)
       ClientTask& task = tasks[t];
       ClientSlot& slot = slots[t];
       const size_t client_index = task.client_index;

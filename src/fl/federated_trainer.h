@@ -14,10 +14,8 @@
 #include "common/thread_pool.h"
 #include "fl/aggregation.h"
 #include "fl/comm_stats.h"
-#include "fl/compression.h"
 #include "fl/fault_injection.h"
 #include "fl/health.h"
-#include "fl/local_trainer.h"
 #include "fl/privacy.h"
 #include "fl/recovery_model.h"
 #include "fl/reputation.h"

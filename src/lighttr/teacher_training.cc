@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "fl/local_trainer.h"
 #include "nn/optimizer.h"
 

@@ -13,7 +13,6 @@
 #include <memory>
 #include <vector>
 
-#include "common/rng.h"
 #include "fl/recovery_model.h"
 #include "traj/workload.h"
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "nn/ops.h"
 
 namespace lighttr::nn {
 

@@ -7,7 +7,6 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "nn/ops.h"
 #include "nn/parameter.h"
 #include "nn/tensor.h"
 

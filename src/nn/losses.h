@@ -6,7 +6,6 @@
 
 #include <vector>
 
-#include "nn/ops.h"
 #include "nn/tensor.h"
 
 namespace lighttr::nn {

@@ -133,7 +133,8 @@ void BlockedGemm(const Scalar* a, const Scalar* b, Scalar* c, size_t m,
   }
   const size_t rows_per_chunk = (m + max_chunks - 1) / max_chunks;
   const size_t chunks = (m + rows_per_chunk - 1) / rows_per_chunk;
-  pool->ParallelFor(chunks, [&](size_t chunk) {
+  // Workers write disjoint row ranges of `c`; no two chunks overlap.
+  pool->ParallelFor(chunks, [&](size_t chunk) {  // lint: shared-state(c)
     const size_t begin = chunk * rows_per_chunk;
     const size_t end = std::min(begin + rows_per_chunk, m);
     BlockedGemmRows(a, b, c, k, n, begin, end);

@@ -1,7 +1,7 @@
 #include "nn/tensor.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <atomic>
 
 #include "common/check.h"
 
@@ -15,6 +15,11 @@ namespace {
 // cross-thread sequence values never influence the topological sort).
 thread_local uint64_t g_sequence = 0;
 thread_local int g_no_grad_depth = 0;
+// Visit epochs are process-global (unlike g_sequence): a model's graph
+// nodes outlive one round and may be walked from a different worker
+// thread next round, so per-thread epochs could collide with a stale
+// visit_tag and silently skip a node's backward_fn.
+std::atomic<uint64_t> g_visit_epoch{0};
 }  // namespace
 
 NoGradScope::NoGradScope() { ++g_no_grad_depth; }
@@ -67,18 +72,22 @@ void Tensor::Backward() {
   LIGHTTR_CHECK_EQ(node_->value.size(), 1u);
   if (!node_->requires_grad) return;  // graph has no trainable leaves
 
-  // Collect reachable nodes (iterative DFS to survive deep BPTT graphs).
+  // Collect reachable nodes (iterative DFS to survive deep BPTT
+  // graphs). Visited marks live on the nodes themselves, stamped with a
+  // fresh epoch per walk, so no pointer-keyed set is needed.
+  const uint64_t epoch =
+      g_visit_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   std::vector<TensorNode*> reachable;
-  std::unordered_set<TensorNode*> visited;
   std::vector<TensorNode*> stack{node_.get()};
-  visited.insert(node_.get());
+  node_->visit_tag = epoch;
   while (!stack.empty()) {
     TensorNode* current = stack.back();
     stack.pop_back();
     reachable.push_back(current);
     for (const Tensor& parent : current->parents) {
       TensorNode* p = parent.node();
-      if (p->requires_grad && visited.insert(p).second) {
+      if (p->requires_grad && p->visit_tag != epoch) {
+        p->visit_tag = epoch;
         stack.push_back(p);
       }
     }

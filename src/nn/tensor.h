@@ -31,6 +31,11 @@ struct TensorNode {
   std::function<void(TensorNode&)> backward_fn;
   bool requires_grad = false;
   uint64_t sequence = 0;  // creation order; a valid topological order
+  /// Backward()'s visited mark: equals the walk's epoch when this node
+  /// has been reached. Avoids a pointer-keyed set (whose iteration
+  /// order would depend on allocator addresses). Process-global epochs
+  /// keep tags valid when a client model migrates between pool workers.
+  uint64_t visit_tag = 0;
 
   /// Allocates (zero-filled) grad storage on first use.
   Matrix& EnsureGrad() {

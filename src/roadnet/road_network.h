@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "common/check.h"
-#include "common/status.h"
 #include "geo/geo_point.h"
 
 namespace lighttr::roadnet {

@@ -2,7 +2,6 @@
 
 #include <unordered_set>
 
-#include "common/check.h"
 #include "roadnet/shortest_path.h"
 
 namespace lighttr::traj {

@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "common/check.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "geo/geo_point.h"

@@ -384,15 +384,501 @@ TEST(LintTest, NoRawWireIgnoresMembersAndIdentifiers) {
 
 TEST(LintTest, AllRuleNamesListsEveryRule) {
   const std::vector<std::string>& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 9u);
-  EXPECT_NE(std::find(names.begin(), names.end(), "no-direct-persistence"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-thread"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-nonfinite"),
-            names.end());
-  EXPECT_NE(std::find(names.begin(), names.end(), "no-raw-wire"),
-            names.end());
+  EXPECT_EQ(names.size(), 15u);
+  for (const char* expected :
+       {"no-raw-rand", "no-raw-thread", "no-iostream-in-lib", "banned-fn",
+        "no-direct-persistence", "no-raw-nonfinite", "no-raw-wire",
+        "no-ignored-status", "no-include-cycle", "no-unordered-iteration",
+        "no-wall-clock", "no-pointer-keys", "parallel-capture-audit",
+        "unused-include", "unused-suppression"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer false-positive class: banned patterns inside literals and
+// comments must never fire. The regex engine this replaced kept string
+// contents on preprocessor lines, so `#define kMsg "call rand()"` was a
+// live false positive.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, BannedPatternsInStringLiteralsDoNotFire) {
+  SourceFile file;
+  file.path = "src/fl/msgs.cc";
+  file.content =
+      "const char* kA = \"rand() system(\\\"rm\\\") atof(x)\";\n"
+      "const char* kB = \"std::thread t; std::ofstream out;\";\n"
+      "const char* kC = \"std::isnan(x) memcpy(d, s, 4)\";\n"
+      "const char* kD = \"for (auto& kv : m.begin())\";\n";
+  EXPECT_TRUE(Lint({file}).empty());
+}
+
+TEST(LintTest, BannedPatternsInCommentsDoNotFire) {
+  SourceFile file;
+  file.path = "src/fl/notes.cc";
+  file.content =
+      "// rand() and std::mt19937 are banned; use common/rng.h\n"
+      "/* std::thread t; std::async; std::ofstream out(\"x\"); */\n"
+      "int x = 0;  // reinterpret_cast<const T*>(p), memcpy, isnan\n"
+      "/* multi\n"
+      "   line: system(\"ls\") atoi(s) std::chrono::system_clock */\n";
+  EXPECT_TRUE(Lint({file}).empty());
+}
+
+TEST(LintTest, BannedPatternsInRawStringsDoNotFire) {
+  SourceFile file;
+  file.path = "src/fl/templates.cc";
+  file.content =
+      "const char* kT = R\"(int x = rand(); std::ofstream out(\"x\");)\";\n"
+      "const char* kU = R\"delim(std::thread t; system(\"x\"))delim\";\n"
+      "const char* kV = uR\"(std::isnan(v) && gettimeofday(&tv, 0))\";\n";
+  EXPECT_TRUE(Lint({file}).empty());
+}
+
+TEST(LintTest, StringOnPreprocessorLineDoesNotFire) {
+  // The old per-line regex scanner only blanked literals on non-`#`
+  // lines, so this macro definition used to trip no-raw-rand.
+  SourceFile file;
+  file.path = "src/fl/defs.h";
+  file.content =
+      "#define LIGHTTR_MSG \"call rand() for chaos\"\n"
+      "#define LIGHTTR_LONG \"std::thread t;\" \\\n"
+      "                     \" system(x)\"\n";
+  EXPECT_TRUE(Lint({file}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unordered-iteration.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, NoUnorderedIterationFiresOnRangeForAndIterators) {
+  SourceFile file;
+  file.path = "src/fl/agg.cc";
+  file.content =
+      "std::unordered_map<int, double> m;\n"                     // 1: decl
+      "void A() { for (const auto& kv : m) { Use(kv); } }\n"     // 2
+      "void B() { auto it = m.begin(); Use(it); }\n"             // 3
+      "void C() { auto it = std::begin(m); Use(it); }\n";        // 4
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "no-unordered-iteration");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("hash iteration order"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 3);
+  EXPECT_EQ(hits[2].line, 4);
+}
+
+TEST(LintTest, NoUnorderedIterationTracksAliasesAndRefParams) {
+  SourceFile file;
+  file.path = "src/nn/index.cc";
+  file.content =
+      "using Index = std::unordered_set<int>;\n"
+      "Index idx;\n"
+      "void A() { for (int v : idx) { Use(v); } }\n"             // 3
+      "void B(const std::unordered_set<int>& s) {\n"
+      "  for (int v : s) { Use(v); }\n"                          // 5
+      "}\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "no-unordered-iteration");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_EQ(hits[1].line, 5);
+}
+
+TEST(LintTest, NoUnorderedIterationAllowsLookupsAndOrderedWalks) {
+  SourceFile file;
+  file.path = "src/common/registry.cc";
+  file.content =
+      "std::unordered_map<int, double> m;\n"
+      "std::map<int, double> ordered;\n"
+      "void A() { auto it = m.find(1); Use(it); }\n"
+      "void B() { if (m.count(2)) { m.at(2) = 1.0; } }\n"
+      "void C() { for (const auto& kv : ordered) { Use(kv); } }\n"
+      "void D() { for (size_t i = 0; i < m.size(); ++i) { Use(i); } }\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-unordered-iteration").empty());
+}
+
+TEST(LintTest, NoUnorderedIterationScopedAndSuppressible) {
+  const std::string body =
+      "std::unordered_map<int, double> m;\n"
+      "void A() { for (const auto& kv : m) { Use(kv); } }\n";
+  SourceFile outside;  // src/traj is outside the determinism scope
+  outside.path = "src/traj/stats.cc";
+  outside.content = body;
+  SourceFile allowed;
+  allowed.path = "src/fl/agg.cc";
+  allowed.content =
+      "std::unordered_map<int, double> m;\n"
+      "void A() {\n"
+      "  for (const auto& kv : m) { Use(kv); }"
+      "  // lighttr-lint: allow(no-unordered-iteration)\n"
+      "}\n";
+  EXPECT_TRUE(
+      OfRule(Lint({outside, allowed}), "no-unordered-iteration").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-wall-clock.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, NoWallClockFiresOnChronoAndLibcTime) {
+  SourceFile file;
+  file.path = "src/fl/timing.cc";
+  file.content =
+      "void A() { auto t = std::chrono::system_clock::now(); Use(t); }\n"
+      "void B() { auto t = std::chrono::steady_clock::now(); Use(t); }\n"
+      "void C() { auto t = time(nullptr); Use(t); }\n"
+      "void D() { timeval tv; gettimeofday(&tv, nullptr); }\n";
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "no-wall-clock");
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("system_clock"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_EQ(hits[2].line, 3);
+  EXPECT_EQ(hits[3].line, 4);
+}
+
+TEST(LintTest, NoWallClockExemptsStopwatchAndBench) {
+  const std::string body =
+      "void A() { auto t = std::chrono::steady_clock::now(); Use(t); }\n";
+  SourceFile stopwatch;  // the sanctioned wall-clock boundary
+  stopwatch.path = "src/common/stopwatch.h";
+  stopwatch.content = body;
+  SourceFile bench;  // bench/ is outside the determinism scope
+  bench.path = "bench/bench_rounds.cc";
+  bench.content = body;
+  SourceFile eval;  // so is src/eval
+  eval.path = "src/eval/harness.cc";
+  eval.content = body;
+  EXPECT_TRUE(OfRule(Lint({stopwatch, bench, eval}), "no-wall-clock").empty());
+}
+
+TEST(LintTest, NoWallClockIgnoresMembersAndPlainIdentifiers) {
+  SourceFile file;
+  file.path = "src/fl/other.cc";
+  file.content =
+      "void A(Obj* o) { o->time(1); }\n"         // member access: allowed
+      "int time_budget_ms = 0;\n"                // different identifier
+      "void B(Obj* o) { o->clock().Tick(); }\n"
+      "void C() { auto t = time(nullptr); Use(t); }"
+      "  // lighttr-lint: allow(no-wall-clock)\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-wall-clock").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-pointer-keys.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, NoPointerKeysFiresOnKeyedContainersAndHash) {
+  SourceFile file;
+  file.path = "src/nn/graph.cc";
+  file.content =
+      "std::unordered_map<TensorNode*, int> visited;\n"          // 1
+      "std::set<Node*> order;\n"                                 // 2
+      "struct H { std::hash<Foo*> hasher; };\n";                 // 3
+  const std::vector<Diagnostic> hits = OfRule(Lint({file}), "no-pointer-keys");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("keyed on pointer values"),
+            std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_EQ(hits[2].line, 3);
+  EXPECT_NE(hits[2].message.find("std::hash over a pointer type"),
+            std::string::npos);
+}
+
+TEST(LintTest, NoPointerKeysAllowsPointerValuesAndStableKeys) {
+  SourceFile file;
+  file.path = "src/common/tables.cc";
+  file.content =
+      "std::unordered_map<int, Node*> by_id;\n"     // pointer value: fine
+      "std::map<std::string, Node*> by_name;\n"
+      "std::vector<int*> slots;\n"                  // not a keyed container
+      "std::unordered_set<uint64_t> seen;\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "no-pointer-keys").empty());
+}
+
+TEST(LintTest, NoPointerKeysScopedAndSuppressible) {
+  SourceFile outside;
+  outside.path = "src/roadnet/index.cc";  // outside the determinism scope
+  outside.content = "std::set<Segment*> segments;\n";
+  SourceFile allowed;
+  allowed.path = "src/fl/cache.cc";
+  allowed.content =
+      "std::set<Entry*> lru;"
+      "  // lighttr-lint: allow(no-pointer-keys)\n";
+  EXPECT_TRUE(OfRule(Lint({outside, allowed}), "no-pointer-keys").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parallel-capture-audit.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, ParallelCaptureAuditFiresOnUnannotatedByRef) {
+  SourceFile file;
+  file.path = "src/fl/rounds.cc";
+  file.content =
+      "void A(ThreadPool* pool, double& acc) {\n"
+      "  pool->ParallelFor(4, [&](size_t i) { acc += i; });\n"     // 2
+      "}\n"
+      "void B(ThreadPool* pool, int& x) {\n"
+      "  pool->Submit([&x] { x = 1; });\n"                         // 5
+      "}\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "parallel-capture-audit");
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("shared-state"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 5);
+}
+
+TEST(LintTest, ParallelCaptureAuditAcceptsVerifiedAnnotation) {
+  SourceFile file;
+  file.path = "src/fl/rounds.cc";
+  file.content =
+      "void A(ThreadPool* pool, std::vector<int>& slots) {\n"
+      "  pool->ParallelFor(4, [&](size_t i) {"
+      "  // lint: shared-state(slots)\n"
+      "    slots[i] = 1;\n"
+      "  });\n"
+      "}\n"
+      "void B(ThreadPool* pool, Mutex& mu) {\n"
+      "  // Annotation on the call line also counts.\n"
+      "  pool->ParallelFor(2,  // lint: shared-state(mu)\n"
+      "      [&](size_t) { mu.Lock(); mu.Unlock(); });\n"
+      "}\n";
+  EXPECT_TRUE(OfRule(Lint({file}), "parallel-capture-audit").empty());
+}
+
+TEST(LintTest, ParallelCaptureAuditRejectsPhantomGuard) {
+  SourceFile file;
+  file.path = "src/nn/par.cc";
+  file.content =
+      "void A(ThreadPool* pool, double& acc) {\n"
+      "  pool->ParallelFor(4, [&](size_t i) {"
+      "  // lint: shared-state(mu)\n"
+      "    acc += i;\n"
+      "  });\n"
+      "}\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "parallel-capture-audit");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("never appears"), std::string::npos);
+}
+
+TEST(LintTest, ParallelCaptureAuditIgnoresByValueAndOtherScopes) {
+  SourceFile by_value;
+  by_value.path = "src/fl/rounds.cc";
+  by_value.content =
+      "void A(ThreadPool* pool, int x) {\n"
+      "  pool->ParallelFor(4, [=](size_t i) { Use(x + i); });\n"
+      "  pool->ParallelFor(4, [x](size_t i) { Use(x + i); });\n"
+      "  pool->ParallelFor(4, [](size_t i) { Use(i); });\n"
+      "}\n";
+  SourceFile outside;  // src/eval is outside the determinism scope
+  outside.path = "src/eval/harness.cc";
+  outside.content =
+      "void B(ThreadPool* pool, double& acc) {\n"
+      "  pool->ParallelFor(4, [&](size_t i) { acc += i; });\n"
+      "}\n";
+  EXPECT_TRUE(
+      OfRule(Lint({by_value, outside}), "parallel-capture-audit").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-ignored-status (token-port specifics).
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, NoIgnoredStatusSeesMemberChainsAndReturns) {
+  SourceFile header;
+  header.path = "src/io/api.h";
+  header.content = "Status Push(int x);\n";
+  SourceFile source;
+  source.path = "src/io/caller.cc";
+  source.content =
+      "Status F() { return Push(1); }\n"           // consumed by return
+      "void G(Obj& obj) { obj.Push(2); }\n"        // 2: chain, discarded
+      "void H() { Status s; s = Push(3); }\n";     // consumed by assignment
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({header, source}), "no-ignored-status");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+}
+
+TEST(LintTest, NoIgnoredStatusIgnoresMentionsInStrings) {
+  SourceFile header;
+  header.path = "src/io/api.h";
+  header.content = "Status Push(int x);\n";
+  SourceFile source;
+  source.path = "src/io/caller.cc";
+  source.content = "const char* kHelp = \"Push(1); discards a Status\";\n";
+  EXPECT_TRUE(OfRule(Lint({header, source}), "no-ignored-status").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unused-include (IWYU-lite).
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, UnusedIncludeFiresWhenNothingIsReferenced) {
+  SourceFile util;
+  util.path = "src/x/util.h";
+  util.content = "struct HelperThing { int v = 0; };\n";
+  SourceFile user;
+  user.path = "src/x/a.cc";
+  user.content =
+      "#include \"x/util.h\"\n"
+      "\n"
+      "void F() { int y = 2; Use(y); }\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({util, user}), "unused-include");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/x/a.cc");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("util.h"), std::string::npos);
+}
+
+TEST(LintTest, UnusedIncludeQuietWhenNameIsUsed) {
+  SourceFile util;
+  util.path = "src/x/util.h";
+  util.content = "struct HelperThing { int v = 0; };\n";
+  SourceFile user;
+  user.path = "src/x/b.cc";
+  user.content =
+      "#include \"x/util.h\"\n"
+      "\n"
+      "HelperThing MakeThing() { return {}; }\n";
+  EXPECT_TRUE(OfRule(Lint({util, user}), "unused-include").empty());
+}
+
+TEST(LintTest, UnusedIncludeSkipsOwnHeaderAndOpaqueHeaders) {
+  SourceFile own_header;  // the c.cc/c.h pair is never flagged
+  own_header.path = "src/x/c.h";
+  own_header.content = "struct NotUsedByCc { int v = 0; };\n";
+  SourceFile own_source;
+  own_source.path = "src/x/c.cc";
+  own_source.content = "#include \"x/c.h\"\n\nvoid F() {}\n";
+  SourceFile opaque;  // nothing declared: heuristic stays silent
+  opaque.path = "src/x/flags.h";
+  opaque.content = "// build flags only\n";
+  SourceFile opaque_user;
+  opaque_user.path = "src/x/d.cc";
+  opaque_user.content = "#include \"x/flags.h\"\n\nvoid G() {}\n";
+  EXPECT_TRUE(
+      OfRule(Lint({own_header, own_source, opaque, opaque_user}),
+             "unused-include")
+          .empty());
+}
+
+TEST(LintTest, UnusedIncludeScopedToSrcAndSuppressible) {
+  SourceFile util;
+  util.path = "src/x/util.h";
+  util.content = "struct HelperThing { int v = 0; };\n";
+  SourceFile test_file;  // tests/ may include speculatively
+  test_file.path = "tests/x_test.cc";
+  test_file.content = "#include \"x/util.h\"\n\nvoid F() {}\n";
+  SourceFile allowed;
+  allowed.path = "src/x/e.cc";
+  allowed.content =
+      "#include \"x/util.h\""
+      "  // lighttr-lint: allow(unused-include)\n"
+      "\n"
+      "void G() {}\n";
+  EXPECT_TRUE(
+      OfRule(Lint({util, test_file, allowed}), "unused-include").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unused-suppression.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, UnusedSuppressionFiresOnStaleAllow) {
+  SourceFile file;
+  file.path = "src/fl/clean.cc";
+  file.content = "int x = 0;  // lighttr-lint: allow(no-raw-rand)\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "unused-suppression");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("suppressed no diagnostic"),
+            std::string::npos);
+}
+
+TEST(LintTest, UnusedSuppressionFlagsUnknownRuleNames) {
+  SourceFile file;
+  file.path = "src/fl/clean.cc";
+  file.content = "int x = 0;  // lighttr-lint: allow(not-a-real-rule)\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "unused-suppression");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("does not have"), std::string::npos);
+}
+
+TEST(LintTest, ConsumedSuppressionIsNotStale) {
+  SourceFile file;
+  file.path = "src/fl/sampler.cc";
+  file.content =
+      "void A() { int x = rand(); Use(x); }"
+      "  // lighttr-lint: allow(no-raw-rand)\n";
+  EXPECT_TRUE(Lint({file}).empty());
+}
+
+TEST(LintTest, PlaceholderSuppressionSyntaxIsIgnored) {
+  // Documentation may spell out the grammar with bracketed
+  // placeholders; those are not suppression entries.
+  SourceFile file;
+  file.path = "src/fl/clean.cc";
+  file.content = "int x = 0;  // see: lighttr-lint: allow(<rule>)\n";
+  EXPECT_TRUE(Lint({file}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// JSON output and baselines.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, FormatDiagnosticJsonEscapes) {
+  Diagnostic d;
+  d.file = "src/a.cc";
+  d.line = 7;
+  d.rule = "no-raw-rand";
+  d.message = "say \"hi\" and \\ survive";
+  EXPECT_EQ(FormatDiagnosticJson(d),
+            "{\"file\":\"src/a.cc\",\"line\":7,\"rule\":\"no-raw-rand\","
+            "\"message\":\"say \\\"hi\\\" and \\\\ survive\"}");
+}
+
+TEST(LintTest, ParseBaselineSkipsCommentsAndBlanks) {
+  const Baseline baseline = ParseBaseline(
+      "# header comment\n"
+      "\n"
+      "no-raw-rand src/fl/sampler.cc\n"
+      "  no-wall-clock src/nn/timing.cc  \n");
+  ASSERT_EQ(baseline.entries.size(), 2u);
+  EXPECT_EQ(baseline.entries[0].rule, "no-raw-rand");
+  EXPECT_EQ(baseline.entries[0].path_suffix, "src/fl/sampler.cc");
+  EXPECT_EQ(baseline.entries[1].rule, "no-wall-clock");
+}
+
+TEST(LintTest, ApplyBaselineFiltersByRuleAndPathSuffix) {
+  const Baseline baseline =
+      ParseBaseline("no-raw-rand src/fl/sampler.cc\n");
+  Diagnostic matched;
+  matched.file = "/abs/checkout/src/fl/sampler.cc";
+  matched.line = 3;
+  matched.rule = "no-raw-rand";
+  Diagnostic wrong_rule = matched;
+  wrong_rule.rule = "no-raw-thread";
+  Diagnostic wrong_file = matched;
+  wrong_file.file = "src/fl/other.cc";
+  EXPECT_TRUE(baseline.Matches(matched));
+  EXPECT_FALSE(baseline.Matches(wrong_rule));
+  EXPECT_FALSE(baseline.Matches(wrong_file));
+  const std::vector<Diagnostic> kept =
+      ApplyBaseline({matched, wrong_rule, wrong_file}, baseline);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].rule, "no-raw-thread");
+  EXPECT_EQ(kept[1].file, "src/fl/other.cc");
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+// Internal machinery shared by the lint rule passes. Not part of the
+// public linter.h API: rule files and the driver include this, tests
+// and the CLI stick to linter.h.
+//
+// The engine hands every pass the same Context: the full tokenized
+// input set (cross-file passes walk all of it; per-file passes loop),
+// the suppression tracker (so each `allow()` consumption is recorded
+// for the unused-suppression audit), and the output diagnostic sink.
+#ifndef LIGHTTR_TOOLS_LINT_ENGINE_H_
+#define LIGHTTR_TOOLS_LINT_ENGINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+#include "lint/token.h"
+
+namespace lighttr::lint {
+
+// ---------------------------------------------------------------------------
+// Suppressions: `lighttr-lint: allow(<rule-a>, <rule-b>)` in a comment
+// suppresses those rules on that line. Every entry is tracked; entries
+// that consume zero diagnostics become unused-suppression errors.
+// Entries whose name is not a plain [a-z0-9-] word (documentation
+// placeholders like `allow(<rule>)`) are ignored entirely.
+// ---------------------------------------------------------------------------
+
+class Suppressions {
+ public:
+  explicit Suppressions(const std::vector<TokenizedFile>& files);
+
+  /// True when `rule` is allowed on `line` (1-based) of file
+  /// `file_index`; marks the matching entry as used.
+  bool Consume(size_t file_index, int line, const std::string& rule);
+
+  /// Appends an unused-suppression diagnostic for every entry that
+  /// never suppressed anything (including entries naming unknown
+  /// rules, which can never fire).
+  void ReportUnused(const std::vector<TokenizedFile>& files,
+                    std::vector<Diagnostic>* diagnostics) const;
+
+ private:
+  struct Entry {
+    size_t file = 0;
+    int line = 0;  // 1-based
+    std::string rule;
+    bool used = false;
+  };
+  std::vector<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass context.
+// ---------------------------------------------------------------------------
+
+struct Context {
+  const std::vector<TokenizedFile>& files;
+  Suppressions* suppressions;
+  std::vector<Diagnostic>* diagnostics;
+
+  /// Emits a diagnostic unless an allow() on that line consumes it.
+  void Report(size_t file_index, int line, const std::string& rule,
+              std::string message);
+};
+
+// Pass entry points (one translation unit each).
+void RunFileRules(Context* ctx);         // rules_file.cc
+void RunDeterminismRules(Context* ctx);  // rules_determinism.cc
+void RunCrossTuRules(Context* ctx);      // rules_crosstu.cc
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+inline bool IsIdent(const std::vector<Token>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokenKind::kIdent && t[i].text == text;
+}
+
+inline bool IsPunct(const std::vector<Token>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].kind == TokenKind::kPunct && t[i].text == text;
+}
+
+/// Identifier immediately invoked: `name(`.
+inline bool IsCall(const std::vector<Token>& t, size_t i) {
+  return i < t.size() && t[i].kind == TokenKind::kIdent &&
+         IsPunct(t, i + 1, "(");
+}
+
+/// True when t[i] is reached through member access (`x.f`, `p->f`).
+inline bool IsMemberAccess(const std::vector<Token>& t, size_t i) {
+  return i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"));
+}
+
+/// True when t[i] is preceded by a `::` qualifier.
+inline bool IsScopeQualified(const std::vector<Token>& t, size_t i) {
+  return i > 0 && IsPunct(t, i - 1, "::");
+}
+
+/// True when t[i] is preceded by exactly `std::`.
+inline bool IsStdQualified(const std::vector<Token>& t, size_t i) {
+  return i >= 2 && IsPunct(t, i - 1, "::") && IsIdent(t, i - 2, "std");
+}
+
+/// A free-function call site for `t[i]`: either unqualified or
+/// std::-qualified, never a member access or a foreign qualification.
+inline bool IsFreeOrStdCall(const std::vector<Token>& t, size_t i) {
+  if (!IsCall(t, i)) return false;
+  if (IsMemberAccess(t, i)) return false;
+  if (IsScopeQualified(t, i)) return IsStdQualified(t, i);
+  return true;
+}
+
+/// Index of the delimiter closing t[open] (one of `()`, `[]`, `{}`,
+/// `<>` by text), or kNpos when unbalanced. For `<>` the scan bails at
+/// `;`, `{` or `}` so a stray comparison never eats the file.
+size_t MatchingDelim(const std::vector<Token>& t, size_t open,
+                     const char* open_text, const char* close_text);
+
+// ---------------------------------------------------------------------------
+// Path helpers (paths are lexically normal generic strings).
+// ---------------------------------------------------------------------------
+
+std::string NormalizedPath(const std::string& path);
+bool PathEndsWith(const std::string& normalized, const std::string& suffix);
+bool PathContainsDir(const std::string& normalized, const std::string& dir);
+
+/// The directories under the determinism contract: src/fl, src/nn,
+/// src/common (see DESIGN.md §12).
+bool InDeterminismScope(const std::string& normalized);
+
+}  // namespace lighttr::lint
+
+#endif  // LIGHTTR_TOOLS_LINT_ENGINE_H_

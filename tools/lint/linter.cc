@@ -2,161 +2,25 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <regex>
-#include <set>
 #include <sstream>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "lint/engine.h"
+#include "lint/token.h"
+
 namespace lighttr::lint {
-namespace {
 
 // ---------------------------------------------------------------------------
-// Source scanning: split a file into per-line code text (comments and
-// string/char literals blanked out) and per-line comment text (for
-// suppression directives). Blanking preserves column positions.
+// Shared helpers (declared in engine.h).
 // ---------------------------------------------------------------------------
-
-struct ScannedFile {
-  const SourceFile* source = nullptr;
-  std::vector<std::string> code;      // literal-free code, one entry per line
-  std::vector<std::string> comments;  // comment text, one entry per line
-};
-
-ScannedFile ScanFile(const SourceFile& file) {
-  ScannedFile out;
-  out.source = &file;
-  const std::string& s = file.content;
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_delim;  // delimiter of the active raw string literal
-  bool preproc_string = false;  // inside a string on a preprocessor line
-  std::string code_line;
-  std::string comment_line;
-
-  auto flush_line = [&] {
-    out.code.push_back(code_line);
-    out.comments.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (size_t i = 0; i < s.size(); ++i) {
-    const char c = s[i];
-    const char next = i + 1 < s.size() ? s[i + 1] : '\0';
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      flush_line();
-      continue;
-    }
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   s[i - 1])) &&
-                               s[i - 1] != '_'))) {
-          // Raw string literal: R"delim( ... )delim"
-          state = State::kRaw;
-          raw_delim.clear();
-          size_t j = i + 2;
-          while (j < s.size() && s[j] != '(') raw_delim += s[j++];
-          code_line += ' ';
-          i = j;  // now positioned at '('
-        } else if (c == '"') {
-          state = State::kString;
-          // Keep string contents on preprocessor lines: the include-graph
-          // rule needs to read `#include "path"` targets.
-          preproc_string =
-              code_line.find_first_not_of(" \t") != std::string::npos &&
-              code_line[code_line.find_first_not_of(" \t")] == '#';
-          code_line += preproc_string ? '"' : ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line += ' ';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-        } else {
-          comment_line += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-          if (preproc_string) code_line += '"';
-        } else if (preproc_string) {
-          code_line += c;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        }
-        break;
-      case State::kRaw: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (s.compare(i, close.size(), close) == 0) {
-          state = State::kCode;
-          i += close.size() - 1;
-        }
-        break;
-      }
-    }
-  }
-  flush_line();  // final (possibly empty) line
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: `lighttr-lint: allow(rule-a, rule-b)` inside a comment
-// suppresses those rules on that line.
-// ---------------------------------------------------------------------------
-
-bool LineAllows(const ScannedFile& file, size_t line_index,
-                const std::string& rule) {
-  if (line_index >= file.comments.size()) return false;
-  static const std::regex kAllow(R"(lighttr-lint:\s*allow\(([^)]*)\))");
-  std::smatch m;
-  const std::string& comment = file.comments[line_index];
-  if (!std::regex_search(comment, m, kAllow)) return false;
-  std::stringstream rules(m[1].str());
-  std::string item;
-  while (std::getline(rules, item, ',')) {
-    item.erase(std::remove_if(item.begin(), item.end(),
-                              [](unsigned char ch) { return std::isspace(ch); }),
-               item.end());
-    if (item == rule) return true;
-  }
-  return false;
-}
 
 std::string NormalizedPath(const std::string& path) {
-  std::string p = std::filesystem::path(path).lexically_normal().generic_string();
-  return p;
+  return std::filesystem::path(path).lexically_normal().generic_string();
 }
 
 bool PathEndsWith(const std::string& normalized, const std::string& suffix) {
@@ -175,419 +39,118 @@ bool PathContainsDir(const std::string& normalized, const std::string& dir) {
          normalized.find(mid) != std::string::npos;
 }
 
-void Report(std::vector<Diagnostic>* diagnostics, const ScannedFile& file,
-            size_t line_index, const std::string& rule, std::string message) {
-  if (LineAllows(file, line_index, rule)) return;
-  diagnostics->push_back(Diagnostic{file.source->path,
-                                    static_cast<int>(line_index) + 1, rule,
-                                    std::move(message)});
+bool InDeterminismScope(const std::string& normalized) {
+  return PathContainsDir(normalized, "src/fl") ||
+         PathContainsDir(normalized, "src/nn") ||
+         PathContainsDir(normalized, "src/common");
+}
+
+size_t MatchingDelim(const std::vector<Token>& t, size_t open,
+                     const char* open_text, const char* close_text) {
+  const bool angle = open_text[0] == '<';
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct) continue;
+    if (t[i].text == open_text) {
+      ++depth;
+    } else if (t[i].text == close_text) {
+      if (--depth == 0) return i;
+    } else if (angle && (t[i].text == ";" || t[i].text == "{" ||
+                         t[i].text == "}")) {
+      return kNpos;  // `<` was a comparison, not a template bracket
+    }
+  }
+  return kNpos;
 }
 
 // ---------------------------------------------------------------------------
-// Rule: no-raw-rand
+// Suppressions.
 // ---------------------------------------------------------------------------
 
-void CheckNoRawRand(const ScannedFile& file,
-                    std::vector<Diagnostic>* diagnostics) {
-  const std::string path = NormalizedPath(file.source->path);
-  if (PathEndsWith(path, "common/rng.h") || PathEndsWith(path, "common/rng.cc")) {
-    return;  // the one sanctioned home of raw engines
-  }
-  static const std::regex kRand(R"(\brand\s*\()");
-  static const std::regex kDevice(R"(\bstd\s*::\s*random_device\b)");
-  static const std::regex kEngine(
-      R"(\bstd\s*::\s*(mt19937(_64)?|minstd_rand0?|default_random_engine)\b)");
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& line = file.code[i];
-    if (std::regex_search(line, kRand)) {
-      Report(diagnostics, file, i, "no-raw-rand",
-             "call to rand(); draw from a seeded lighttr::Rng instead");
-    }
-    if (std::regex_search(line, kDevice)) {
-      Report(diagnostics, file, i, "no-raw-rand",
-             "std::random_device is nondeterministic; seed a lighttr::Rng "
-             "explicitly");
-    }
-    if (std::regex_search(line, kEngine)) {
-      Report(diagnostics, file, i, "no-raw-rand",
-             "ad-hoc std engine construction; all randomness must flow "
-             "through common/rng");
+namespace {
+
+bool IsPlainRuleWord(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!std::islower(static_cast<unsigned char>(c)) &&
+        !std::isdigit(static_cast<unsigned char>(c)) && c != '-') {
+      return false;
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-raw-thread
-//
-// common/thread_pool is the only sanctioned home of raw std::thread:
-// every other concurrency use must go through ThreadPool::ParallelFor,
-// whose canonical-order fork/merge discipline is what keeps results
-// bitwise identical across thread counts (and keeps the TSan matrix
-// meaningful). std::async is banned everywhere — its deferred/eager
-// launch policy is scheduler-dependent.
-// ---------------------------------------------------------------------------
-
-void CheckNoRawThread(const ScannedFile& file,
-                      std::vector<Diagnostic>* diagnostics) {
-  const std::string path = NormalizedPath(file.source->path);
-  const bool in_pool = PathEndsWith(path, "common/thread_pool.h") ||
-                       PathEndsWith(path, "common/thread_pool.cc");
-  static const std::regex kThread(R"(\bstd\s*::\s*(thread|jthread)\b)");
-  static const std::regex kAsync(R"(\bstd\s*::\s*async\s*\()");
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& line = file.code[i];
-    std::smatch m;
-    if (!in_pool && std::regex_search(line, m, kThread)) {
-      Report(diagnostics, file, i, "no-raw-thread",
-             "std::" + m[1].str() +
-                 " outside common/thread_pool; run the work through "
-                 "ThreadPool::ParallelFor so determinism and TSan coverage "
-                 "hold");
-    }
-    if (std::regex_search(line, kAsync)) {
-      Report(diagnostics, file, i, "no-raw-thread",
-             "std::async has scheduler-dependent launch semantics; use "
-             "ThreadPool::ParallelFor");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-iostream-in-lib
-// ---------------------------------------------------------------------------
-
-void CheckNoIostreamInLib(const ScannedFile& file,
-                          std::vector<Diagnostic>* diagnostics) {
-  const std::string path = NormalizedPath(file.source->path);
-  if (!PathContainsDir(path, "src")) return;  // tests/bench/tools may print
-  if (PathEndsWith(path, "common/table_printer.h") ||
-      PathEndsWith(path, "common/table_printer.cc") ||
-      PathEndsWith(path, "common/check.h")) {
-    return;
-  }
-  static const std::regex kStream(R"(\bstd\s*::\s*(cout|cerr|clog)\b)");
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(file.code[i], m, kStream)) {
-      Report(diagnostics, file, i, "no-iostream-in-lib",
-             "std::" + m[1].str() +
-                 " in library code; route output through common/table_printer "
-                 "or return data to the caller");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: banned-fn
-// ---------------------------------------------------------------------------
-
-struct BannedFn {
-  const char* name;
-  const char* reason;
-};
-
-constexpr BannedFn kBannedFns[] = {
-    {"atof", "silently returns 0.0 on garbage; use std::strtod or std::stod"},
-    {"atoi", "silently returns 0 on garbage; use std::strtol or std::stoi"},
-    {"atol", "silently returns 0 on garbage; use std::strtol"},
-    {"strcpy", "unbounded copy; use std::string or std::snprintf"},
-    {"strcat", "unbounded append; use std::string"},
-    {"sprintf", "unbounded format; use std::snprintf"},
-    {"vsprintf", "unbounded format; use std::vsnprintf"},
-    {"gets", "unbounded read; use std::getline"},
-    {"system", "shells out with inherited environment; spawn explicitly or "
-               "restructure"},
-    {"tmpnam", "racy temp naming; derive paths from a seed or PID instead"},
-    {"mktemp", "racy temp naming; use WriteFileAtomic (common/file_util), "
-               "which owns its temp-file lifecycle"},
-};
-
-void CheckBannedFn(const ScannedFile& file,
-                   std::vector<Diagnostic>* diagnostics) {
-  for (const BannedFn& banned : kBannedFns) {
-    // Identifier followed by '(' — optionally std::-qualified, but not a
-    // member access (x.system(...)) or other qualification.
-    const std::regex call(std::string(R"((^|[^\w.>:])(std\s*::\s*)?)") +
-                          banned.name + R"(\s*\()");
-    for (size_t i = 0; i < file.code.size(); ++i) {
-      if (std::regex_search(file.code[i], call)) {
-        Report(diagnostics, file, i, "banned-fn",
-               std::string(banned.name) + ": " + banned.reason);
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-direct-persistence
-//
-// src/fl and src/nn hold crash-safe state (snapshots, checkpoints, the
-// round journal); every byte they persist must go through
-// common/file_util so it is atomic (or CRC-tagged append). A raw
-// std::ofstream/std::fstream there can tear files on crash and silently
-// bypass the durability contract.
-// ---------------------------------------------------------------------------
-
-void CheckNoDirectPersistence(const ScannedFile& file,
-                              std::vector<Diagnostic>* diagnostics) {
-  const std::string path = NormalizedPath(file.source->path);
-  if (!PathContainsDir(path, "src/fl") && !PathContainsDir(path, "src/nn")) {
-    return;
-  }
-  static const std::regex kStream(R"(\bstd\s*::\s*(o?fstream)\b)");
-  static const std::regex kFopen(R"((^|[^\w.>:])(std\s*::\s*)?fopen\s*\()");
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(file.code[i], m, kStream)) {
-      Report(diagnostics, file, i, "no-direct-persistence",
-             "std::" + m[1].str() +
-                 " in src/fl|src/nn; persist through common/file_util "
-                 "(WriteFileAtomic / AppendToFile) so crashes cannot tear "
-                 "files");
-    }
-    if (std::regex_search(file.code[i], kFopen)) {
-      Report(diagnostics, file, i, "no-direct-persistence",
-             "fopen in src/fl|src/nn; persist through common/file_util "
-             "(WriteFileAtomic / AppendToFile) so crashes cannot tear files");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-ignored-status
-//
-// Pass 1 collects names of functions declared to return Status or
-// Result<T> anywhere in the input set. Pass 2 flags statements that are
-// a bare call to such a function: the return value never touched. The
-// compiler's [[nodiscard]] already rejects most of these; the lint rule
-// additionally covers code compiled without LIGHTTR_WERROR and fixture
-// trees. Explicit discards spell `(void)call(...)` (not matched — the
-// statement no longer begins with the callee) plus a rationale comment.
-// ---------------------------------------------------------------------------
-
-std::set<std::string> CollectStatusFunctions(
-    const std::vector<ScannedFile>& files) {
-  std::set<std::string> names;
-  static const std::regex kDecl(
-      R"((?:^|[^\w<])(?:[A-Za-z_]\w*\s*::\s*)*(?:Status|Result\s*<[^;={}]*>)\s+([A-Za-z_]\w*)\s*\()");
-  for (const ScannedFile& file : files) {
-    std::string joined;
-    for (const std::string& line : file.code) {
-      joined += line;
-      joined += '\n';
-    }
-    for (std::sregex_iterator it(joined.begin(), joined.end(), kDecl), end;
-         it != end; ++it) {
-      names.insert((*it)[1].str());
-    }
-  }
-  return names;
-}
-
-void CheckNoIgnoredStatus(const ScannedFile& file,
-                          const std::set<std::string>& status_fns,
-                          std::vector<Diagnostic>* diagnostics) {
-  if (status_fns.empty()) return;
-  // Build a statement stream: code lines minus preprocessor directives,
-  // split at ; { } — each statement remembers its starting line.
-  struct Statement {
-    std::string text;
-    size_t line = 0;
-    char terminator = ';';
-  };
-  std::vector<Statement> statements;
-  Statement current;
-  bool current_started = false;
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& line = file.code[i];
-    const size_t first = line.find_first_not_of(" \t");
-    if (first != std::string::npos && line[first] == '#') continue;
-    for (char c : line) {
-      if (c == ';' || c == '{' || c == '}') {
-        current.terminator = c;
-        statements.push_back(current);
-        current = Statement{};
-        current_started = false;
-        continue;
-      }
-      if (!current_started && !std::isspace(static_cast<unsigned char>(c))) {
-        current.line = i;
-        current_started = true;
-      }
-      if (current_started) current.text += c;
-    }
-    if (current_started) current.text += ' ';
-  }
-
-  // A bare call statement: optional qualifier chain (ids joined by :: . ->
-  // where non-final members may be zero-arg calls), then a known name,
-  // then '('. Anchored at statement start so declarations ("Status Foo(")
-  // and keyword statements ("return Foo(…)") never match.
-  static const std::regex kCallHead(
-      R"(^(?:[A-Za-z_]\w*(?:\(\s*\))?\s*(?:::|\.|->)\s*)*([A-Za-z_]\w*)\s*\()");
-  for (const Statement& st : statements) {
-    if (st.terminator != ';') continue;
-    std::smatch m;
-    if (!std::regex_search(st.text, m, kCallHead)) continue;
-    const std::string callee = m[1].str();
-    if (status_fns.count(callee) == 0) continue;
-    Report(diagnostics, file, st.line, "no-ignored-status",
-           "result of Status-returning call '" + callee +
-               "' is discarded; handle it, LIGHTTR_CHECK_OK it, or discard "
-               "explicitly with (void) and a rationale");
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-raw-nonfinite
-//
-// Raw std::isnan / std::isinf calls scattered through the tree made the
-// self-healing work inconsistent: some sites forgot the Inf half, others
-// broke under -ffast-math assumptions. common/finite.h (IsNan / IsInf /
-// IsFinite / ScanFinite) is the one sanctioned wrapper; src/fl/health is
-// the classifier built on top of it. std::isfinite stays legal — the
-// wrappers are for the two easy-to-misuse predicates.
-// ---------------------------------------------------------------------------
-
-void CheckNoRawNonfinite(const ScannedFile& file,
-                         std::vector<Diagnostic>* diagnostics) {
-  const std::string path = NormalizedPath(file.source->path);
-  if (PathContainsDir(path, "src/common") ||
-      PathEndsWith(path, "fl/health.h") || PathEndsWith(path, "fl/health.cc")) {
-    return;  // the wrappers themselves, and the classifier built on them
-  }
-  static const std::regex kRaw(
-      R"((^|[^\w.>:])(std\s*::\s*)?(isnan|isinf)\s*\()");
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    std::smatch m;
-    if (std::regex_search(file.code[i], m, kRaw)) {
-      Report(diagnostics, file, i, "no-raw-nonfinite",
-             m[3].str() +
-                 " outside common/finite; use lighttr::IsNan/IsInf (or "
-                 "ScanFinite) so non-finite handling stays uniform");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-raw-wire
-//
-// reinterpret_cast / memcpy struct (de)serialization scattered through
-// the tree is how silent layout drift and unchecked-bounds decode bugs
-// happen. common/binary_io is the one sanctioned place bytes are
-// reinterpreted (bounds-checked, length-capped); fl/transport builds
-// the framed wire protocol on top of it. Everywhere else in src/,
-// serialization must flow through BinaryWriter/BinaryReader, and CRC
-// trailers through common/crc32's Append/CheckCrc32Trailer.
-// ---------------------------------------------------------------------------
-
-void CheckNoRawWire(const ScannedFile& file,
-                    std::vector<Diagnostic>* diagnostics) {
-  const std::string path = NormalizedPath(file.source->path);
-  if (!PathContainsDir(path, "src")) return;  // tests may craft hostile bytes
-  if (PathEndsWith(path, "common/binary_io.h") ||
-      PathContainsDir(path, "fl/transport")) {
-    return;
-  }
-  static const std::regex kCast(R"(\breinterpret_cast\s*<)");
-  static const std::regex kMemcpy(R"((^|[^\w.>:])(std\s*::\s*)?memcpy\s*\()");
-  for (size_t i = 0; i < file.code.size(); ++i) {
-    const std::string& line = file.code[i];
-    if (std::regex_search(line, kCast)) {
-      Report(diagnostics, file, i, "no-raw-wire",
-             "reinterpret_cast in library code; (de)serialize through "
-             "common/binary_io (BinaryWriter/BinaryReader) instead of "
-             "reinterpreting struct bytes");
-    }
-    if (std::regex_search(line, kMemcpy)) {
-      Report(diagnostics, file, i, "no-raw-wire",
-             "memcpy-based serialization outside common/binary_io and "
-             "fl/transport; use BinaryWriter/BinaryReader (or std::copy "
-             "for typed buffers)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: no-include-cycle
-// ---------------------------------------------------------------------------
-
-struct IncludeEdge {
-  size_t target;  // index into the scanned-file vector
-  size_t line;    // line of the #include
-};
-
-void CheckIncludeCycles(const std::vector<ScannedFile>& files,
-                        std::vector<Diagnostic>* diagnostics) {
-  // Resolve quoted includes by path-suffix match against the input set.
-  std::vector<std::string> normalized(files.size());
-  for (size_t i = 0; i < files.size(); ++i) {
-    normalized[i] = NormalizedPath(files[i].source->path);
-  }
-  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
-  std::vector<std::vector<IncludeEdge>> graph(files.size());
-  for (size_t i = 0; i < files.size(); ++i) {
-    for (size_t l = 0; l < files[i].code.size(); ++l) {
-      std::smatch m;
-      if (!std::regex_search(files[i].code[l], m, kInclude)) continue;
-      const std::string target = m[1].str();
-      for (size_t j = 0; j < files.size(); ++j) {
-        if (PathEndsWith(normalized[j], target)) {
-          graph[i].push_back(IncludeEdge{j, l});
-          break;
-        }
-      }
-    }
-  }
-
-  // Iterative DFS with colors; report each back edge as one cycle.
-  enum class Color { kWhite, kGray, kBlack };
-  std::vector<Color> color(files.size(), Color::kWhite);
-  std::vector<size_t> parent_edge(files.size(), 0);
-  std::set<std::pair<size_t, size_t>> reported;
-
-  struct Frame {
-    size_t node;
-    size_t next_edge = 0;
-  };
-  for (size_t root = 0; root < files.size(); ++root) {
-    if (color[root] != Color::kWhite) continue;
-    std::vector<Frame> stack{Frame{root}};
-    color[root] = Color::kGray;
-    while (!stack.empty()) {
-      Frame& frame = stack.back();
-      if (frame.next_edge < graph[frame.node].size()) {
-        const IncludeEdge edge = graph[frame.node][frame.next_edge++];
-        if (color[edge.target] == Color::kWhite) {
-          color[edge.target] = Color::kGray;
-          stack.push_back(Frame{edge.target});
-        } else if (color[edge.target] == Color::kGray) {
-          // Found a cycle: walk the stack back to the target.
-          if (reported.insert({frame.node, edge.target}).second) {
-            std::string chain = files[edge.target].source->path;
-            size_t k = stack.size();
-            std::vector<std::string> tail;
-            while (k > 0 && stack[k - 1].node != edge.target) {
-              tail.push_back(files[stack[k - 1].node].source->path);
-              --k;
-            }
-            for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
-              chain += " -> " + *it;
-            }
-            chain += " -> " + files[edge.target].source->path;
-            Report(diagnostics, files[frame.node], edge.line,
-                   "no-include-cycle", "include cycle: " + chain);
-          }
-        }
-      } else {
-        color[frame.node] = Color::kBlack;
-        stack.pop_back();
-      }
-    }
-  }
+  return true;
 }
 
 }  // namespace
+
+Suppressions::Suppressions(const std::vector<TokenizedFile>& files) {
+  static const std::regex kAllow(R"(lighttr-lint:\s*allow\(([^)]*)\))");
+  for (size_t f = 0; f < files.size(); ++f) {
+    const std::vector<std::string>& comments = files[f].comments;
+    for (size_t l = 0; l < comments.size(); ++l) {
+      if (comments[l].empty()) continue;
+      std::smatch m;
+      if (!std::regex_search(comments[l], m, kAllow)) continue;
+      std::stringstream rules(m[1].str());
+      std::string item;
+      while (std::getline(rules, item, ',')) {
+        item.erase(
+            std::remove_if(item.begin(), item.end(),
+                           [](unsigned char ch) { return std::isspace(ch); }),
+            item.end());
+        // Documentation placeholders like `allow(<rule>)` are not
+        // suppressions; skip anything that is not a plain rule word.
+        if (!IsPlainRuleWord(item)) continue;
+        entries_.push_back(Entry{f, static_cast<int>(l) + 1, item, false});
+      }
+    }
+  }
+}
+
+bool Suppressions::Consume(size_t file_index, int line,
+                          const std::string& rule) {
+  bool found = false;
+  for (Entry& e : entries_) {
+    if (e.file == file_index && e.line == line && e.rule == rule) {
+      e.used = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void Suppressions::ReportUnused(const std::vector<TokenizedFile>& files,
+                                std::vector<Diagnostic>* diagnostics) const {
+  const std::vector<std::string>& known = AllRuleNames();
+  for (const Entry& e : entries_) {
+    if (e.used) continue;
+    std::string message;
+    if (std::find(known.begin(), known.end(), e.rule) == known.end()) {
+      message = "allow(" + e.rule +
+                ") names a rule this linter does not have; fix the name or "
+                "delete the annotation";
+    } else {
+      message = "allow(" + e.rule +
+                ") suppressed no diagnostic on this line; delete the stale "
+                "annotation";
+    }
+    // Deliberately not suppressible: an allow(unused-suppression) would
+    // be a stale opt-out by construction.
+    diagnostics->push_back(Diagnostic{files[e.file].source->path, e.line,
+                                      "unused-suppression",
+                                      std::move(message)});
+  }
+}
+
+void Context::Report(size_t file_index, int line, const std::string& rule,
+                     std::string message) {
+  if (suppressions->Consume(file_index, line, rule)) return;
+  diagnostics->push_back(Diagnostic{files[file_index].source->path, line,
+                                    rule, std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
 
 std::string FormatDiagnostic(const Diagnostic& diagnostic) {
   std::ostringstream os;
@@ -596,32 +159,112 @@ std::string FormatDiagnostic(const Diagnostic& diagnostic) {
   return os.str();
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatDiagnosticJson(const Diagnostic& diagnostic) {
+  std::ostringstream os;
+  os << "{\"file\":\"" << JsonEscape(diagnostic.file)
+     << "\",\"line\":" << diagnostic.line << ",\"rule\":\""
+     << JsonEscape(diagnostic.rule) << "\",\"message\":\""
+     << JsonEscape(diagnostic.message) << "\"}";
+  return os.str();
+}
+
 const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kNames = {
-      "no-raw-rand",      "no-ignored-status",     "no-iostream-in-lib",
-      "no-include-cycle", "no-direct-persistence", "banned-fn",
-      "no-raw-thread",    "no-raw-nonfinite",      "no-raw-wire"};
+      "no-raw-rand",
+      "no-raw-thread",
+      "no-iostream-in-lib",
+      "banned-fn",
+      "no-direct-persistence",
+      "no-raw-nonfinite",
+      "no-raw-wire",
+      "no-ignored-status",
+      "no-include-cycle",
+      "no-unordered-iteration",
+      "no-wall-clock",
+      "no-pointer-keys",
+      "parallel-capture-audit",
+      "unused-include",
+      "unused-suppression",
+  };
   return kNames;
 }
 
+bool Baseline::Matches(const Diagnostic& diagnostic) const {
+  const std::string normalized = NormalizedPath(diagnostic.file);
+  for (const Entry& e : entries) {
+    if (e.rule == diagnostic.rule && PathEndsWith(normalized, e.path_suffix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Baseline ParseBaseline(const std::string& content) {
+  Baseline baseline;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    Baseline::Entry entry;
+    if (fields >> entry.rule >> entry.path_suffix) {
+      baseline.entries.push_back(std::move(entry));
+    }
+  }
+  return baseline;
+}
+
+std::vector<Diagnostic> ApplyBaseline(std::vector<Diagnostic> diagnostics,
+                                      const Baseline& baseline) {
+  diagnostics.erase(
+      std::remove_if(diagnostics.begin(), diagnostics.end(),
+                     [&baseline](const Diagnostic& d) {
+                       return baseline.Matches(d);
+                     }),
+      diagnostics.end());
+  return diagnostics;
+}
+
 std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files) {
-  std::vector<ScannedFile> scanned;
-  scanned.reserve(files.size());
-  for (const SourceFile& file : files) scanned.push_back(ScanFile(file));
+  std::vector<TokenizedFile> tokenized;
+  tokenized.reserve(files.size());
+  for (const SourceFile& file : files) tokenized.push_back(Tokenize(file));
 
   std::vector<Diagnostic> diagnostics;
-  const std::set<std::string> status_fns = CollectStatusFunctions(scanned);
-  for (const ScannedFile& file : scanned) {
-    CheckNoRawRand(file, &diagnostics);
-    CheckNoRawThread(file, &diagnostics);
-    CheckNoIostreamInLib(file, &diagnostics);
-    CheckBannedFn(file, &diagnostics);
-    CheckNoDirectPersistence(file, &diagnostics);
-    CheckNoRawNonfinite(file, &diagnostics);
-    CheckNoRawWire(file, &diagnostics);
-    CheckNoIgnoredStatus(file, status_fns, &diagnostics);
-  }
-  CheckIncludeCycles(scanned, &diagnostics);
+  Suppressions suppressions(tokenized);
+  Context ctx{tokenized, &suppressions, &diagnostics};
+  RunFileRules(&ctx);
+  RunDeterminismRules(&ctx);
+  RunCrossTuRules(&ctx);
+  suppressions.ReportUnused(tokenized, &diagnostics);
 
   std::stable_sort(diagnostics.begin(), diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {

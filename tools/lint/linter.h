@@ -1,36 +1,49 @@
-// lighttr-lint: a token-scanning static checker for repo invariants.
+// lighttr-lint: a token-level static checker for repo invariants.
 //
-// The compiler already enforces type- and [[nodiscard]]-level contracts;
-// this linter covers the invariants the type system cannot see:
+// The compiler already enforces type- and [[nodiscard]]-level
+// contracts; this linter covers the invariants the type system cannot
+// see. Source files are tokenized (tools/lint/token.h) — comments and
+// string/char literals never enter the token stream — and per-file,
+// determinism-family, and cross-file passes run over the tokens. The
+// full rule catalogue lives in tools/lint/README.md; in brief:
 //
-//   no-raw-rand        ban rand()/std::random_device/ad-hoc std::mt19937
-//                      outside common/rng.* (determinism of federated
-//                      rounds depends on every draw flowing through Rng)
-//   no-ignored-status  statement-level calls that discard a Status/Result
-//                      return (heuristic companion to [[nodiscard]])
-//   no-iostream-in-lib no std::cout/cerr/clog inside src/ outside
-//                      common/table_printer.* and common/check.h
-//   no-include-cycle   cycles in the quoted-include graph
-//   no-direct-persistence
-//                      no std::ofstream/std::fstream/fopen inside
-//                      src/fl or src/nn — durable state there must go
-//                      through common/file_util (atomic write / tagged
-//                      append), or a crash can tear files
-//   banned-fn          calls to atof/strcpy/sprintf/system/... class
-//                      functions with safer repo-idiomatic replacements
-//   no-raw-wire        no reinterpret_cast/memcpy struct serialization
-//                      in src/ outside common/binary_io and fl/transport
-//                      — bytes are (de)coded through BinaryWriter/
-//                      BinaryReader so layout lives in one place and
-//                      every decode is bounds-checked
+//  substrate rules (repo-wide unless noted):
+//   no-raw-rand          rand()/std::random_device/ad-hoc std engines
+//                        outside common/rng.*
+//   no-raw-thread        std::thread/jthread outside common/thread_pool;
+//                        std::async anywhere
+//   no-iostream-in-lib   std::cout/cerr/clog inside src/ outside
+//                        common/table_printer.* and common/check.h
+//   banned-fn            atof/strcpy/sprintf/system/... class calls
+//   no-direct-persistence raw ofstream/fstream/fopen in src/fl|src/nn
+//   no-raw-nonfinite     raw isnan/isinf outside common + fl/health
+//   no-raw-wire          reinterpret_cast/memcpy serialization in src/
+//                        outside common/binary_io and fl/transport
+//
+//  determinism family (src/fl, src/nn, src/common — the bitwise-
+//  reproducibility contract, DESIGN.md §12):
+//   no-unordered-iteration  range-for / .begin() iteration over
+//                           unordered containers (lookups stay legal)
+//   no-wall-clock           time()/clock()/chrono clock reads outside
+//                           common/stopwatch.h
+//   no-pointer-keys         containers keyed on pointer values, and
+//                           std::hash over pointer types
+//   parallel-capture-audit  ParallelFor/submit lambdas capturing by
+//                           reference without a verified
+//                           `// lint: shared-state(<guard>)` annotation
+//
+//  cross-file passes:
+//   no-ignored-status    bare statements discarding a Status/Result
+//                        returned by a function declared in the input set
+//   no-include-cycle     cycles in the quoted-include graph
+//   unused-include       IWYU-lite: a quoted include in src/ none of
+//                        whose declared names are referenced
+//   unused-suppression   an allow() annotation that suppressed nothing
 //
 // Diagnostics carry file:line and the rule name. A violation is
-// suppressed by a comment on the same line:
-//
-//   std::mt19937 gen(7);  // lighttr-lint: allow(no-raw-rand)
-//
-// The scanner strips comments and string/char literals before matching,
-// so quoted occurrences of banned tokens never fire.
+// suppressed by a same-line comment `lighttr-lint: allow(<rule>)`
+// (comma-separate several rules); a suppression that suppresses
+// nothing is itself an error, so stale opt-outs cannot accumulate.
 #ifndef LIGHTTR_TOOLS_LINT_LINTER_H_
 #define LIGHTTR_TOOLS_LINT_LINTER_H_
 
@@ -39,7 +52,7 @@
 
 namespace lighttr::lint {
 
-/// One input file: path (used for rule exemptions and include-graph
+/// One input file: path (used for rule scoping and include-graph
 /// resolution) plus its full contents.
 struct SourceFile {
   std::string path;
@@ -57,13 +70,40 @@ struct Diagnostic {
 /// Renders "file:line: rule: message" (the clickable compiler format).
 std::string FormatDiagnostic(const Diagnostic& diagnostic);
 
-/// Names of every rule the linter knows, e.g. for --help output.
+/// Renders one JSON object {"file":...,"line":N,"rule":...,
+/// "message":...} with proper string escaping (for --format=json).
+std::string FormatDiagnosticJson(const Diagnostic& diagnostic);
+
+/// Names of every rule the linter knows, e.g. for --help output and
+/// per-rule hit-count reporting.
 const std::vector<std::string>& AllRuleNames();
 
+/// A parsed --baseline file: pre-existing findings to suppress so new
+/// rules can land incrementally. One entry per line, `<rule> <path>`:
+/// suppresses every finding of <rule> whose (normalized) file path
+/// ends with <path>. `#` starts a comment; blank lines are ignored.
+struct Baseline {
+  struct Entry {
+    std::string rule;
+    std::string path_suffix;
+  };
+  std::vector<Entry> entries;
+
+  bool Matches(const Diagnostic& diagnostic) const;
+};
+
+/// Parses baseline file contents (see Baseline for the format).
+Baseline ParseBaseline(const std::string& content);
+
+/// Removes diagnostics matched by `baseline`.
+std::vector<Diagnostic> ApplyBaseline(std::vector<Diagnostic> diagnostics,
+                                      const Baseline& baseline);
+
 /// Runs every rule over `files` and returns the violations in file /
-/// line order. Cross-file state (the Status-returning function registry,
-/// the include graph) is built from exactly the files given, so callers
-/// should pass the whole tree they care about in one call.
+/// line order. Cross-file state (the Status-returning function
+/// registry, the include graph, header declaration sets) is built from
+/// exactly the files given, so callers should pass the whole tree they
+/// care about in one call.
 std::vector<Diagnostic> Lint(const std::vector<SourceFile>& files);
 
 /// Recursively collects .h/.cc/.cpp files under each root (a root may

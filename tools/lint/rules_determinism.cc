@@ -1,0 +1,360 @@
+// The determinism rule family: static enforcement of the bitwise-
+// reproducibility contract (DESIGN.md §12) over src/fl, src/nn and
+// src/common. Everything built since the crash/resume and parallel
+// substrates — rollback, quarantine, lossy transport — asserts that a
+// run is bit-identical across thread counts, crash points and network
+// weather; these rules reject the code shapes that silently break it:
+//
+//   no-unordered-iteration  hash-order-dependent loops (range-for or
+//                           .begin() iteration over unordered_map/set;
+//                           lookups stay legal)
+//   no-wall-clock           wall/monotonic clock reads outside
+//                           common/stopwatch.h
+//   no-pointer-keys         containers ordered or hashed on pointer
+//                           values (allocator-dependent order), and
+//                           std::hash over pointer types
+//   parallel-capture-audit  ParallelFor/submit lambdas capturing by
+//                           reference without a justification comment
+//                           `// lint: shared-state(<guard>)` naming a
+//                           token that actually appears in the body
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/token.h"
+
+namespace lighttr::lint {
+namespace {
+
+bool IsUnorderedContainer(const std::string& id) {
+  return id == "unordered_map" || id == "unordered_set" ||
+         id == "unordered_multimap" || id == "unordered_multiset";
+}
+
+bool IsOrderedKeyedContainer(const std::string& id) {
+  return id == "map" || id == "set" || id == "multimap" || id == "multiset";
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-unordered-iteration
+//
+// Hash-table iteration order is libstdc++-version-, seed- and
+// insertion-history-dependent: any loop over it that feeds telemetry,
+// aggregation order or serialization diverges across builds and runs.
+// The pass tracks names declared (or aliased) with an unordered type in
+// the file — members, locals, by-reference parameters — then flags
+// range-for statements ranging over them and .begin()/.cbegin() style
+// iteration starts. find/count/at/contains and erase-by-key never
+// touch iteration order and stay legal. The fix is a std::map/std::set,
+// a sorted snapshot, or a canonical index loop.
+// ---------------------------------------------------------------------------
+
+void CheckNoUnorderedIteration(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  if (!InDeterminismScope(file.norm_path)) return;
+  const std::vector<Token>& t = file.tokens;
+
+  // Pass 1: names with an unordered type. `aliases` collects
+  // `using X = std::unordered_map<...>`; `vars` collects declared
+  // variable/member/parameter names.
+  std::set<std::string> aliases;
+  std::set<std::string> vars;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent) continue;
+    if (t[i].text == "using" && i + 2 < t.size() &&
+        t[i + 1].kind == TokenKind::kIdent && IsPunct(t, i + 2, "=")) {
+      for (size_t j = i + 3; j < t.size() && !IsPunct(t, j, ";"); ++j) {
+        if (t[j].kind == TokenKind::kIdent &&
+            IsUnorderedContainer(t[j].text)) {
+          aliases.insert(t[i + 1].text);
+          break;
+        }
+      }
+      continue;
+    }
+    size_t after = kNpos;  // token index just past the full type
+    if (IsUnorderedContainer(t[i].text) && IsPunct(t, i + 1, "<")) {
+      const size_t close = MatchingDelim(t, i + 1, "<", ">");
+      if (close != kNpos) after = close + 1;
+    } else if (aliases.count(t[i].text) > 0 && !IsMemberAccess(t, i)) {
+      after = i + 1;
+    }
+    if (after == kNpos) continue;
+    if (IsPunct(t, after, "::")) continue;  // ::iterator etc., not a decl
+    while (IsPunct(t, after, "&") || IsPunct(t, after, "*")) ++after;
+    if (after < t.size() && t[after].kind == TokenKind::kIdent) {
+      vars.insert(t[after].text);
+    }
+  }
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    // Range-for over an unordered name: for ( decl : range ).
+    if (IsIdent(t, i, "for") && IsPunct(t, i + 1, "(")) {
+      const size_t close = MatchingDelim(t, i + 1, "(", ")");
+      if (close == kNpos) continue;
+      size_t colon = kNpos;
+      int depth = 0;
+      for (size_t j = i + 1; j < close; ++j) {
+        if (t[j].kind != TokenKind::kPunct) continue;
+        if (t[j].text == "(" || t[j].text == "[") ++depth;
+        if (t[j].text == ")" || t[j].text == "]") --depth;
+        if (depth == 1 && t[j].text == ";") break;  // classic for loop
+        if (depth == 1 && t[j].text == ":") {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == kNpos) continue;
+      for (size_t j = colon + 1; j < close; ++j) {
+        if (t[j].kind != TokenKind::kIdent) continue;
+        if (vars.count(t[j].text) == 0 && !IsUnorderedContainer(t[j].text)) {
+          continue;
+        }
+        ctx->Report(fi, t[i].line, "no-unordered-iteration",
+                    "range-for over unordered container '" + t[j].text +
+                        "': hash iteration order is not deterministic; use "
+                        "an ordered container, a sorted snapshot, or a "
+                        "canonical index loop");
+        break;
+      }
+      continue;
+    }
+    // Iteration start on an unordered name: v.begin() / v->cbegin() /
+    // std::begin(v).
+    if (t[i].kind == TokenKind::kIdent && vars.count(t[i].text) > 0 &&
+        (IsPunct(t, i + 1, ".") || IsPunct(t, i + 1, "->")) &&
+        i + 2 < t.size() && t[i + 2].kind == TokenKind::kIdent) {
+      const std::string& member = t[i + 2].text;
+      if ((member == "begin" || member == "cbegin" || member == "rbegin" ||
+           member == "crbegin") &&
+          IsPunct(t, i + 3, "(")) {
+        ctx->Report(fi, t[i].line, "no-unordered-iteration",
+                    "iterator walk over unordered container '" + t[i].text +
+                        "' (." + member +
+                        "()): hash iteration order is not deterministic; "
+                        "lookups (find/count/at) stay legal");
+      }
+    }
+    if ((IsIdent(t, i, "begin") || IsIdent(t, i, "cbegin")) &&
+        IsStdQualified(t, i) && IsPunct(t, i + 1, "(") && i + 2 < t.size() &&
+        t[i + 2].kind == TokenKind::kIdent && vars.count(t[i + 2].text) > 0) {
+      ctx->Report(fi, t[i].line, "no-unordered-iteration",
+                  "std::" + t[i].text + " over unordered container '" +
+                      t[i + 2].text +
+                      "': hash iteration order is not deterministic");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-wall-clock
+//
+// A wall- or monotonic-clock read in the training/serving core makes
+// behaviour depend on machine load: retries, batching and telemetry
+// must all be driven by simulated time (round counters, the
+// deterministic backoff schedule). common/stopwatch.h is the one
+// sanctioned wrapper — benches and the CLI measure real time through
+// it, outside the determinism scope.
+// ---------------------------------------------------------------------------
+
+void CheckNoWallClock(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  if (!InDeterminismScope(file.norm_path)) return;
+  if (PathEndsWith(file.norm_path, "common/stopwatch.h")) return;
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    if (id == "system_clock" || id == "steady_clock" ||
+        id == "high_resolution_clock") {
+      ctx->Report(fi, t[i].line, "no-wall-clock",
+                  "std::chrono::" + id +
+                      " in the determinism scope; real time may only be "
+                      "read through common/stopwatch (bench/CLI layers), "
+                      "core logic must use simulated time");
+      continue;
+    }
+    if ((id == "time" || id == "clock" || id == "gettimeofday" ||
+         id == "localtime" || id == "timespec_get") &&
+        IsFreeOrStdCall(t, i)) {
+      ctx->Report(fi, t[i].line, "no-wall-clock",
+                  id +
+                      "() reads the wall clock; core logic must use "
+                      "simulated time (round counters, backoff schedule) or "
+                      "common/stopwatch at the bench/CLI boundary");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-pointer-keys
+//
+// A container keyed on pointer values orders (or buckets) its entries
+// by allocator addresses, which differ run to run under ASLR and heap
+// history — iteration, min/max and tie-breaks over it are
+// nondeterministic even when lookups are correct. std::hash over a
+// pointer type is the same bug fed into some other structure. Key on a
+// stable id (client index, node sequence number) instead.
+// ---------------------------------------------------------------------------
+
+// True when the first template argument starting at `open` (a `<`
+// token) contains a top-level-ish `*` — a pointer key.
+bool FirstTemplateArgHasPointer(const std::vector<Token>& t, size_t open,
+                                size_t close) {
+  int depth = 0;
+  for (size_t j = open; j < close; ++j) {
+    if (t[j].kind != TokenKind::kPunct) continue;
+    if (t[j].text == "<" || t[j].text == "(") ++depth;
+    if (t[j].text == ">" || t[j].text == ")") --depth;
+    if (depth == 1 && t[j].text == ",") return false;  // first arg ended
+    if (t[j].text == "*") return true;
+  }
+  return false;
+}
+
+void CheckNoPointerKeys(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  if (!InDeterminismScope(file.norm_path)) return;
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent || !IsPunct(t, i + 1, "<")) continue;
+    const std::string& id = t[i].text;
+    const bool keyed_container =
+        IsUnorderedContainer(id) || IsOrderedKeyedContainer(id);
+    const bool hasher = id == "hash" && IsStdQualified(t, i);
+    if (!keyed_container && !hasher) continue;
+    const size_t close = MatchingDelim(t, i + 1, "<", ">");
+    if (close == kNpos) continue;
+    if (!FirstTemplateArgHasPointer(t, i + 1, close)) continue;
+    if (hasher) {
+      ctx->Report(fi, t[i].line, "no-pointer-keys",
+                  "std::hash over a pointer type hashes addresses, which "
+                  "vary run to run; hash a stable id instead");
+    } else {
+      ctx->Report(fi, t[i].line, "no-pointer-keys",
+                  "container '" + id +
+                      "' keyed on pointer values: address order is "
+                      "allocator- and ASLR-dependent; key on a stable id "
+                      "(index, sequence number) instead");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parallel-capture-audit
+//
+// A ParallelFor (or pool submit) body that captures by reference is
+// sharing state across workers. That is sometimes exactly right —
+// pre-sized output slots, a mutex-guarded cache, an atomic counter —
+// but it must be *declared*: the call site carries a comment
+//
+//   // lint: shared-state(<guard>[, <guard>...])
+//
+// on the call or lambda-introducer line, and every named guard must
+// actually appear as a token in the lambda body. A missing annotation,
+// or one naming a token the body never touches, is an error. By-value
+// captures need no annotation.
+// ---------------------------------------------------------------------------
+
+// Extracts shared-state guard names from the comment channel of `line`.
+// Returns true when an annotation exists (names may still be empty).
+bool SharedStateAnnotation(const TokenizedFile& file, int line,
+                           std::vector<std::string>* names) {
+  static const std::regex kAnnotation(R"(lint:\s*shared-state\(([^)]*)\))");
+  if (line < 1 || static_cast<size_t>(line) > file.comments.size()) {
+    return false;
+  }
+  std::smatch m;
+  const std::string& comment = file.comments[line - 1];
+  if (!std::regex_search(comment, m, kAnnotation)) return false;
+  std::stringstream list(m[1].str());
+  std::string item;
+  while (std::getline(list, item, ',')) {
+    std::string trimmed;
+    for (char c : item) {
+      if (!std::isspace(static_cast<unsigned char>(c))) trimmed += c;
+    }
+    if (!trimmed.empty()) names->push_back(std::move(trimmed));
+  }
+  return true;
+}
+
+void CheckParallelCaptureAudit(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  if (!InDeterminismScope(file.norm_path)) return;
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent ||
+        (t[i].text != "ParallelFor" && t[i].text != "Submit" &&
+         t[i].text != "Enqueue")) {
+      continue;
+    }
+    if (!IsPunct(t, i + 1, "(")) continue;
+    const size_t call_close = MatchingDelim(t, i + 1, "(", ")");
+    if (call_close == kNpos) continue;
+
+    // Every lambda introducer among the arguments: a `[` that follows
+    // `(` or `,` (a subscript follows a value token instead).
+    for (size_t j = i + 2; j < call_close; ++j) {
+      if (!IsPunct(t, j, "[")) continue;
+      if (!(IsPunct(t, j - 1, "(") || IsPunct(t, j - 1, ","))) continue;
+      const size_t cap_close = MatchingDelim(t, j, "[", "]");
+      if (cap_close == kNpos) break;
+      bool by_ref = false;
+      for (size_t k = j + 1; k < cap_close; ++k) {
+        if (IsPunct(t, k, "&")) by_ref = true;
+      }
+      if (!by_ref) continue;
+
+      std::vector<std::string> guards;
+      const bool annotated =
+          SharedStateAnnotation(file, t[j].line, &guards) ||
+          SharedStateAnnotation(file, t[i].line, &guards);
+      if (!annotated) {
+        ctx->Report(
+            fi, t[j].line, "parallel-capture-audit",
+            t[i].text +
+                " lambda captures by reference without a justification; "
+                "declare the sharing discipline with "
+                "// lint: shared-state(<mutex|atomic|slot>) naming the "
+                "guard, or capture by value");
+        continue;
+      }
+      // Lambda body: first `{` after the capture list, to its match.
+      size_t body_open = cap_close + 1;
+      while (body_open < t.size() && !IsPunct(t, body_open, "{")) ++body_open;
+      const size_t body_close =
+          body_open < t.size() ? MatchingDelim(t, body_open, "{", "}") : kNpos;
+      for (const std::string& guard : guards) {
+        bool present = false;
+        for (size_t k = body_open;
+             body_close != kNpos && k < body_close && !present; ++k) {
+          present = t[k].kind == TokenKind::kIdent && t[k].text == guard;
+        }
+        if (!present) {
+          ctx->Report(fi, t[j].line, "parallel-capture-audit",
+                      "shared-state(" + guard +
+                          ") names a guard that never appears in the lambda "
+                          "body; the justification must reference the real "
+                          "mutex/atomic/slot");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunDeterminismRules(Context* ctx) {
+  for (size_t fi = 0; fi < ctx->files.size(); ++fi) {
+    CheckNoUnorderedIteration(ctx, fi);
+    CheckNoWallClock(ctx, fi);
+    CheckNoPointerKeys(ctx, fi);
+    CheckParallelCaptureAudit(ctx, fi);
+  }
+}
+
+}  // namespace lighttr::lint

@@ -1,0 +1,265 @@
+// Per-file substrate rules, ported from the original per-line regex
+// scans onto the token stream. Matching identifiers (never literal or
+// comment text) is what retired the regex engine's false-positive
+// class: a banned name inside a string, raw string, comment, or a
+// string on a preprocessor line can no longer fire.
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/token.h"
+
+namespace lighttr::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-rand
+// ---------------------------------------------------------------------------
+
+void CheckNoRawRand(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::string& path = file.norm_path;
+  if (PathEndsWith(path, "common/rng.h") ||
+      PathEndsWith(path, "common/rng.cc")) {
+    return;  // the one sanctioned home of raw engines
+  }
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    if (id == "rand" && IsFreeOrStdCall(t, i)) {
+      ctx->Report(fi, t[i].line, "no-raw-rand",
+                  "call to rand(); draw from a seeded lighttr::Rng instead");
+    } else if (id == "random_device" && IsStdQualified(t, i)) {
+      ctx->Report(fi, t[i].line, "no-raw-rand",
+                  "std::random_device is nondeterministic; seed a "
+                  "lighttr::Rng explicitly");
+    } else if ((id == "mt19937" || id == "mt19937_64" ||
+                id == "minstd_rand" || id == "minstd_rand0" ||
+                id == "default_random_engine") &&
+               IsStdQualified(t, i)) {
+      ctx->Report(fi, t[i].line, "no-raw-rand",
+                  "ad-hoc std engine construction; all randomness must flow "
+                  "through common/rng");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-thread
+//
+// common/thread_pool is the only sanctioned home of raw std::thread:
+// every other concurrency use must go through ThreadPool::ParallelFor,
+// whose canonical-order fork/merge discipline is what keeps results
+// bitwise identical across thread counts (and keeps the TSan matrix
+// meaningful). std::async is banned everywhere — its deferred/eager
+// launch policy is scheduler-dependent.
+// ---------------------------------------------------------------------------
+
+void CheckNoRawThread(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const bool in_pool = PathEndsWith(file.norm_path, "common/thread_pool.h") ||
+                       PathEndsWith(file.norm_path, "common/thread_pool.cc");
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent || !IsStdQualified(t, i)) continue;
+    const std::string& id = t[i].text;
+    if (!in_pool && (id == "thread" || id == "jthread")) {
+      ctx->Report(fi, t[i].line, "no-raw-thread",
+                  "std::" + id +
+                      " outside common/thread_pool; run the work through "
+                      "ThreadPool::ParallelFor so determinism and TSan "
+                      "coverage hold");
+    }
+    if (id == "async" && IsPunct(t, i + 1, "(")) {
+      ctx->Report(fi, t[i].line, "no-raw-thread",
+                  "std::async has scheduler-dependent launch semantics; use "
+                  "ThreadPool::ParallelFor");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-iostream-in-lib
+// ---------------------------------------------------------------------------
+
+void CheckNoIostreamInLib(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::string& path = file.norm_path;
+  if (!PathContainsDir(path, "src")) return;  // tests/bench/tools may print
+  if (PathEndsWith(path, "common/table_printer.h") ||
+      PathEndsWith(path, "common/table_printer.cc") ||
+      PathEndsWith(path, "common/check.h")) {
+    return;
+  }
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent || !IsStdQualified(t, i)) continue;
+    const std::string& id = t[i].text;
+    if (id == "cout" || id == "cerr" || id == "clog") {
+      ctx->Report(fi, t[i].line, "no-iostream-in-lib",
+                  "std::" + id +
+                      " in library code; route output through "
+                      "common/table_printer or return data to the caller");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: banned-fn
+// ---------------------------------------------------------------------------
+
+struct BannedFn {
+  const char* name;
+  const char* reason;
+};
+
+constexpr BannedFn kBannedFns[] = {
+    {"atof", "silently returns 0.0 on garbage; use std::strtod or std::stod"},
+    {"atoi", "silently returns 0 on garbage; use std::strtol or std::stoi"},
+    {"atol", "silently returns 0 on garbage; use std::strtol"},
+    {"strcpy", "unbounded copy; use std::string or std::snprintf"},
+    {"strcat", "unbounded append; use std::string"},
+    {"sprintf", "unbounded format; use std::snprintf"},
+    {"vsprintf", "unbounded format; use std::vsnprintf"},
+    {"gets", "unbounded read; use std::getline"},
+    {"system", "shells out with inherited environment; spawn explicitly or "
+               "restructure"},
+    {"tmpnam", "racy temp naming; derive paths from a seed or PID instead"},
+    {"mktemp", "racy temp naming; use WriteFileAtomic (common/file_util), "
+               "which owns its temp-file lifecycle"},
+};
+
+void CheckBannedFn(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent || !IsFreeOrStdCall(t, i)) continue;
+    for (const BannedFn& banned : kBannedFns) {
+      if (t[i].text == banned.name) {
+        ctx->Report(fi, t[i].line, "banned-fn",
+                    std::string(banned.name) + ": " + banned.reason);
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-direct-persistence
+//
+// src/fl and src/nn hold crash-safe state (snapshots, checkpoints, the
+// round journal); every byte they persist must go through
+// common/file_util so it is atomic (or CRC-tagged append). A raw
+// std::ofstream/std::fstream there can tear files on crash and silently
+// bypass the durability contract.
+// ---------------------------------------------------------------------------
+
+void CheckNoDirectPersistence(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::string& path = file.norm_path;
+  if (!PathContainsDir(path, "src/fl") && !PathContainsDir(path, "src/nn")) {
+    return;
+  }
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    if ((id == "ofstream" || id == "fstream") && IsStdQualified(t, i)) {
+      ctx->Report(fi, t[i].line, "no-direct-persistence",
+                  "std::" + id +
+                      " in src/fl|src/nn; persist through common/file_util "
+                      "(WriteFileAtomic / AppendToFile) so crashes cannot "
+                      "tear files");
+    } else if (id == "fopen" && IsFreeOrStdCall(t, i)) {
+      ctx->Report(fi, t[i].line, "no-direct-persistence",
+                  "fopen in src/fl|src/nn; persist through common/file_util "
+                  "(WriteFileAtomic / AppendToFile) so crashes cannot tear "
+                  "files");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-nonfinite
+//
+// Raw std::isnan / std::isinf calls scattered through the tree made the
+// self-healing work inconsistent: some sites forgot the Inf half,
+// others broke under -ffast-math assumptions. common/finite.h (IsNan /
+// IsInf / IsFinite / ScanFinite) is the one sanctioned wrapper;
+// src/fl/health is the classifier built on top of it. std::isfinite
+// stays legal — the wrappers are for the two easy-to-misuse predicates.
+// ---------------------------------------------------------------------------
+
+void CheckNoRawNonfinite(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::string& path = file.norm_path;
+  if (PathContainsDir(path, "src/common") ||
+      PathEndsWith(path, "fl/health.h") || PathEndsWith(path, "fl/health.cc")) {
+    return;  // the wrappers themselves, and the classifier built on them
+  }
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent || !IsFreeOrStdCall(t, i)) continue;
+    const std::string& id = t[i].text;
+    if (id == "isnan" || id == "isinf") {
+      ctx->Report(fi, t[i].line, "no-raw-nonfinite",
+                  id +
+                      " outside common/finite; use lighttr::IsNan/IsInf (or "
+                      "ScanFinite) so non-finite handling stays uniform");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-wire
+//
+// reinterpret_cast / memcpy struct (de)serialization scattered through
+// the tree is how silent layout drift and unchecked-bounds decode bugs
+// happen. common/binary_io is the one sanctioned place bytes are
+// reinterpreted (bounds-checked, length-capped); fl/transport builds
+// the framed wire protocol on top of it. Everywhere else in src/,
+// serialization must flow through BinaryWriter/BinaryReader, and CRC
+// trailers through common/crc32's Append/CheckCrc32Trailer.
+// ---------------------------------------------------------------------------
+
+void CheckNoRawWire(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::string& path = file.norm_path;
+  if (!PathContainsDir(path, "src")) return;  // tests may craft hostile bytes
+  if (PathEndsWith(path, "common/binary_io.h") ||
+      PathContainsDir(path, "fl/transport")) {
+    return;
+  }
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdent) continue;
+    if (t[i].text == "reinterpret_cast" && IsPunct(t, i + 1, "<")) {
+      ctx->Report(fi, t[i].line, "no-raw-wire",
+                  "reinterpret_cast in library code; (de)serialize through "
+                  "common/binary_io (BinaryWriter/BinaryReader) instead of "
+                  "reinterpreting struct bytes");
+    } else if (t[i].text == "memcpy" && IsFreeOrStdCall(t, i)) {
+      ctx->Report(fi, t[i].line, "no-raw-wire",
+                  "memcpy-based serialization outside common/binary_io and "
+                  "fl/transport; use BinaryWriter/BinaryReader (or std::copy "
+                  "for typed buffers)");
+    }
+  }
+}
+
+}  // namespace
+
+void RunFileRules(Context* ctx) {
+  for (size_t fi = 0; fi < ctx->files.size(); ++fi) {
+    CheckNoRawRand(ctx, fi);
+    CheckNoRawThread(ctx, fi);
+    CheckNoIostreamInLib(ctx, fi);
+    CheckBannedFn(ctx, fi);
+    CheckNoDirectPersistence(ctx, fi);
+    CheckNoRawNonfinite(ctx, fi);
+    CheckNoRawWire(ctx, fi);
+  }
+}
+
+}  // namespace lighttr::lint

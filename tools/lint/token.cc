@@ -1,0 +1,236 @@
+#include "lint/token.h"
+
+#include <cctype>
+#include <filesystem>
+
+namespace lighttr::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// String-literal encoding prefixes (u8R etc. => raw).
+bool IsStringPrefix(const std::string& ident, bool* raw) {
+  if (ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+      ident == "u8R") {
+    *raw = true;
+    return true;
+  }
+  if (ident == "L" || ident == "u" || ident == "U" || ident == "u8") {
+    *raw = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TokenizedFile Tokenize(const SourceFile& file) {
+  TokenizedFile out;
+  out.source = &file;
+  out.norm_path =
+      std::filesystem::path(file.path).lexically_normal().generic_string();
+
+  const std::string& s = file.content;
+  int line = 1;
+  int brace_depth = 0;
+  bool preproc = false;        // inside a preprocessor directive
+  bool line_has_token = false; // a non-ws char was seen on this line
+
+  auto comment_at = [&out](int at_line) -> std::string& {
+    if (out.comments.size() < static_cast<size_t>(at_line)) {
+      out.comments.resize(at_line);
+    }
+    return out.comments[at_line - 1];
+  };
+
+  auto push = [&](TokenKind kind, std::string text, int at_line) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = at_line;
+    t.brace_depth = brace_depth;
+    t.preproc = preproc;
+    out.tokens.push_back(std::move(t));
+  };
+
+  size_t i = 0;
+  const size_t n = s.size();
+  while (i < n) {
+    const char c = s[i];
+    const char next = i + 1 < n ? s[i + 1] : '\0';
+
+    if (c == '\n') {
+      // A directive continues onto the next line only via a trailing
+      // backslash (whitespace after the backslash would end it too, but
+      // clang-format never emits that and the scanner need not care).
+      preproc = preproc && i > 0 && s[i - 1] == '\\';
+      ++line;
+      line_has_token = false;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Comments -> the per-line comment channel, never the token stream.
+    if (c == '/' && next == '/') {
+      i += 2;
+      std::string& text = comment_at(line);
+      while (i < n && s[i] != '\n') text += s[i++];
+      continue;
+    }
+    if (c == '/' && next == '*') {
+      i += 2;
+      while (i < n && !(s[i] == '*' && i + 1 < n && s[i + 1] == '/')) {
+        if (s[i] == '\n') {
+          ++line;
+        } else {
+          comment_at(line) += s[i];
+        }
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+
+    if (!line_has_token && c == '#') {
+      preproc = true;
+    }
+    line_has_token = true;
+
+    // Identifier — possibly a string/char literal encoding prefix.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(s[j])) ++j;
+      std::string ident = s.substr(i, j - i);
+      bool raw = false;
+      if (j < n && s[j] == '"' && IsStringPrefix(ident, &raw)) {
+        if (raw) {
+          // R"delim( ... )delim"
+          size_t k = j + 1;
+          std::string delim;
+          while (k < n && s[k] != '(') delim += s[k++];
+          ++k;  // past '('
+          const std::string close = ")" + delim + "\"";
+          const int start_line = line;
+          std::string content;
+          while (k < n && s.compare(k, close.size(), close) != 0) {
+            if (s[k] == '\n') ++line;
+            content += s[k++];
+          }
+          push(TokenKind::kString, std::move(content), start_line);
+          i = k < n ? k + close.size() : n;
+          continue;
+        }
+        // Prefixed ordinary string: fall through to the string scanner
+        // below by repositioning at the quote.
+        i = j;
+        continue;
+      }
+      if (j < n && s[j] == '\'' &&
+          (ident == "L" || ident == "u" || ident == "U" || ident == "u8")) {
+        i = j;  // prefixed char literal
+        continue;
+      }
+      push(TokenKind::kIdent, std::move(ident), line);
+      i = j;
+      continue;
+    }
+
+    // Number (digits, hex, floats, digit separators, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(next)))) {
+      size_t j = i;
+      std::string num;
+      while (j < n) {
+        const char d = s[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          num += d;
+          ++j;
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i) {
+          const char prev = s[j - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            num += d;
+            ++j;
+            continue;
+          }
+        }
+        break;
+      }
+      push(TokenKind::kNumber, std::move(num), line);
+      i = j;
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      const int start_line = line;
+      std::string content;
+      ++i;
+      while (i < n && s[i] != '"') {
+        if (s[i] == '\\' && i + 1 < n) {
+          content += s[i];
+          content += s[i + 1];
+          i += 2;
+          continue;
+        }
+        if (s[i] == '\n') ++line;  // ill-formed, but keep line counts sane
+        content += s[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      push(TokenKind::kString, std::move(content), start_line);
+      continue;
+    }
+
+    // Character literal.
+    if (c == '\'') {
+      std::string content;
+      ++i;
+      while (i < n && s[i] != '\'') {
+        if (s[i] == '\\' && i + 1 < n) {
+          content += s[i];
+          content += s[i + 1];
+          i += 2;
+          continue;
+        }
+        content += s[i++];
+      }
+      if (i < n) ++i;
+      push(TokenKind::kChar, std::move(content), line);
+      continue;
+    }
+
+    // Punctuation: munch `::` and `->`, else single char.
+    if (c == ':' && next == ':') {
+      push(TokenKind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && next == '>') {
+      push(TokenKind::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+    push(TokenKind::kPunct, std::string(1, c), line);
+    if (c == '{') ++brace_depth;
+    if (c == '}' && brace_depth > 0) --brace_depth;
+    ++i;
+  }
+
+  if (out.comments.size() < static_cast<size_t>(line)) {
+    out.comments.resize(line);
+  }
+  return out;
+}
+
+}  // namespace lighttr::lint

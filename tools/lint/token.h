@@ -1,0 +1,63 @@
+// C++ token scanner for lighttr-lint.
+//
+// Turns a source file into a flat token stream — identifiers, numbers,
+// string/char literals, punctuation — with comments routed to a
+// separate per-line channel (for suppression and justification
+// annotations). String and character literal *contents* become single
+// tokens, so no identifier-matching rule can ever fire on quoted text;
+// this is what retired the regex engine's false-positive class
+// (`#define kMsg "call rand()"` used to fire no-raw-rand).
+//
+// Design points:
+//   - `::` and `->` are munched as single punctuation tokens; every
+//     other operator is emitted one character at a time. `>>` therefore
+//     arrives as two `>` tokens, which makes template-angle matching a
+//     simple depth count with no shift-operator special case.
+//   - Each token records its 1-based line, the brace depth in force
+//     before it, and whether it sits on a preprocessor directive line
+//     (continuation lines included). Include targets survive as string
+//     tokens on preproc lines, feeding the cross-file include graph.
+//   - Raw strings (R"delim(...)delim", any prefix), encoding prefixes
+//     (L/u/U/u8), digit separators, and line-spanning block comments
+//     are all handled.
+#ifndef LIGHTTR_TOOLS_LINT_TOKEN_H_
+#define LIGHTTR_TOOLS_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/linter.h"
+
+namespace lighttr::lint {
+
+enum class TokenKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (incl. hex/float/digit-separated)
+  kString,  // string literal; text = contents without quotes/prefix
+  kChar,    // character literal; text = contents without quotes
+  kPunct,   // single-char punctuation, plus the munched `::` and `->`
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;         // 1-based source line of the token's first char
+  int brace_depth = 0;  // `{`-depth in force *before* this token
+  bool preproc = false; // on a preprocessor directive (or continuation)
+};
+
+/// A tokenized source file: the token stream plus the comment channel.
+struct TokenizedFile {
+  const SourceFile* source = nullptr;
+  std::string norm_path;               // lexically normal generic path
+  std::vector<Token> tokens;
+  std::vector<std::string> comments;   // index = line-1; "" when none
+};
+
+/// Scans `file` into tokens. Never fails: unterminated literals or
+/// comments simply end at EOF.
+TokenizedFile Tokenize(const SourceFile& file);
+
+}  // namespace lighttr::lint
+
+#endif  // LIGHTTR_TOOLS_LINT_TOKEN_H_

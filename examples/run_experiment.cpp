@@ -303,6 +303,10 @@ int main(int argc, char** argv) {
     table.AddRow({"Net late drops", std::to_string(faults.net_late_drops)});
     table.AddRow({"Net lost clients", std::to_string(faults.net_lost)});
   }
+  if (faults.storage_write_failures > 0) {
+    table.AddRow({"Storage write failures",
+                  std::to_string(faults.storage_write_failures)});
+  }
   if (health) {
     table.AddRow({"Diverged rounds",
                   std::to_string(result.run.faults.diverged_rounds)});

@@ -1,0 +1,673 @@
+#include "chaos/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/finite.h"
+#include "fl/federated_trainer.h"
+#include "nn/losses.h"
+#include "roadnet/generators.h"
+#include "traj/workload.h"
+
+namespace lighttr::chaos {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Harness: the same minimal one-parameter RecoveryModel the durability
+// tests use — training cost is noise, so a scenario exercises the full
+// fault surface in milliseconds.
+// ---------------------------------------------------------------------------
+
+class ProbeModel : public fl::RecoveryModel {
+ public:
+  explicit ProbeModel(Rng* rng) {
+    w_ = nn::Tensor::Variable(
+        nn::Matrix::Full(1, 1, rng != nullptr ? rng->Uniform(-1, 1) : 0.0));
+    params_.Register("w", w_);
+  }
+
+  const std::string& name() const override { return name_; }
+  nn::ParameterSet& params() override { return params_; }
+
+  fl::ForwardResult Forward(const traj::IncompleteTrajectory& trajectory,
+                            bool /*training*/, Rng* /*rng*/) override {
+    nn::Matrix target(1, 1);
+    target(0, 0) = static_cast<nn::Scalar>(trajectory.ground_truth.driver_id);
+    fl::ForwardResult result;
+    result.loss = nn::MseLoss(w_, target);
+    result.representation = w_;
+    return result;
+  }
+
+  std::vector<roadnet::PointPosition> Recover(
+      const traj::IncompleteTrajectory& trajectory) override {
+    return std::vector<roadnet::PointPosition>(trajectory.size(),
+                                               roadnet::PointPosition{0, 0.0});
+  }
+
+ private:
+  std::string name_ = "ChaosProbe";
+  nn::ParameterSet params_;
+  nn::Tensor w_;
+};
+
+std::unique_ptr<fl::RecoveryModel> MakeProbe(Rng* rng) {
+  return std::make_unique<ProbeModel>(rng);
+}
+
+// Client workloads for one scenario. Generated fresh per call (no
+// static caching) so scenarios are order-independent; every run segment
+// of one scenario shares the same vector.
+std::vector<traj::ClientDataset> MakeChaosClients(const ChaosScenario& s) {
+  Rng rng(s.seed ^ 0x9E3779B97F4A7C15ull);
+  roadnet::CityGridOptions grid;
+  grid.rows = 6;
+  grid.cols = 6;
+  const roadnet::RoadNetwork net = roadnet::GenerateCityGrid(grid, &rng);
+  traj::WorkloadProfile profile = traj::TdriveLikeProfile();
+  profile.trajectories_per_client = 6;
+  traj::FederatedWorkloadOptions workload;
+  workload.num_clients = s.clients;
+  return traj::GenerateFederatedWorkload(net, profile, workload, &rng);
+}
+
+constexpr char kChaosDir[] = "chaos";
+
+fl::FederatedTrainerOptions MakeOptions(const ChaosScenario& s, int threads,
+                                        FileSystem* fs, bool with_crash) {
+  fl::FederatedTrainerOptions o;
+  o.rounds = s.rounds;
+  o.client_fraction = s.client_fraction;
+  o.local_epochs = 1;
+  o.learning_rate = 0.05;
+  o.seed = s.seed;
+  o.threads = threads;
+  o.tolerance.quorum_fraction = s.quorum_fraction;
+  o.tolerance.retry.max_retries = 1;
+  if (s.client_faults_on) o.faults = s.client_faults;
+  if (s.net_on) o.transport.channel = s.net;
+  if (s.healing) {
+    o.healing.enabled = true;
+    o.healing.max_rollbacks = 2;
+  }
+  o.durability.dir = kChaosDir;
+  o.durability.fs = fs;
+  o.durability.snapshot_every = 2;
+  o.durability.keep_snapshots = 2;
+  if (with_crash && s.crash_on) {
+    o.durability.crash_point = s.crash_point;
+    o.durability.crash_round = s.crash_round;
+  }
+  return o;
+}
+
+FaultyFileSystem MakeScenarioFs(const ChaosScenario& s) {
+  // storage_on=false still runs on a FaultyFileSystem — with an all-zero
+  // config it is a plain deterministic RAM disk, so no scenario ever
+  // touches the real disk.
+  return FaultyFileSystem(s.storage_on ? s.storage : StorageFaultConfig{});
+}
+
+struct RunOutcome {
+  fl::FederatedRunResult result;
+  std::vector<nn::Scalar> final_params;
+  bool crash_fired = false;
+  bool fresh_restart = false;
+};
+
+// One full run segment: train, and when the injected crash fires,
+// simulate the machine crash and resume from whatever survived (a
+// failed resume falls back to a fresh restart, which must converge to
+// the same final model — everything derives from the seed).
+RunOutcome RunOnce(const ChaosScenario& s, int threads, bool with_crash,
+                   FaultyFileSystem* fs,
+                   const std::vector<traj::ClientDataset>* clients) {
+  RunOutcome out;
+  if (s.plant == PlantedBug::kLeakTmp) {
+    fs->set_leak_tmp_on_rename_failure(true);
+  }
+  auto trainer = std::make_unique<fl::FederatedTrainer>(
+      MakeProbe, clients, MakeOptions(s, threads, fs, with_crash));
+  try {
+    out.result = trainer->Run();
+  } catch (const fl::InjectedCrash&) {
+    out.crash_fired = true;
+    fs->SimulateCrash();
+    const fl::FederatedTrainerOptions after_crash =
+        MakeOptions(s, threads, fs, /*with_crash=*/false);
+    trainer =
+        std::make_unique<fl::FederatedTrainer>(MakeProbe, clients, after_crash);
+    const Status resumed = trainer->ResumeFrom(kChaosDir);
+    if (!resumed.ok()) {
+      // Nothing usable survived (or the resume itself hit storage
+      // faults): discard the possibly half-restored trainer and restart
+      // from scratch.
+      out.fresh_restart = true;
+      trainer = std::make_unique<fl::FederatedTrainer>(MakeProbe, clients,
+                                                       after_crash);
+    }
+    out.result = trainer->Run();
+  }
+  out.final_params = trainer->global_model()->params().Flatten();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants.
+// ---------------------------------------------------------------------------
+
+void AddViolation(ScenarioReport* report, const std::string& label,
+                  const std::string& detail) {
+  report->violations.push_back(InvariantViolation{label, detail});
+}
+
+// Field-by-field RoundRecord equality, wall-clock time excluded. Returns
+// an empty string on match, otherwise the first differing field.
+std::string DescribeRecordMismatch(const fl::RoundRecord& a,
+                                   const fl::RoundRecord& b) {
+  struct IntField {
+    const char* name;
+    int64_t lhs;
+    int64_t rhs;
+  };
+  const IntField ints[] = {
+      {"round", a.round, b.round},
+      {"sampled", a.sampled, b.sampled},
+      {"reporting", a.reporting, b.reporting},
+      {"drops", a.drops, b.drops},
+      {"retries", a.retries, b.retries},
+      {"stragglers", a.stragglers, b.stragglers},
+      {"rejected_uploads", a.rejected_uploads, b.rejected_uploads},
+      {"quorum_met", a.quorum_met ? 1 : 0, b.quorum_met ? 1 : 0},
+      {"verdict", a.verdict, b.verdict},
+      {"outlier_uploads", a.outlier_uploads, b.outlier_uploads},
+      {"quarantined", a.quarantined, b.quarantined},
+      {"skipped_quarantined", a.skipped_quarantined, b.skipped_quarantined},
+      {"escalated", a.escalated ? 1 : 0, b.escalated ? 1 : 0},
+      {"net_retries", a.net_retries, b.net_retries},
+      {"net_timeouts", a.net_timeouts, b.net_timeouts},
+      {"net_crc_drops", a.net_crc_drops, b.net_crc_drops},
+      {"net_dedup_drops", a.net_dedup_drops, b.net_dedup_drops},
+      {"net_late_drops", a.net_late_drops, b.net_late_drops},
+      {"net_lost", a.net_lost, b.net_lost},
+      {"storage_write_failures", a.storage_write_failures,
+       b.storage_write_failures},
+  };
+  for (const IntField& f : ints) {
+    if (f.lhs != f.rhs) {
+      return std::string(f.name) + " " + std::to_string(f.lhs) + " vs " +
+             std::to_string(f.rhs);
+    }
+  }
+  if (a.mean_train_loss != b.mean_train_loss) return "mean_train_loss";
+  if (a.global_valid_accuracy != b.global_valid_accuracy) {
+    return "global_valid_accuracy";
+  }
+  if (a.valid_loss != b.valid_loss) return "valid_loss";
+  return std::string();
+}
+
+std::string DescribeFaultsMismatch(const fl::FaultStats& a,
+                                   const fl::FaultStats& b) {
+  struct IntField {
+    const char* name;
+    int64_t lhs;
+    int64_t rhs;
+  };
+  const IntField ints[] = {
+      {"drops", a.drops, b.drops},
+      {"retries", a.retries, b.retries},
+      {"stragglers", a.stragglers, b.stragglers},
+      {"rejected_uploads", a.rejected_uploads, b.rejected_uploads},
+      {"clipped_uploads", a.clipped_uploads, b.clipped_uploads},
+      {"quorum_misses", a.quorum_misses, b.quorum_misses},
+      {"sampled_clients", a.sampled_clients, b.sampled_clients},
+      {"reporting_clients", a.reporting_clients, b.reporting_clients},
+      {"outlier_uploads", a.outlier_uploads, b.outlier_uploads},
+      {"diverged_rounds", a.diverged_rounds, b.diverged_rounds},
+      {"rollbacks", a.rollbacks, b.rollbacks},
+      {"quarantine_events", a.quarantine_events, b.quarantine_events},
+      {"parole_events", a.parole_events, b.parole_events},
+      {"quarantined_skips", a.quarantined_skips, b.quarantined_skips},
+      {"net_retries", a.net_retries, b.net_retries},
+      {"net_timeouts", a.net_timeouts, b.net_timeouts},
+      {"net_crc_drops", a.net_crc_drops, b.net_crc_drops},
+      {"net_dedup_drops", a.net_dedup_drops, b.net_dedup_drops},
+      {"net_late_drops", a.net_late_drops, b.net_late_drops},
+      {"net_lost", a.net_lost, b.net_lost},
+      {"storage_write_failures", a.storage_write_failures,
+       b.storage_write_failures},
+  };
+  for (const IntField& f : ints) {
+    if (f.lhs != f.rhs) {
+      return std::string(f.name) + " " + std::to_string(f.lhs) + " vs " +
+             std::to_string(f.rhs);
+    }
+  }
+  if (a.simulated_backoff_s != b.simulated_backoff_s) {
+    return "simulated_backoff_s";
+  }
+  return std::string();
+}
+
+// Invariant: the final global model is finite, always — no fault axis
+// is allowed to push NaN/Inf into the aggregated parameters.
+void CheckFiniteModel(const RunOutcome& run, ScenarioReport* report) {
+  if (!AllFinite(run.final_params)) {
+    AddViolation(report, "finite-global-model",
+                 "final global parameters contain NaN/Inf");
+  }
+}
+
+// Invariant: every sampled client is accounted for by exactly one
+// outcome bucket, every round.
+void CheckRoundConservation(const RunOutcome& run, ScenarioReport* report) {
+  for (const fl::RoundRecord& r : run.result.history) {
+    const int accounted = r.skipped_quarantined + r.drops + r.net_lost +
+                          r.stragglers + r.rejected_uploads + r.reporting;
+    if (r.sampled != accounted) {
+      AddViolation(report, "round-conservation",
+                   "round " + std::to_string(r.round) + ": sampled " +
+                       std::to_string(r.sampled) + " != accounted " +
+                       std::to_string(accounted));
+    }
+  }
+}
+
+// Invariant: the quorum verdict matches the arithmetic. quorum_met
+// implies enough reporters; too few reporters implies !quorum_met (the
+// gap between the two is the deliberate aggregate-failure degrade).
+void CheckQuorumAccounting(const ChaosScenario& s, const RunOutcome& run,
+                           ScenarioReport* report) {
+  for (const fl::RoundRecord& r : run.result.history) {
+    const int need = std::max(
+        1, static_cast<int>(
+               std::ceil(s.quorum_fraction * static_cast<double>(r.sampled))));
+    if (r.quorum_met && r.reporting < need) {
+      AddViolation(report, "quorum-accounting",
+                   "round " + std::to_string(r.round) + ": quorum met with " +
+                       std::to_string(r.reporting) + " < need " +
+                       std::to_string(need));
+    }
+    if (!r.quorum_met && r.reporting >= need) {
+      AddViolation(report, "quorum-accounting",
+                   "round " + std::to_string(r.round) +
+                       ": quorum missed with " + std::to_string(r.reporting) +
+                       " >= need " + std::to_string(need));
+    }
+  }
+}
+
+// Invariant: lifetime fault counters equal the per-round history sums.
+// Skipped when storage faults could have eaten journal lines across a
+// crash (the resumed history is then legitimately incomplete).
+void CheckCounterConservation(const RunOutcome& run, ScenarioReport* report) {
+  fl::FaultStats sum;
+  for (const fl::RoundRecord& r : run.result.history) {
+    sum.drops += r.drops;
+    sum.retries += r.retries;
+    sum.stragglers += r.stragglers;
+    sum.rejected_uploads += r.rejected_uploads;
+    sum.sampled_clients += r.sampled;
+    sum.reporting_clients += r.reporting;
+    sum.net_retries += r.net_retries;
+    sum.net_timeouts += r.net_timeouts;
+    sum.net_crc_drops += r.net_crc_drops;
+    sum.net_dedup_drops += r.net_dedup_drops;
+    sum.net_late_drops += r.net_late_drops;
+    sum.net_lost += r.net_lost;
+    if (!r.quorum_met) ++sum.quorum_misses;
+  }
+  const fl::FaultStats& total = run.result.faults;
+  struct IntField {
+    const char* name;
+    int64_t history;
+    int64_t lifetime;
+  };
+  const IntField fields[] = {
+      {"drops", sum.drops, total.drops},
+      {"retries", sum.retries, total.retries},
+      {"stragglers", sum.stragglers, total.stragglers},
+      {"rejected_uploads", sum.rejected_uploads, total.rejected_uploads},
+      {"sampled_clients", sum.sampled_clients, total.sampled_clients},
+      {"reporting_clients", sum.reporting_clients, total.reporting_clients},
+      {"quorum_misses", sum.quorum_misses, total.quorum_misses},
+      {"net_retries", sum.net_retries, total.net_retries},
+      {"net_timeouts", sum.net_timeouts, total.net_timeouts},
+      {"net_crc_drops", sum.net_crc_drops, total.net_crc_drops},
+      {"net_dedup_drops", sum.net_dedup_drops, total.net_dedup_drops},
+      {"net_late_drops", sum.net_late_drops, total.net_late_drops},
+      {"net_lost", sum.net_lost, total.net_lost},
+  };
+  for (const IntField& f : fields) {
+    if (f.history != f.lifetime) {
+      AddViolation(report, "counter-conservation",
+                   std::string(f.name) + ": history sum " +
+                       std::to_string(f.history) + " != lifetime " +
+                       std::to_string(f.lifetime));
+    }
+  }
+}
+
+// Invariant: no orphan temp files at quiescence. Litter the fault layer
+// planted on purpose is exempt; anything else ending in .tmp is a
+// leaked writer temp (the planted leak-tmp bug produces exactly this).
+void CheckNoOrphanTemps(const FaultyFileSystem& fs, ScenarioReport* report) {
+  for (const std::string& path : fs.AllFiles()) {
+    if (path.size() > 4 && path.compare(path.size() - 4, 4, ".tmp") == 0 &&
+        !fs.IsInjectedLitter(path)) {
+      AddViolation(report, "orphan-temp-file",
+                   "leaked writer temp survives at quiescence: " + path);
+    }
+  }
+}
+
+// Invariant: storage-fault attribution reconciles. Without a crash the
+// trainer must count exactly what the filesystem injected; across a
+// crash the in-memory tail of the counter can be lost (trainer <=
+// filesystem), but a clean filesystem always means a zero counter.
+void CheckStorageAttribution(const RunOutcome& run,
+                             const StorageFaultStats& stats,
+                             ScenarioReport* report) {
+  const int64_t trainer_count = run.result.faults.storage_write_failures;
+  const int64_t injected = stats.WriteFaults();
+  if (!run.crash_fired) {
+    if (trainer_count != injected) {
+      AddViolation(report, "storage-attribution",
+                   "trainer counted " + std::to_string(trainer_count) +
+                       " storage write failures, filesystem injected " +
+                       std::to_string(injected));
+    }
+    return;
+  }
+  if (trainer_count > injected) {
+    AddViolation(report, "storage-attribution",
+                 "trainer counted " + std::to_string(trainer_count) +
+                     " storage write failures, more than the " +
+                     std::to_string(injected) + " the filesystem injected");
+  }
+  if (injected == 0 && trainer_count != 0) {
+    AddViolation(report, "storage-attribution",
+                 "trainer counted " + std::to_string(trainer_count) +
+                     " storage write failures on a clean filesystem");
+  }
+}
+
+// Invariant: the run is bitwise identical at a different thread count —
+// final model, full history, and lifetime counters (wall-clock
+// excluded). Fault filesystems are rebuilt from the same seed, and all
+// durability IO runs on the coordinating thread, so even the storage
+// fault schedule must match.
+void CheckThreadBitwise(const ChaosScenario& s, const RunOutcome& main_run,
+                        const std::vector<traj::ClientDataset>* clients,
+                        ScenarioReport* report) {
+  const int alt_threads = s.threads == 1 ? 2 : 1;
+  FaultyFileSystem alt_fs = MakeScenarioFs(s);
+  const RunOutcome alt =
+      RunOnce(s, alt_threads, /*with_crash=*/true, &alt_fs, clients);
+  const std::string tag = " (threads " + std::to_string(s.threads) + " vs " +
+                          std::to_string(alt_threads) + ")";
+  if (main_run.final_params != alt.final_params) {
+    AddViolation(report, "thread-bitwise",
+                 "final global parameters differ" + tag);
+    return;
+  }
+  if (main_run.result.history.size() != alt.result.history.size()) {
+    AddViolation(report, "thread-bitwise",
+                 "history length " +
+                     std::to_string(main_run.result.history.size()) + " vs " +
+                     std::to_string(alt.result.history.size()) + tag);
+    return;
+  }
+  for (size_t i = 0; i < main_run.result.history.size(); ++i) {
+    const std::string mismatch = DescribeRecordMismatch(
+        main_run.result.history[i], alt.result.history[i]);
+    if (!mismatch.empty()) {
+      AddViolation(report, "thread-bitwise",
+                   "history[" + std::to_string(i) + "] " + mismatch + tag);
+      return;
+    }
+  }
+  const std::string faults_mismatch =
+      DescribeFaultsMismatch(main_run.result.faults, alt.result.faults);
+  if (!faults_mismatch.empty()) {
+    AddViolation(report, "thread-bitwise",
+                 "lifetime counters: " + faults_mismatch + tag);
+  }
+}
+
+// Invariant: a crashed-and-resumed (or crashed-and-restarted) run
+// converges to the same final model, bitwise, as the same scenario
+// without the crash. History equality is additionally required when the
+// storage axis is off (with storage faults the journal may legitimately
+// lose lines, and the storage counters differ by construction).
+void CheckResumeBitwise(const ChaosScenario& s, const RunOutcome& main_run,
+                        const std::vector<traj::ClientDataset>* clients,
+                        ScenarioReport* report) {
+  ChaosScenario reference = s;
+  reference.crash_on = false;
+  FaultyFileSystem ref_fs = MakeScenarioFs(reference);
+  const RunOutcome ref =
+      RunOnce(reference, s.threads, /*with_crash=*/false, &ref_fs, clients);
+  if (main_run.final_params != ref.final_params) {
+    AddViolation(report, "resume-bitwise",
+                 std::string("final global parameters after crash+") +
+                     (main_run.fresh_restart ? "restart" : "resume") +
+                     " differ from the uninterrupted run");
+    return;
+  }
+  if (s.storage_on) return;
+  if (main_run.result.history.size() != ref.result.history.size()) {
+    AddViolation(report, "resume-bitwise",
+                 "history length " +
+                     std::to_string(main_run.result.history.size()) +
+                     " after crash vs " +
+                     std::to_string(ref.result.history.size()) +
+                     " uninterrupted");
+    return;
+  }
+  for (size_t i = 0; i < main_run.result.history.size(); ++i) {
+    const std::string mismatch =
+        DescribeRecordMismatch(main_run.result.history[i],
+                               ref.result.history[i]);
+    if (!mismatch.empty()) {
+      AddViolation(report, "resume-bitwise",
+                   "history[" + std::to_string(i) + "] " + mismatch +
+                       " (crash+resume vs uninterrupted)");
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking.
+// ---------------------------------------------------------------------------
+
+bool ViolatesLabel(const ChaosScenario& s, const std::string& label) {
+  const ScenarioReport report = RunScenario(s);
+  for (const InvariantViolation& violation : report.violations) {
+    if (violation.label == label) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ScenarioReport RunScenario(const ChaosScenario& scenario) {
+  ScenarioReport report;
+  report.scenario = scenario;
+  const std::vector<traj::ClientDataset> clients = MakeChaosClients(scenario);
+
+  FaultyFileSystem fs = MakeScenarioFs(scenario);
+  const RunOutcome main_run =
+      RunOnce(scenario, scenario.threads, /*with_crash=*/true, &fs, &clients);
+  report.storage_stats = fs.stats();
+  report.trainer_storage_failures =
+      main_run.result.faults.storage_write_failures;
+  report.crash_fired = main_run.crash_fired;
+  report.fresh_restart = main_run.fresh_restart;
+  report.rounds_completed = static_cast<int>(main_run.result.history.size());
+
+  CheckFiniteModel(main_run, &report);
+  CheckRoundConservation(main_run, &report);
+  CheckQuorumAccounting(scenario, main_run, &report);
+  if (!(scenario.storage_on && main_run.crash_fired)) {
+    CheckCounterConservation(main_run, &report);
+  }
+  CheckNoOrphanTemps(fs, &report);
+  CheckStorageAttribution(main_run, fs.stats(), &report);
+  CheckThreadBitwise(scenario, main_run, &clients, &report);
+  if (main_run.crash_fired) {
+    CheckResumeBitwise(scenario, main_run, &clients, &report);
+  }
+  return report;
+}
+
+ShrinkOutcome ShrinkScenario(const ChaosScenario& failing,
+                             const std::string& label) {
+  ShrinkOutcome outcome;
+  outcome.label = label;
+  ChaosScenario current = failing;
+
+  const auto still_fails = [&outcome, &label](const ChaosScenario& candidate) {
+    ++outcome.evaluations;
+    return ViolatesLabel(candidate, label);
+  };
+
+  // Pass 1: remove whole axes, fixed order. Planted bugs stay.
+  {
+    const auto try_without = [&](void (*disable)(ChaosScenario*)) {
+      ChaosScenario candidate = current;
+      disable(&candidate);
+      if (still_fails(candidate)) current = candidate;
+    };
+    if (current.healing) {
+      try_without([](ChaosScenario* c) { c->healing = false; });
+    }
+    if (current.net_on) {
+      try_without([](ChaosScenario* c) { c->net_on = false; });
+    }
+    if (current.client_faults_on) {
+      try_without([](ChaosScenario* c) { c->client_faults_on = false; });
+    }
+    if (current.crash_on) {
+      try_without([](ChaosScenario* c) { c->crash_on = false; });
+    }
+    if (current.storage_on && current.plant == PlantedBug::kNone) {
+      try_without([](ChaosScenario* c) { c->storage_on = false; });
+    }
+  }
+
+  // Pass 2: bisect parameters toward their floors, keeping the last
+  // failing candidate at every step.
+  const auto shrink_int = [&](int ChaosScenario::*field, int floor) {
+    while (current.*field > floor) {
+      ChaosScenario candidate = current;
+      candidate.*field = floor + (current.*field - floor) / 2;
+      // Shrinking rounds below the crash round would silently disarm
+      // the crash axis; keep them consistent.
+      if (candidate.crash_on && candidate.crash_round > candidate.rounds) {
+        candidate.crash_round = candidate.rounds;
+      }
+      if (!still_fails(candidate)) break;
+      current = candidate;
+    }
+  };
+  shrink_int(&ChaosScenario::rounds, 2);
+  shrink_int(&ChaosScenario::clients, 2);
+  shrink_int(&ChaosScenario::threads, 1);
+  if (current.crash_on) shrink_int(&ChaosScenario::crash_round, 1);
+
+  // Rates: try zero outright, else halve a few times.
+  using FieldFn = double* (*)(ChaosScenario*);
+  const auto shrink_rate = [&](FieldFn field) {
+    if (*field(&current) <= 0.0) return;
+    ChaosScenario zeroed = current;
+    *field(&zeroed) = 0.0;
+    if (still_fails(zeroed)) {
+      current = zeroed;
+      return;
+    }
+    for (int i = 0; i < 4; ++i) {
+      ChaosScenario halved = current;
+      *field(&halved) = *field(&current) / 2.0;
+      if (!still_fails(halved)) break;
+      current = halved;
+    }
+  };
+  std::vector<FieldFn> rate_fields;
+  if (current.storage_on) {
+    rate_fields.push_back([](ChaosScenario* c) { return &c->storage.enospc_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->storage.torn_append_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->storage.rename_fail_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->storage.read_bitrot_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->storage.tmp_litter_rate; });
+  }
+  if (current.net_on) {
+    rate_fields.push_back([](ChaosScenario* c) { return &c->net.drop_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->net.duplicate_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->net.reorder_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->net.corrupt_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->net.truncate_rate; });
+    rate_fields.push_back([](ChaosScenario* c) { return &c->net.delay_rate; });
+  }
+  if (current.client_faults_on) {
+    rate_fields.push_back(
+        [](ChaosScenario* c) { return &c->client_faults.dropout_rate; });
+    rate_fields.push_back(
+        [](ChaosScenario* c) { return &c->client_faults.straggler_rate; });
+    rate_fields.push_back(
+        [](ChaosScenario* c) { return &c->client_faults.corruption_rate; });
+  }
+  for (FieldFn field : rate_fields) {
+    shrink_rate(field);
+  }
+  if (current.storage_on && current.storage.lose_unsynced_on_crash) {
+    ChaosScenario kind = current;
+    kind.storage.lose_unsynced_on_crash = false;
+    if (still_fails(kind)) current = kind;
+  }
+
+  outcome.minimal = current;
+  return outcome;
+}
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  CampaignResult result;
+  Rng rng(options.seed);
+  for (int i = 0; i < options.scenarios; ++i) {
+    ChaosScenario scenario = SampleScenario(&rng);
+    scenario.plant = options.plant;
+    if (options.plant == PlantedBug::kLeakTmp) {
+      // The planted bug lives on the rename-failure path: force the
+      // storage axis hostile enough to actually reach it.
+      scenario.storage_on = true;
+      if (scenario.storage.rename_fail_rate < 0.2) {
+        scenario.storage.rename_fail_rate = 0.2;
+      }
+    }
+    const ScenarioReport report = RunScenario(scenario);
+    ++result.scenarios_run;
+    if (report.crash_fired) ++result.crashes_fired;
+    if (options.progress != nullptr) options.progress(i, report);
+    if (!report.ok()) {
+      FailingCase failing;
+      failing.report = report;
+      if (options.shrink) {
+        const ShrinkOutcome shrunk =
+            ShrinkScenario(scenario, report.violations[0].label);
+        failing.minimal = shrunk.minimal;
+        failing.shrink_evaluations = shrunk.evaluations;
+      } else {
+        failing.minimal = scenario;
+      }
+      result.failures.push_back(failing);
+    }
+  }
+  return result;
+}
+
+}  // namespace lighttr::chaos

@@ -28,9 +28,23 @@ struct BackoffConfig {
 inline double BackoffDelaySeconds(const BackoffConfig& config, int retry,
                                   Rng* rng) {
   LIGHTTR_CHECK_GE(retry, 0);
-  double delay = config.base_delay_s;
-  for (int i = 0; i < retry; ++i) delay *= config.multiplier;
-  delay = std::min(delay, config.max_delay_s);
+  // Saturate at the cap inside the loop: naively computing
+  // base * multiplier^retry overflows to inf for large retry counts
+  // (and a shift-based variant would wrap), whereas the capped delay is
+  // what every attempt past the knee gets anyway.
+  double delay = std::min(config.base_delay_s, config.max_delay_s);
+  if (config.multiplier > 1.0) {
+    for (int i = 0; i < retry; ++i) {
+      delay *= config.multiplier;
+      if (delay >= config.max_delay_s) {
+        delay = config.max_delay_s;
+        break;
+      }
+    }
+  } else {
+    for (int i = 0; i < retry; ++i) delay *= config.multiplier;
+    delay = std::min(delay, config.max_delay_s);
+  }
   if (config.jitter > 0.0 && rng != nullptr) {
     delay *= 1.0 + rng->Uniform(-config.jitter, config.jitter);
   }

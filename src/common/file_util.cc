@@ -1,54 +1,30 @@
 #include "common/file_util.h"
 
-#include <cstdio>
-#include <fstream>
-#include <sstream>
+#include "common/env.h"
 
 namespace lighttr {
+
+// Legacy free-function surface: thin delegates to the process-wide real
+// filesystem. Code that needs fault injection takes a FileSystem*
+// instead (common/env.h); these wrappers keep the CSV/bench/example
+// call sites untouched.
 
 Status WriteFile(const std::string& path, const std::string& contents) {
   // Historical entry point; now atomic so existing CSV/checkpoint dumps
   // can no longer be observed half-written.
-  return WriteFileAtomic(path, contents);
+  return RealFileSystemInstance()->WriteFileAtomic(path, contents);
 }
 
 Status WriteFileAtomic(const std::string& path, const std::string& contents) {
-  // Temp file in the same directory so the final rename never crosses a
-  // filesystem boundary (cross-device rename is not atomic).
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open for writing: " + tmp);
-    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-    out.flush();
-    if (!out) {
-      out.close();
-      (void)std::remove(tmp.c_str());  // best-effort cleanup of the partial
-      return Status::IoError("short write to " + tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    (void)std::remove(tmp.c_str());  // best-effort cleanup of the partial
-    return Status::IoError("cannot rename " + tmp + " -> " + path);
-  }
-  return Status::Ok();
+  return RealFileSystemInstance()->WriteFileAtomic(path, contents);
 }
 
 Status AppendToFile(const std::string& path, const std::string& contents) {
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) return Status::IoError("cannot open for appending: " + path);
-  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
-  out.flush();
-  if (!out) return Status::IoError("short append to " + path);
-  return Status::Ok();
+  return RealFileSystemInstance()->AppendToFile(path, contents);
 }
 
 Result<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+  return RealFileSystemInstance()->ReadFile(path);
 }
 
 }  // namespace lighttr

@@ -38,6 +38,12 @@ struct FaultStats {
   int64_t net_dedup_drops = 0; // duplicate pushes absorbed by server dedup
   int64_t net_late_drops = 0;  // frames discarded for missing the deadline
   int64_t net_lost = 0;        // client-rounds lost to a dead link
+  // Storage telemetry (common/env): persistence calls (journal append,
+  // snapshot write) that failed at the filesystem. Training continues —
+  // the model is unaffected — but durability coverage degrades, so the
+  // count is surfaced rather than swallowed. Attributed to STORAGE:
+  // never to the network or to client reputation.
+  int64_t storage_write_failures = 0;
 
   /// Mean fraction of each round's cohort that actually reported.
   double MeanCohortFraction() const {
@@ -78,6 +84,11 @@ struct RoundRecord {
   int net_dedup_drops = 0;
   int net_late_drops = 0;
   int net_lost = 0;              // contacted clients lost to network faults
+  // Storage telemetry: lifetime storage_write_failures at the time this
+  // round committed (a running total, not a per-round delta, so a
+  // journal line lost to the very fault it would have recorded still
+  // shows up as a jump in the next surviving line).
+  int storage_write_failures = 0;
 };
 
 /// Accumulated transport statistics of one federated run. With the wire

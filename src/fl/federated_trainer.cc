@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
 #include <optional>
 
 #include "common/check.h"
-#include "common/file_util.h"
+#include "common/env.h"
 #include "common/stopwatch.h"
 #include "fl/compression.h"
 #include "fl/local_trainer.h"
@@ -206,6 +205,27 @@ void FederatedTrainer::AssignHealingCounters(FaultStats* faults) const {
   faults->quarantine_events = quarantine_events_;
   faults->parole_events = parole_events_;
   faults->quarantined_skips = quarantined_skips_;
+  // The storage counter rides along: like the healing counters it is a
+  // lifetime trainer member, so a rollback-restored FaultStats must be
+  // refreshed with the current value rather than the anchor's.
+  faults->storage_write_failures = storage_write_failures_;
+}
+
+FileSystem* FederatedTrainer::DurableFs() const {
+  return options_.durability.fs != nullptr ? options_.durability.fs
+                                           : RealFileSystemInstance();
+}
+
+void FederatedTrainer::SweepTempFiles() {
+  FileSystem* fs = DurableFs();
+  Result<std::vector<std::string>> names = fs->ListDir(options_.durability.dir);
+  if (!names.ok()) return;  // no directory yet: nothing to sweep
+  for (const std::string& name : names.value()) {
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Best-effort: a temp that cannot be removed is re-swept next run.
+      (void)fs->Remove(options_.durability.dir + "/" + name);
+    }
+  }
 }
 
 Status FederatedTrainer::SaveSnapshot(int round,
@@ -213,25 +233,33 @@ Status FederatedTrainer::SaveSnapshot(int round,
   const DurabilityConfig& durability = options_.durability;
   const ServerRunState state = CaptureState(round, result);
   const std::string path = SnapshotPath(durability.dir, round);
+  FileSystem* fs = DurableFs();
   if (durability.crash_point == CrashPoint::kMidSave &&
       durability.crash_round == round) {
     // Simulate dying inside WriteFileAtomic: the temp file holds half
     // the bytes, the rename never happened, the previous snapshot set
     // is untouched.
-    std::error_code ec;
-    std::filesystem::create_directories(durability.dir, ec);
+    (void)fs->CreateDirs(durability.dir);  // best-effort, like a dying writer
     const std::string encoded = EncodeRunState(state);
-    LIGHTTR_CHECK_OK(AppendToFile(path + ".tmp",
-                                  encoded.substr(0, encoded.size() / 2)));
+    const Status half =
+        fs->AppendToFile(path + ".tmp", encoded.substr(0, encoded.size() / 2));
+    // A storage fault can hit even the dying write; count it so the
+    // attribution ledger stays exact, then crash as scheduled.
+    if (!half.ok()) ++storage_write_failures_;
     throw InjectedCrash{CrashPoint::kMidSave, round};
   }
-  LIGHTTR_RETURN_NOT_OK(SaveRunState(path, state));
-  PruneSnapshots(durability.dir, durability.keep_snapshots);
+  LIGHTTR_RETURN_NOT_OK(SaveRunState(fs, path, state));
+  // The snapshot is the durability point: sync so a simulated power
+  // loss cannot revert behind it (this also makes the journal records
+  // up to this round crash-proof).
+  LIGHTTR_RETURN_NOT_OK(fs->SyncAll());
+  PruneSnapshots(fs, durability.dir, durability.keep_snapshots);
   return Status::Ok();
 }
 
 Status FederatedTrainer::ResumeFrom(const std::string& dir) {
-  Result<std::vector<int>> rounds = ListSnapshotRounds(dir);
+  FileSystem* fs = DurableFs();
+  Result<std::vector<int>> rounds = ListSnapshotRounds(fs, dir);
   if (!rounds.ok()) return rounds.status();
   if (rounds.value().empty()) {
     return Status::NotFound("no snapshots in " + dir);
@@ -239,7 +267,7 @@ Status FederatedTrainer::ResumeFrom(const std::string& dir) {
   const std::vector<int>& all = rounds.value();
   for (auto it = all.rbegin(); it != all.rend(); ++it) {
     const std::string path = SnapshotPath(dir, *it);
-    Result<ServerRunState> loaded = LoadRunState(path);
+    Result<ServerRunState> loaded = LoadRunState(fs, path);
     if (!loaded.ok()) {
       std::fprintf(stderr,
                    "[lighttr] warning: snapshot %s rejected (%s); falling "
@@ -275,6 +303,7 @@ Status FederatedTrainer::ResumeFrom(const std::string& dir) {
     quarantine_events_ = state.faults.quarantine_events;
     parole_events_ = state.faults.parole_events;
     quarantined_skips_ = state.faults.quarantined_skips;
+    storage_write_failures_ = state.faults.storage_write_failures;
     start_round_ = state.round;
     resumed_round_ = state.round;
     resume_seed_ = FederatedRunResult{};
@@ -283,13 +312,24 @@ Status FederatedTrainer::ResumeFrom(const std::string& dir) {
     // Replay the journal up to the snapshot round; later records belong
     // to rounds that will be re-executed, so drop them from disk too
     // (otherwise the journal would hold duplicates after the rerun).
-    Result<std::vector<RoundRecord>> journal = ReadJournal(dir);
+    Result<std::vector<RoundRecord>> journal = ReadJournal(fs, dir);
     if (!journal.ok()) return journal.status();
     for (const RoundRecord& record : journal.value()) {
       if (record.round <= state.round) resume_seed_.history.push_back(record);
     }
     if (resume_seed_.history.size() != journal.value().size()) {
-      LIGHTTR_RETURN_NOT_OK(RewriteJournal(dir, resume_seed_.history));
+      const Status rewritten = RewriteJournal(fs, dir, resume_seed_.history);
+      if (!rewritten.ok()) {
+        // A failed truncation would leave stale future-round records
+        // that the rerun will duplicate. Count the storage fault and
+        // retry once; if the filesystem still refuses, resume fails.
+        ++storage_write_failures_;
+        const Status retried = RewriteJournal(fs, dir, resume_seed_.history);
+        if (!retried.ok()) {
+          ++storage_write_failures_;
+          return retried;
+        }
+      }
     }
     std::fprintf(stderr, "[lighttr] resumed from %s (round %d complete)\n",
                  path.c_str(), state.round);
@@ -313,6 +353,10 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       LIGHTTR_CHECK_OK(resumed);
     }
   }
+  // Quiesce the directory: crashed writers (real or injected) may have
+  // left `*.tmp` partials behind; readers ignore them, but they must
+  // not accumulate forever.
+  if (durability.enabled()) SweepTempFiles();
 
   const int num_clients = static_cast<int>(clients_->size());
   const int sampled = std::max(
@@ -639,6 +683,10 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     result.faults.net_dedup_drops += record.net_dedup_drops;
     result.faults.net_late_drops += record.net_late_drops;
     result.faults.net_lost += record.net_lost;
+    // Assignment, not +=: the member is already a lifetime total (and
+    // failures during THIS round's commit below only surface next
+    // round, or in the final result assignment after the loop).
+    result.faults.storage_write_failures = storage_write_failures_;
 
     // Telemetry: validation accuracy + loss of the (possibly kept)
     // global model over the run-level unbiased validation pool.
@@ -707,22 +755,38 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       last_healthy_ = CaptureState(round, result);
     }
     record.wall_seconds = watch.ElapsedSeconds();
+    record.storage_write_failures = static_cast<int>(storage_write_failures_);
     result.history.push_back(record);
 
     if (durability.enabled()) {
       // Journal first, snapshot second: a crash between the two leaves
       // a journal record newer than any snapshot, which ResumeFrom
       // truncates before re-executing the round.
-      LIGHTTR_CHECK_OK(AppendJournalRecord(durability.dir, record));
+      //
+      // Persistence failures here are survivable, not fatal: the round
+      // already committed in memory and the model is untouched, so the
+      // run continues with degraded durability coverage and the failure
+      // attributed to the storage counter. (A real deployment pages an
+      // operator; aborting training over a full disk would be worse.)
+      const Status journaled = AppendJournalRecord(DurableFs(),
+                                                   durability.dir, record);
+      if (!journaled.ok()) ++storage_write_failures_;
       const bool snapshot_due = round % durability.snapshot_every == 0 ||
                                 round == options_.rounds;
       if (snapshot_due) {
         MaybeInjectCrash(durability, CrashPoint::kBeforeSave, round);
-        LIGHTTR_CHECK_OK(SaveSnapshot(round, result));
+        // Refresh first so the snapshot carries any journal failure
+        // just counted (resume must restore an exact ledger).
+        result.faults.storage_write_failures = storage_write_failures_;
+        const Status saved = SaveSnapshot(round, result);
+        if (!saved.ok()) ++storage_write_failures_;
         MaybeInjectCrash(durability, CrashPoint::kAfterSave, round);
       }
     }
   }
+  // Late storage failures (this loop's final journal/snapshot writes)
+  // still reach the caller's telemetry.
+  result.faults.storage_write_failures = storage_write_failures_;
   start_round_ = 0;
   resume_seed_ = FederatedRunResult{};
   return result;

@@ -169,6 +169,13 @@ class FederatedTrainer {
   /// happened). Run() continues at resumed_round() + 1.
   int resumed_round() const { return resumed_round_; }
 
+  /// Lifetime count of persistence calls (journal append, snapshot
+  /// write/sync) that failed at the filesystem. Training continues past
+  /// such failures — the model is unaffected — but the count is
+  /// surfaced so chaos invariants can reconcile it against what the
+  /// fault-injecting filesystem reports.
+  int64_t storage_write_failures() const { return storage_write_failures_; }
+
   /// The global model (valid after construction; trained after Run).
   RecoveryModel* global_model() { return global_model_.get(); }
 
@@ -206,6 +213,15 @@ class FederatedTrainer {
   /// to the snapshot directory, honoring kMidSave crash injection.
   [[nodiscard]] Status SaveSnapshot(int round,
                                     const FederatedRunResult& result);
+
+  /// The filesystem durability IO goes through: the configured
+  /// `durability.fs`, or the process-wide real one when unset.
+  FileSystem* DurableFs() const;
+
+  /// Removes leftover `*.tmp` files from the durability directory
+  /// (crashed writers leave them; readers already ignore them). Run at
+  /// startup so the chaos orphan-temp invariant holds at quiescence.
+  void SweepTempFiles();
 
   const std::vector<traj::ClientDataset>* clients_;
   FederatedTrainerOptions options_;
@@ -249,6 +265,10 @@ class FederatedTrainer {
   int64_t quarantine_events_ = 0;
   int64_t parole_events_ = 0;
   int64_t quarantined_skips_ = 0;
+  /// Lifetime storage-fault counter (see storage_write_failures()).
+  /// Deliberately NOT reset by rollback — like the healing counters, a
+  /// persistence failure happened even if the round it served is undone.
+  int64_t storage_write_failures_ = 0;
 };
 
 }  // namespace lighttr::fl

@@ -5,13 +5,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <algorithm>
-#include <filesystem>
 #include <sstream>
 
 #include "common/binary_io.h"
 #include "common/check.h"
 #include "common/crc32.h"
-#include "common/file_util.h"
+#include "common/env.h"
 
 namespace lighttr::fl {
 
@@ -21,38 +20,40 @@ constexpr char kMagic[4] = {'L', 'T', 'R', 'S'};
 // v1: original layout (PR 3). v2 appends the self-healing tail (extra
 // FaultStats counters, reputation + monitor blobs, escalation latch)
 // after the optimizer blobs. v3 appends the wire-transport tail (the
-// six net fault counters + the channel RNG stream). Each version's
-// shared prefix is byte-identical, and older snapshots still decode
-// with the newer tails left at defaults.
-constexpr uint32_t kVersion = 3;
+// six net fault counters + the channel RNG stream). v4 appends the
+// storage-fault counter. Each version's shared prefix is
+// byte-identical, and older snapshots still decode with the newer
+// tails left at defaults.
+constexpr uint32_t kVersion = 4;
 constexpr uint32_t kMinVersion = 1;
 constexpr char kJournalName[] = "journal.log";
 constexpr char kSnapshotPrefix[] = "snapshot-";
 constexpr char kSnapshotSuffix[] = ".ltrs";
 
 std::string JournalPath(const std::string& dir) {
-  return (std::filesystem::path(dir) / kJournalName).generic_string();
+  return dir + "/" + kJournalName;
 }
 
-// One journal line: twenty-three space-separated fields followed by the
+// One journal line: twenty-four space-separated fields followed by the
 // CRC-32 (8 hex digits) of everything before the final space. Doubles
 // use %.17g so the text round-trips bit-exactly. Fields 12..17 are the
 // self-healing columns added in v2, fields 18..23 the wire-transport
-// columns added in v3; the parser accepts any line with at least the
-// eleven v1 fields and ignores unknown trailing fields, so journals
-// written by newer builds (with further columns) still load.
+// columns added in v3, field 24 the storage-fault column added in v4;
+// the parser accepts any line with at least the eleven v1 fields and
+// ignores unknown trailing fields, so journals written by newer builds
+// (with further columns) still load.
 std::string FormatJournalBody(const RoundRecord& r) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "%d %.17g %.17g %.17g %d %d %d %d %d %d %d %.17g %d %d %d %d %d"
-                " %d %d %d %d %d %d",
+                " %d %d %d %d %d %d %d",
                 r.round, r.mean_train_loss, r.global_valid_accuracy,
                 r.wall_seconds, r.sampled, r.reporting, r.drops, r.retries,
                 r.stragglers, r.rejected_uploads, r.quorum_met ? 1 : 0,
                 r.valid_loss, r.verdict, r.outlier_uploads, r.quarantined,
                 r.skipped_quarantined, r.escalated ? 1 : 0, r.net_retries,
                 r.net_timeouts, r.net_crc_drops, r.net_dedup_drops,
-                r.net_late_drops, r.net_lost);
+                r.net_late_drops, r.net_lost, r.storage_write_failures);
   return std::string(buf);
 }
 
@@ -135,6 +136,10 @@ bool ParseJournalLine(const std::string& line, RoundRecord* out) {
     return false;
   }
   if (field.size() >= 23 && !to_int(field[22], &out->net_lost)) return false;
+  // Storage-fault column (v4); an older line leaves it at default.
+  if (field.size() >= 24 && !to_int(field[23], &out->storage_write_failures)) {
+    return false;
+  }
   return true;
 }
 
@@ -143,6 +148,13 @@ std::string FormatJournalLine(const RoundRecord& r) {
   char crc[16];
   std::snprintf(crc, sizeof(crc), "%08x", Crc32(body));
   return body + " " + crc + "\n";
+}
+
+/// Parent directory of `path` ("" when there is none to create).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos || slash == 0) return std::string();
+  return path.substr(0, slash);
 }
 
 }  // namespace
@@ -210,6 +222,8 @@ std::string EncodeRunState(const ServerRunState& state) {
   writer.WriteI64(state.faults.net_late_drops);
   writer.WriteI64(state.faults.net_lost);
   writer.WriteString(state.net_rng_state);
+  // v4 storage-fault tail.
+  writer.WriteI64(state.faults.storage_write_failures);
   std::string out = writer.Take();
   AppendCrc32Trailer(&out);
   return out;
@@ -293,48 +307,66 @@ Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
     LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.net_lost));
     LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->net_rng_state));
   }
+  if (version >= 4) {
+    LIGHTTR_RETURN_NOT_OK(
+        reader.ReadI64(&state->faults.storage_write_failures));
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in run-state snapshot");
   }
   return Status::Ok();
 }
 
-Status SaveRunState(const std::string& path, const ServerRunState& state) {
-  std::error_code ec;
-  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
-  if (ec) {
-    return Status::IoError("cannot create snapshot directory " +
-                           parent.generic_string() + ": " + ec.message());
+Status SaveRunState(FileSystem* fs, const std::string& path,
+                    const ServerRunState& state) {
+  LIGHTTR_CHECK(fs != nullptr);
+  const std::string parent = ParentDir(path);
+  if (!parent.empty()) {
+    Status created = fs->CreateDirs(parent);
+    if (!created.ok()) {
+      return Status::IoError("cannot create snapshot directory " + parent +
+                             ": " + created.message());
+    }
   }
-  return WriteFileAtomic(path, EncodeRunState(state));
+  return fs->WriteFileAtomic(path, EncodeRunState(state));
 }
 
-Result<ServerRunState> LoadRunState(const std::string& path) {
-  Result<std::string> contents = ReadFile(path);
+Status SaveRunState(const std::string& path, const ServerRunState& state) {
+  return SaveRunState(RealFileSystemInstance(), path, state);
+}
+
+Result<ServerRunState> LoadRunState(FileSystem* fs, const std::string& path) {
+  LIGHTTR_CHECK(fs != nullptr);
+  Result<std::string> contents = fs->ReadFile(path);
   if (!contents.ok()) return contents.status();
   ServerRunState state;
   LIGHTTR_RETURN_NOT_OK(DecodeRunState(contents.value(), &state));
   return state;
 }
 
+Result<ServerRunState> LoadRunState(const std::string& path) {
+  return LoadRunState(RealFileSystemInstance(), path);
+}
+
 std::string SnapshotPath(const std::string& dir, int round) {
   char name[64];
   std::snprintf(name, sizeof(name), "%s%06d%s", kSnapshotPrefix, round,
                 kSnapshotSuffix);
-  return (std::filesystem::path(dir) / name).generic_string();
+  return dir + "/" + name;
 }
 
-Result<std::vector<int>> ListSnapshotRounds(const std::string& dir) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  if (!fs::is_directory(dir, ec)) {
-    return Status::NotFound("no snapshot directory at " + dir);
+Result<std::vector<int>> ListSnapshotRounds(FileSystem* fs,
+                                            const std::string& dir) {
+  LIGHTTR_CHECK(fs != nullptr);
+  Result<std::vector<std::string>> names = fs->ListDir(dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no snapshot directory at " + dir);
+    }
+    return names.status();
   }
   std::vector<int> rounds;
-  for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string name = entry.path().filename().string();
+  for (const std::string& name : names.value()) {
     const size_t prefix_len = std::strlen(kSnapshotPrefix);
     const size_t suffix_len = std::strlen(kSnapshotSuffix);
     if (name.size() <= prefix_len + suffix_len) continue;
@@ -350,41 +382,52 @@ Result<std::vector<int>> ListSnapshotRounds(const std::string& dir) {
     if (end != digits.c_str() + digits.size() || round <= 0) continue;
     rounds.push_back(static_cast<int>(round));
   }
-  if (ec) {
-    return Status::IoError("cannot list " + dir + ": " + ec.message());
-  }
   std::sort(rounds.begin(), rounds.end());
   return rounds;
 }
 
-void PruneSnapshots(const std::string& dir, int keep) {
-  Result<std::vector<int>> rounds = ListSnapshotRounds(dir);
+Result<std::vector<int>> ListSnapshotRounds(const std::string& dir) {
+  return ListSnapshotRounds(RealFileSystemInstance(), dir);
+}
+
+void PruneSnapshots(FileSystem* fs, const std::string& dir, int keep) {
+  LIGHTTR_CHECK(fs != nullptr);
+  Result<std::vector<int>> rounds = ListSnapshotRounds(fs, dir);
   if (!rounds.ok()) return;  // nothing to prune
   const std::vector<int>& all = rounds.value();
   if (static_cast<int>(all.size()) <= keep) return;
   for (size_t i = 0; i + static_cast<size_t>(keep) < all.size(); ++i) {
-    std::error_code ec;
-    std::filesystem::remove(SnapshotPath(dir, all[i]), ec);
+    (void)fs->Remove(SnapshotPath(dir, all[i]));  // best-effort pruning
   }
+}
+
+void PruneSnapshots(const std::string& dir, int keep) {
+  PruneSnapshots(RealFileSystemInstance(), dir, keep);
+}
+
+Status AppendJournalRecord(FileSystem* fs, const std::string& dir,
+                           const RoundRecord& record) {
+  LIGHTTR_CHECK(fs != nullptr);
+  Status created = fs->CreateDirs(dir);
+  if (!created.ok()) {
+    return Status::IoError("cannot create journal directory " + dir + ": " +
+                           created.message());
+  }
+  return fs->AppendToFile(JournalPath(dir), FormatJournalLine(record));
 }
 
 Status AppendJournalRecord(const std::string& dir, const RoundRecord& record) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IoError("cannot create journal directory " + dir + ": " +
-                           ec.message());
-  }
-  return AppendToFile(JournalPath(dir), FormatJournalLine(record));
+  return AppendJournalRecord(RealFileSystemInstance(), dir, record);
 }
 
-Result<std::vector<RoundRecord>> ReadJournal(const std::string& dir) {
-  std::error_code ec;
+Result<std::vector<RoundRecord>> ReadJournal(FileSystem* fs,
+                                             const std::string& dir) {
+  LIGHTTR_CHECK(fs != nullptr);
   const std::string path = JournalPath(dir);
-  if (!std::filesystem::exists(path, ec)) {
+  if (!fs->Exists(path)) {
     return std::vector<RoundRecord>{};  // fresh directory: empty history
   }
-  Result<std::string> contents = ReadFile(path);
+  Result<std::string> contents = fs->ReadFile(path);
   if (!contents.ok()) return contents.status();
   std::vector<RoundRecord> records;
   std::istringstream lines(contents.value());
@@ -402,19 +445,28 @@ Result<std::vector<RoundRecord>> ReadJournal(const std::string& dir) {
   return records;
 }
 
-Status RewriteJournal(const std::string& dir,
+Result<std::vector<RoundRecord>> ReadJournal(const std::string& dir) {
+  return ReadJournal(RealFileSystemInstance(), dir);
+}
+
+Status RewriteJournal(FileSystem* fs, const std::string& dir,
                       const std::vector<RoundRecord>& records) {
+  LIGHTTR_CHECK(fs != nullptr);
   std::string contents;
   for (const RoundRecord& record : records) {
     contents += FormatJournalLine(record);
   }
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
+  Status created = fs->CreateDirs(dir);
+  if (!created.ok()) {
     return Status::IoError("cannot create journal directory " + dir + ": " +
-                           ec.message());
+                           created.message());
   }
-  return WriteFileAtomic(JournalPath(dir), contents);
+  return fs->WriteFileAtomic(JournalPath(dir), contents);
+}
+
+Status RewriteJournal(const std::string& dir,
+                      const std::vector<RoundRecord>& records) {
+  return RewriteJournal(RealFileSystemInstance(), dir, records);
 }
 
 }  // namespace lighttr::fl

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "fl/comm_stats.h"
 
@@ -52,6 +53,11 @@ struct InjectedCrash {
 struct DurabilityConfig {
   /// Directory for snapshots + journal; created on first save.
   std::string dir;
+  /// Filesystem all durability IO goes through. Null means the real
+  /// disk; tests and the chaos engine point this at a FaultyFileSystem
+  /// to make every persistence call fault-injectable. Not owned; must
+  /// outlive the trainer.
+  FileSystem* fs = nullptr;
   /// Snapshot every K completed rounds (the final round always
   /// snapshots so a finished run is durable).
   int snapshot_every = 1;
@@ -81,8 +87,9 @@ void MaybeInjectCrash(const DurabilityConfig& config, CrashPoint point,
 /// monitor's rolling windows, and the escalation latch. Version 3
 /// appends the wire-transport state: the net fault counters and the
 /// channel RNG stream (so a resumed run replays the same network
-/// weather). Older snapshots still load, the newer tails defaulting to
-/// "fresh".
+/// weather). Version 4 appends the storage-fault counter
+/// (FaultStats::storage_write_failures). Older snapshots still load,
+/// the newer tails defaulting to "fresh".
 struct ServerRunState {
   int round = 0;
   std::string rng_state;        // FederatedTrainer::rng_
@@ -108,11 +115,17 @@ std::string EncodeRunState(const ServerRunState& state);
 [[nodiscard]] Status DecodeRunState(const std::string& bytes,
                                     ServerRunState* state);
 
-/// Atomically writes `state` to `path`.
+/// Atomically writes `state` to `path` through `fs` (creating the
+/// parent directory). The fs-less overload uses the real filesystem —
+/// same for every pair below.
+[[nodiscard]] Status SaveRunState(FileSystem* fs, const std::string& path,
+                                  const ServerRunState& state);
 [[nodiscard]] Status SaveRunState(const std::string& path,
                                   const ServerRunState& state);
 
 /// Reads and decodes the snapshot at `path`.
+[[nodiscard]] Result<ServerRunState> LoadRunState(FileSystem* fs,
+                                                  const std::string& path);
 [[nodiscard]] Result<ServerRunState> LoadRunState(const std::string& path);
 
 /// Canonical snapshot path for a round: <dir>/snapshot-<round>.ltrs.
@@ -122,12 +135,18 @@ std::string SnapshotPath(const std::string& dir, int round);
 /// directory does not exist; an empty vector when it is merely empty.
 /// Partial `.tmp` files and unrelated names are ignored.
 [[nodiscard]] Result<std::vector<int>> ListSnapshotRounds(
+    FileSystem* fs, const std::string& dir);
+[[nodiscard]] Result<std::vector<int>> ListSnapshotRounds(
     const std::string& dir);
 
 /// Deletes all but the newest `keep` snapshots (best effort).
+void PruneSnapshots(FileSystem* fs, const std::string& dir, int keep);
 void PruneSnapshots(const std::string& dir, int keep);
 
 /// Appends one CRC-tagged journal line for a completed round.
+[[nodiscard]] Status AppendJournalRecord(FileSystem* fs,
+                                         const std::string& dir,
+                                         const RoundRecord& record);
 [[nodiscard]] Status AppendJournalRecord(const std::string& dir,
                                          const RoundRecord& record);
 
@@ -135,11 +154,15 @@ void PruneSnapshots(const std::string& dir, int keep);
 /// its CRC, silently dropping the torn tail a crash mid-append leaves.
 /// A missing journal is an empty history, not an error.
 [[nodiscard]] Result<std::vector<RoundRecord>> ReadJournal(
+    FileSystem* fs, const std::string& dir);
+[[nodiscard]] Result<std::vector<RoundRecord>> ReadJournal(
     const std::string& dir);
 
 /// Atomically rewrites the journal to exactly `records` (used on resume
 /// to drop records newer than the snapshot being resumed from, since
 /// those rounds will be re-executed).
+[[nodiscard]] Status RewriteJournal(FileSystem* fs, const std::string& dir,
+                                    const std::vector<RoundRecord>& records);
 [[nodiscard]] Status RewriteJournal(const std::string& dir,
                                     const std::vector<RoundRecord>& records);
 

@@ -6,7 +6,6 @@
 #include "common/binary_io.h"
 #include "common/check.h"
 #include "common/crc32.h"
-#include "common/file_util.h"
 #include "common/finite.h"
 
 namespace lighttr::nn {
@@ -161,12 +160,24 @@ Status SaveCheckpoint(const std::string& path, const ParameterSet& params) {
 
 Status SaveCheckpoint(const std::string& path, const ParameterSet& params,
                       CheckpointDtype dtype) {
-  return WriteFileAtomic(path, SerializeCheckpoint(params, dtype));
+  return SaveCheckpoint(RealFileSystemInstance(), path, params, dtype);
+}
+
+Status SaveCheckpoint(FileSystem* fs, const std::string& path,
+                      const ParameterSet& params, CheckpointDtype dtype) {
+  LIGHTTR_CHECK(fs != nullptr);
+  return fs->WriteFileAtomic(path, SerializeCheckpoint(params, dtype));
 }
 
 Status LoadCheckpoint(const std::string& path, ParameterSet* params) {
+  return LoadCheckpoint(RealFileSystemInstance(), path, params);
+}
+
+Status LoadCheckpoint(FileSystem* fs, const std::string& path,
+                      ParameterSet* params) {
+  LIGHTTR_CHECK(fs != nullptr);
   LIGHTTR_CHECK(params != nullptr);
-  Result<std::string> contents = ReadFile(path);
+  Result<std::string> contents = fs->ReadFile(path);
   if (!contents.ok()) return contents.status();
   return ParseCheckpoint(contents.value(), params);
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "nn/parameter.h"
 
@@ -49,8 +50,18 @@ std::string SerializeCheckpoint(const ParameterSet& params,
                                     const ParameterSet& params,
                                     CheckpointDtype dtype);
 
+/// As above, through an explicit FileSystem (fault-injectable path; the
+/// two-argument overloads use the process-wide real filesystem).
+[[nodiscard]] Status SaveCheckpoint(FileSystem* fs, const std::string& path,
+                                    const ParameterSet& params,
+                                    CheckpointDtype dtype);
+
 /// Restores parameters from `path`; names and shapes must match.
 [[nodiscard]] Status LoadCheckpoint(const std::string& path,
+                                    ParameterSet* params);
+
+/// As above, through an explicit FileSystem.
+[[nodiscard]] Status LoadCheckpoint(FileSystem* fs, const std::string& path,
                                     ParameterSet* params);
 
 }  // namespace lighttr::nn

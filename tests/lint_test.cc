@@ -128,26 +128,35 @@ TEST(LintTest, BannedFnFiresAndSuppresses) {
   EXPECT_NE(hits[1].message.find("system"), std::string::npos);
 }
 
-TEST(LintTest, NoDirectPersistenceFiresInFlAndNn) {
+TEST(LintTest, NoDirectPersistenceFiresAcrossSrc) {
   SourceFile fl;
   fl.path = "src/fl/rogue.cc";
   fl.content =
       "void A() { std::ofstream out(\"x\"); }\n"        // 1
       "void B() { std::fstream io(\"x\"); }\n"          // 2
       "void C() { FILE* f = fopen(\"x\", \"wb\"); }\n"  // 3
-      "void D() { std::ifstream in(\"x\"); }\n";        // read-only: allowed
-  SourceFile nn;
-  nn.path = "src/nn/rogue.cc";
-  nn.content = "void E() { std::ofstream out(\"x\"); }\n";
+      "void D() { std::ifstream in(\"x\"); }\n";        // 4: reads bypass
+                                                        // fault injection too
+  SourceFile traj;  // the rule scopes to ALL of src/, not just fl|nn
+  traj.path = "src/traj/rogue.cc";
+  traj.content =
+      "namespace fs = std::filesystem;\n"                    // 1: alias
+      "void E() { std::filesystem::remove_all(\"x\"); }\n"   // 2: mutation
+      "void F() { std::filesystem::directory_iterator it; }\n";  // 3: listing
   const std::vector<Diagnostic> hits =
-      OfRule(Lint({fl, nn}), "no-direct-persistence");
-  ASSERT_EQ(hits.size(), 4u);
+      OfRule(Lint({fl, traj}), "no-direct-persistence");
+  ASSERT_EQ(hits.size(), 7u);
   EXPECT_EQ(hits[0].file, "src/fl/rogue.cc");
   EXPECT_EQ(hits[0].line, 1);
   EXPECT_NE(hits[0].message.find("WriteFileAtomic"), std::string::npos);
   EXPECT_EQ(hits[1].line, 2);
   EXPECT_EQ(hits[2].line, 3);
-  EXPECT_EQ(hits[3].file, "src/nn/rogue.cc");
+  EXPECT_EQ(hits[3].line, 4);
+  EXPECT_EQ(hits[4].file, "src/traj/rogue.cc");
+  EXPECT_EQ(hits[4].line, 1);
+  EXPECT_NE(hits[4].message.find("std::filesystem"), std::string::npos);
+  EXPECT_EQ(hits[5].line, 2);
+  EXPECT_EQ(hits[6].line, 3);
 }
 
 TEST(LintTest, NoDirectPersistenceAllowComment) {
@@ -161,19 +170,34 @@ TEST(LintTest, NoDirectPersistenceAllowComment) {
   EXPECT_TRUE(OfRule(Lint({file}), "no-direct-persistence").empty());
 }
 
-TEST(LintTest, NoDirectPersistenceIgnoresOtherDirs) {
-  const std::string body = "void A() { std::ofstream out(\"x\"); }\n";
-  SourceFile common;
-  common.path = "src/common/file_util.cc";
-  common.content = body;
+TEST(LintTest, NoDirectPersistenceExemptsEnvTestsAndTools) {
+  const std::string body =
+      "void A() { std::ofstream out(\"x\"); }\n"
+      "void B() { std::filesystem::rename(\"a\", \"b\"); }\n";
+  SourceFile env;  // the one sanctioned home of raw file APIs
+  env.path = "src/common/env.cc";
+  env.content = body;
   SourceFile test_file;
   test_file.path = "tests/crash_recovery_test.cc";
   test_file.content = body;
   SourceFile tool;
   tool.path = "tools/lint/main.cc";
   tool.content = body;
-  EXPECT_TRUE(OfRule(Lint({common, test_file, tool}), "no-direct-persistence")
+  EXPECT_TRUE(OfRule(Lint({env, test_file, tool}), "no-direct-persistence")
                   .empty());
+}
+
+TEST(LintTest, NoDirectPersistenceCoversFormerFlNnAllowedDirs) {
+  // src/common outside env.* used to be out of scope; the Env refactor
+  // moved the raw APIs into common/env, so everything else in src/ is
+  // now held to the FileSystem contract.
+  SourceFile common;
+  common.path = "src/common/file_util.cc";
+  common.content = "void A() { std::ofstream out(\"x\"); }\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({common}), "no-direct-persistence");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/common/file_util.cc");
 }
 
 TEST(LintTest, BannedFnIncludesRacyTempHelpers) {

@@ -15,7 +15,8 @@
 //   no-iostream-in-lib   std::cout/cerr/clog inside src/ outside
 //                        common/table_printer.* and common/check.h
 //   banned-fn            atof/strcpy/sprintf/system/... class calls
-//   no-direct-persistence raw ofstream/fstream/fopen in src/fl|src/nn
+//   no-direct-persistence raw ofstream/fstream/ifstream/fopen and any
+//                        std::filesystem use in src/ outside common/env
 //   no-raw-nonfinite     raw isnan/isinf outside common + fl/health
 //   no-raw-wire          reinterpret_cast/memcpy serialization in src/
 //                        outside common/binary_io and fl/transport

@@ -148,34 +148,47 @@ void CheckBannedFn(Context* ctx, size_t fi) {
 // ---------------------------------------------------------------------------
 // Rule: no-direct-persistence
 //
-// src/fl and src/nn hold crash-safe state (snapshots, checkpoints, the
-// round journal); every byte they persist must go through
-// common/file_util so it is atomic (or CRC-tagged append). A raw
-// std::ofstream/std::fstream there can tear files on crash and silently
-// bypass the durability contract.
+// common/env is the single place src/ may touch raw file APIs: its
+// FileSystem interface is what makes every persisted byte atomic (or
+// CRC-tagged append) AND fault-injectable by the chaos engine.
+// Everywhere else under src/, raw streams (std::ofstream/fstream/
+// ifstream, fopen) and std::filesystem calls — mutation (rename,
+// remove, create_directories, ...) and inspection (directory_iterator,
+// exists, ...) alike, including `namespace fs = std::filesystem`
+// aliases — tear files on crash and silently bypass both the
+// durability contract and storage fault injection.
 // ---------------------------------------------------------------------------
 
 void CheckNoDirectPersistence(Context* ctx, size_t fi) {
   const TokenizedFile& file = ctx->files[fi];
   const std::string& path = file.norm_path;
-  if (!PathContainsDir(path, "src/fl") && !PathContainsDir(path, "src/nn")) {
-    return;
+  if (!PathContainsDir(path, "src")) return;
+  if (PathEndsWith(path, "common/env.h") ||
+      PathEndsWith(path, "common/env.cc")) {
+    return;  // the one sanctioned home of raw file APIs
   }
   const std::vector<Token>& t = file.tokens;
   for (size_t i = 0; i < t.size(); ++i) {
     if (t[i].kind != TokenKind::kIdent) continue;
     const std::string& id = t[i].text;
-    if ((id == "ofstream" || id == "fstream") && IsStdQualified(t, i)) {
+    if ((id == "ofstream" || id == "fstream" || id == "ifstream") &&
+        IsStdQualified(t, i)) {
       ctx->Report(fi, t[i].line, "no-direct-persistence",
                   "std::" + id +
-                      " in src/fl|src/nn; persist through common/file_util "
-                      "(WriteFileAtomic / AppendToFile) so crashes cannot "
-                      "tear files");
+                      " in src/ outside common/env; do file IO through a "
+                      "FileSystem (WriteFileAtomic / AppendToFile / "
+                      "ReadFile) so it stays crash-atomic and "
+                      "fault-injectable");
     } else if (id == "fopen" && IsFreeOrStdCall(t, i)) {
       ctx->Report(fi, t[i].line, "no-direct-persistence",
-                  "fopen in src/fl|src/nn; persist through common/file_util "
-                  "(WriteFileAtomic / AppendToFile) so crashes cannot tear "
-                  "files");
+                  "fopen in src/ outside common/env; do file IO through a "
+                  "FileSystem (WriteFileAtomic / AppendToFile / ReadFile) "
+                  "so it stays crash-atomic and fault-injectable");
+    } else if (id == "filesystem" && IsStdQualified(t, i)) {
+      ctx->Report(fi, t[i].line, "no-direct-persistence",
+                  "std::filesystem in src/ outside common/env (aliases "
+                  "included); route directory and file operations through "
+                  "a FileSystem (CreateDirs / ListDir / Remove / Exists)");
     }
   }
 }

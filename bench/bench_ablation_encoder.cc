@@ -8,7 +8,7 @@
 // radius back to a fixed one costs the most at long anchor gaps.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
@@ -102,6 +102,7 @@ int main() {
     std::fflush(stdout);
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_ablation_encoder.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_ablation_encoder.csv", table.ToCsv());
   return 0;
 }

@@ -6,7 +6,7 @@
 // accuracy degrades gracefully as the DP noise multiplier grows.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
@@ -69,6 +69,7 @@ int main() {
     std::fflush(stdout);
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_ext_privacy_comm.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_ext_privacy_comm.csv", table.ToCsv());
   return 0;
 }

@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 #include "lighttr/pipeline.h"
@@ -64,6 +64,7 @@ int main() {
     }
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_fault_tolerance.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_fault_tolerance.csv", table.ToCsv());
   return 0;
 }

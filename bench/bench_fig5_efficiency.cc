@@ -8,7 +8,7 @@
 // RNTrajRec+FL; MTrajRec+FL and RNTrajRec+FL heaviest.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 
@@ -61,6 +61,7 @@ int main() {
     std::fflush(stdout);
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_fig5_efficiency.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_fig5_efficiency.csv", table.ToCsv());
   return 0;
 }

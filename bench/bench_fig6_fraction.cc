@@ -6,7 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 
@@ -48,6 +48,7 @@ int main() {
     }
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_fig6_fraction.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_fig6_fraction.csv", table.ToCsv());
   return 0;
 }

@@ -12,7 +12,7 @@
 // LightTR but far more expensive.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 #include "fl/cyclic_trainer.h"
@@ -98,6 +98,7 @@ int main() {
     add_row("w/o_Meta", without_meta.metrics);
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_fig7_ablation.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_fig7_ablation.csv", table.ToCsv());
   return 0;
 }

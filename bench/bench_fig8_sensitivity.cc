@@ -6,7 +6,7 @@
 // excessive guidance (large lambda_0 / large l_t) degrades recovery.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 
@@ -48,6 +48,7 @@ int main() {
     run("l_t", l_t, /*lambda0=*/5.0, l_t);
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_fig8_sensitivity.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_fig8_sensitivity.csv", table.ToCsv());
   return 0;
 }

@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 #include "lighttr/pipeline.h"
@@ -115,7 +115,8 @@ int main() {
                   TablePrinter::Fmt(pred.lng, 6)});
     }
   }
-  (void)lighttr::WriteFile("bench_fig9_case_study.csv", csv.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_fig9_case_study.csv", csv.ToCsv());
   std::printf("\nwrote bench_fig9_case_study.csv (%zu rows)\n",
               csv.num_rows());
   return 0;

@@ -18,13 +18,14 @@
 #include <string>
 #include <vector>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "eval/harness.h"
 #include "nn/flops.h"
+#include "nn/kernels/kernels.h"
 #include "nn/matrix.h"
 
 namespace {
@@ -76,7 +77,9 @@ std::string JsonRow(const std::string& section, int threads, double seconds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  if (args.error) return 2;
   const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
   const std::vector<int> widths = {1, 2, 4, 8};
   std::printf("Parallel scaling sweep (scale=%s, hardware default=%d)\n",
@@ -172,13 +175,18 @@ int main() {
   }
 
   std::printf("%s", table.ToString().c_str());
-  std::string json = "[\n";
+  std::string json = "{\"kernel\": \"";
+  json += nn::KernelModeName(nn::ActiveKernelMode());
+  json += "\", \"rows\": [\n";
   for (size_t i = 0; i < json_rows.size(); ++i) {
     json += json_rows[i];
     json += (i + 1 < json_rows.size()) ? ",\n" : "\n";
   }
-  json += "]\n";
-  (void)WriteFile("BENCH_parallel_scaling.json", json);
-  (void)WriteFile("bench_parallel_scaling.csv", table.ToCsv());
+  json += "]}\n";
+  if (!bench::WriteArtifact(args, "BENCH_parallel_scaling.json", json) ||
+      !bench::WriteArtifact(args, "bench_parallel_scaling.csv",
+                            table.ToCsv())) {
+    return 1;
+  }
   return 0;
 }

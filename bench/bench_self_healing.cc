@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
@@ -97,7 +97,9 @@ struct RunOutcome {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  if (args.error) return 2;
   const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
   std::printf("Self-healing sweep (scale=%s)\n", scale.name.c_str());
 
@@ -212,8 +214,10 @@ int main() {
     json += (i + 1 < json_rows.size()) ? ",\n" : "\n";
   }
   json += "]\n";
-  (void)WriteFile("BENCH_self_healing.json", json);
-  (void)WriteFile("bench_self_healing.csv", table.ToCsv());
+  if (!bench::WriteArtifact(args, "BENCH_self_healing.json", json) ||
+      !bench::WriteArtifact(args, "bench_self_healing.csv", table.ToCsv())) {
+    return 1;
+  }
 
   // The acceptance bar: the protected run must detect, roll back, and
   // end strictly healthier than the unprotected one.

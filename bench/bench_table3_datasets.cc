@@ -5,7 +5,7 @@
 // (sparse vs data-sufficient) inspectable.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 #include "traj/stats.h"
@@ -47,6 +47,7 @@ int main() {
       [](const auto& s) { return s.observed_fraction; }, 3);
 
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_table3_datasets.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_table3_datasets.csv", table.ToCsv());
   return 0;
 }

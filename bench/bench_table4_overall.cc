@@ -8,7 +8,7 @@
 // DESIGN.md).
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 
@@ -49,6 +49,7 @@ int main() {
     }
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_table4_overall.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_table4_overall.csv", table.ToCsv());
   return 0;
 }

@@ -5,7 +5,7 @@
 // data) participate, with possible small non-monotonicity at the top.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 
@@ -42,6 +42,7 @@ int main() {
     }
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_table5_clients.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_table5_clients.csv", table.ToCsv());
   return 0;
 }

@@ -6,7 +6,7 @@
 // never pooling raw trajectories.
 #include <cstdio>
 
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
 
@@ -49,6 +49,7 @@ int main() {
     }
   }
   std::printf("%s", table.ToString().c_str());
-  (void)WriteFile("bench_table6_centralized.csv", table.ToCsv());
+  (void)lighttr::bench::WriteArtifact(
+      lighttr::bench::EnvBenchArgs(), "bench_table6_centralized.csv", table.ToCsv());
   return 0;
 }

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "baselines/model_zoo.h"
-#include "common/file_util.h"
+#include "bench/bench_output.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "eval/harness.h"
@@ -103,7 +103,9 @@ std::string JsonRow(const std::string& section, const RunOutcome& outcome,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  if (args.error) return 2;
   const eval::ExperimentScale scale = eval::ExperimentScale::FromEnv();
   std::printf("Transport fault sweep (scale=%s)\n", scale.name.c_str());
 
@@ -220,8 +222,10 @@ int main() {
     json += (i + 1 < json_rows.size()) ? ",\n" : "\n";
   }
   json += "]\n";
-  (void)WriteFile("BENCH_transport.json", json);
-  (void)WriteFile("bench_transport.csv", table.ToCsv());
+  if (!bench::WriteArtifact(args, "BENCH_transport.json", json) ||
+      !bench::WriteArtifact(args, "bench_transport.csv", table.ToCsv())) {
+    return 1;
+  }
 
   return failed ? 1 : 0;
 }

@@ -14,6 +14,7 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "eval/harness.h"
+#include "nn/kernels/kernels.h"
 
 namespace {
 
@@ -65,7 +66,7 @@ int Usage() {
       "                      [--traj-per-client=20] [--grid=9] [--seed=42]\n"
       "                      [--lr=0.003] [--fraction=1.0]\n"
       "                      [--checkpoint-dir=DIR] [--checkpoint-every=1]\n"
-      "                      [--resume] [--threads=0]\n"
+      "                      [--resume] [--threads=0] [--kernel=auto]\n"
       "                      [--health] [--quarantine-threshold=0.6]\n"
       "                      [--max-rollbacks=3] [--clip-norm=0]\n"
       "                      [--net-drop=0] [--net-corrupt=0] [--net-delay=0]\n"
@@ -83,6 +84,13 @@ int Usage() {
       "bitwise identical for every N. --threads=1 forces the serial path;\n"
       "--threads=0 (default) uses LIGHTTR_THREADS or the hardware core\n"
       "count.\n"
+      "\n"
+      "Kernels: --kernel selects the math microkernels for GEMM and\n"
+      "activation sweeps. auto (default) uses AVX2+FMA when the CPU\n"
+      "supports it, else the scalar reference; scalar forces the\n"
+      "reference loops; avx2 requests the vector path (falls back to\n"
+      "scalar on machines without AVX2+FMA). Results are bitwise\n"
+      "reproducible across runs and thread counts for a fixed kernel.\n"
       "\n"
       "Self-healing: --health turns on the round health monitor (divergence\n"
       "rollback + client quarantine, federated methods only);\n"
@@ -186,6 +194,14 @@ int main(int argc, char** argv) {
       !valid_rate(net_truncate) || net_retries_ll < 0) {
     return Usage();
   }
+  nn::KernelMode kernel_mode;
+  if (!nn::ParseKernelMode(FlagValue(argc, argv, "kernel", "auto"),
+                           &kernel_mode)) {
+    return Usage();
+  }
+  // Activate here so the centralized path (which never constructs a
+  // FederatedTrainer) also runs the selected kernels.
+  nn::ActivateKernels(kernel_mode);
   // Size the global pool (GEMM row splits) to match the request; the
   // federated trainer gets its own pool via options.fed.threads.
   SetGlobalThreadCount(ResolveThreadCount(threads));
@@ -257,6 +273,7 @@ int main(int argc, char** argv) {
     options.fed.durability.snapshot_every = checkpoint_every;
     options.fed.durability.resume = resume;
     options.fed.threads = threads;
+    options.fed.kernel = kernel_mode;
     options.fed.healing.enabled = health;
     options.fed.healing.reputation.quarantine_threshold = quarantine_threshold;
     options.fed.healing.max_rollbacks = max_rollbacks;

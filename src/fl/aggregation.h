@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
-#include "nn/matrix.h"
+#include "nn/arena.h"
 
 namespace lighttr::fl {
 

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "nn/matrix.h"
+#include "nn/arena.h"
 
 namespace lighttr::fl {
 

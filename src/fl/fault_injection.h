@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "nn/matrix.h"
+#include "nn/arena.h"
 
 namespace lighttr::fl {
 

@@ -1,0 +1,193 @@
+#include "nn/arena.h"
+
+#include <algorithm>
+#include <new>
+#include <vector>
+
+
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/asan_interface.h>
+#define LIGHTTR_ARENA_POISON(ptr, bytes) ASAN_POISON_MEMORY_REGION(ptr, bytes)
+#define LIGHTTR_ARENA_UNPOISON(ptr, bytes) \
+  ASAN_UNPOISON_MEMORY_REGION(ptr, bytes)
+#else
+#define LIGHTTR_ARENA_POISON(ptr, bytes) (void)0
+#define LIGHTTR_ARENA_UNPOISON(ptr, bytes) (void)0
+#endif
+
+namespace lighttr::nn {
+
+namespace {
+
+// AVX2 vector width: every block can be loaded with aligned 4-double
+// vectors (kernels currently use unaligned loads, so this is headroom,
+// not a correctness requirement).
+constexpr size_t kAlignment = 32;
+// Smallest block: one AVX2 vector of Scalars.
+constexpr size_t kMinElements = kAlignment / sizeof(Scalar);
+// Blocks above this many elements (16 MiB) skip the freelists: shapes
+// that large are one-off experiment buffers, not per-step temporaries,
+// and caching them would pin memory for the process lifetime.
+constexpr size_t kMaxCachedElements = size_t{1} << 21;
+constexpr size_t kNumClasses = 22;  // class c holds 2^c elements, c <= 21
+
+// Index of the smallest power-of-two class holding `n` elements.
+size_t ClassIndex(size_t n) {
+  size_t c = 2;  // 2^2 == kMinElements
+  while ((size_t{1} << c) < n) ++c;
+  return c;
+}
+
+Scalar* HeapAcquire(size_t elements) {
+  return static_cast<Scalar*>(
+      ::operator new(elements * sizeof(Scalar), std::align_val_t{kAlignment}));
+}
+
+void HeapRelease(Scalar* block) {
+  ::operator delete(block, std::align_val_t{kAlignment});
+}
+
+// One thread's pool: LIFO freelists per power-of-two size class. LIFO
+// keeps the hottest (cache-resident) block on top; plain vectors keep
+// reuse order independent of block addresses.
+class Arena {
+ public:
+  ~Arena() { Trim(); }
+
+  Scalar* Acquire(size_t elements) {
+    ++stats_.acquires;
+    if (elements > kMaxCachedElements) {
+      ++stats_.heap_allocations;
+      return HeapAcquire(elements);
+    }
+    // Cacheable sizes always allocate the full class size — even under
+    // bypass — so a block's footprint never depends on the bypass flag
+    // at acquire time (toggling it between acquire and release must not
+    // park an undersized block in a freelist).
+    const size_t c = ClassIndex(std::max(elements, kMinElements));
+    if (bypass_) {
+      ++stats_.heap_allocations;
+      return HeapAcquire(size_t{1} << c);
+    }
+    std::vector<Scalar*>& list = freelists_[c];
+    if (!list.empty()) {
+      Scalar* block = list.back();
+      list.pop_back();
+      ++stats_.pool_hits;
+      --stats_.cached_blocks;
+      stats_.cached_bytes -= static_cast<int64_t>(ClassBytes(c));
+      LIGHTTR_ARENA_UNPOISON(block, ClassBytes(c));
+      return block;
+    }
+    ++stats_.heap_allocations;
+    return HeapAcquire(size_t{1} << c);
+  }
+
+  void Release(Scalar* block, size_t elements) {
+    ++stats_.releases;
+    if (bypass_ || elements > kMaxCachedElements) {
+      HeapRelease(block);
+      return;
+    }
+    const size_t c = ClassIndex(std::max(elements, kMinElements));
+    freelists_[c].push_back(block);
+    ++stats_.cached_blocks;
+    stats_.cached_bytes += static_cast<int64_t>(ClassBytes(c));
+    LIGHTTR_ARENA_POISON(block, ClassBytes(c));
+  }
+
+  void Trim() {
+    for (size_t c = 0; c < kNumClasses; ++c) {
+      for (Scalar* block : freelists_[c]) {
+        LIGHTTR_ARENA_UNPOISON(block, ClassBytes(c));
+        HeapRelease(block);
+      }
+      freelists_[c].clear();
+    }
+    stats_.cached_blocks = 0;
+    stats_.cached_bytes = 0;
+  }
+
+  bool SetBypass(bool bypass) {
+    const bool previous = bypass_;
+    bypass_ = bypass;
+    return previous;
+  }
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  static size_t ClassBytes(size_t c) { return (size_t{1} << c) * sizeof(Scalar); }
+
+  std::vector<Scalar*> freelists_[kNumClasses];
+  ArenaStats stats_;
+  bool bypass_ = false;
+};
+
+Arena& ThreadArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+ArenaStats ThreadArenaStats() { return ThreadArena().stats(); }
+
+void TrimThreadArena() { ThreadArena().Trim(); }
+
+bool SetArenaBypass(bool bypass) { return ThreadArena().SetBypass(bypass); }
+
+Scalar* AcquireArenaBlock(size_t elements) {
+  return ThreadArena().Acquire(elements);
+}
+
+void ReleaseArenaBlock(Scalar* block, size_t elements) {
+  ThreadArena().Release(block, elements);
+}
+
+ArenaBuffer::ArenaBuffer(size_t size) : size_(size) {
+  if (size_ == 0) return;
+  data_ = AcquireArenaBlock(size_);
+  std::fill(data_, data_ + size_, Scalar{0});
+}
+
+ArenaBuffer::ArenaBuffer(const ArenaBuffer& other) : size_(other.size_) {
+  if (size_ == 0) return;
+  data_ = AcquireArenaBlock(size_);
+  std::copy(other.data_, other.data_ + size_, data_);
+}
+
+ArenaBuffer::ArenaBuffer(ArenaBuffer&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(const ArenaBuffer& other) {
+  if (this == &other) return *this;
+  // Same-size assignment reuses the block in place; anything else
+  // swaps through a fresh copy.
+  if (size_ == other.size_) {
+    if (size_ != 0) std::copy(other.data_, other.data_ + size_, data_);
+    return *this;
+  }
+  ArenaBuffer copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+ArenaBuffer& ArenaBuffer::operator=(ArenaBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  if (data_ != nullptr) ReleaseArenaBlock(data_, size_);
+  data_ = other.data_;
+  size_ = other.size_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+ArenaBuffer::~ArenaBuffer() {
+  if (data_ != nullptr) ReleaseArenaBlock(data_, size_);
+}
+
+}  // namespace lighttr::nn

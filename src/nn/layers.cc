@@ -33,13 +33,11 @@ GruCell::GruCell(size_t input_dim, size_t hidden_dim,
 Tensor GruCell::Forward(const Tensor& x, const Tensor& h_prev) const {
   LIGHTTR_DCHECK_EQ(h_prev.cols(), hidden_dim_);
   LIGHTTR_DCHECK_EQ(h_prev.rows(), x.rows());
-  const Tensor hx = ConcatCols(h_prev, x);
-  const Tensor r = Sigmoid(gate_r_.Forward(hx));
-  const Tensor z = Sigmoid(gate_z_.Forward(hx));
-  const Tensor gated = ConcatCols(Mul(r, h_prev), x);
-  const Tensor h_tilde = Tanh(gate_h_.Forward(gated));
-  // h = (1 - z) * h_prev + z * h~  ==  h_prev + z * (h~ - h_prev)
-  return Add(h_prev, Mul(z, Sub(h_tilde, h_prev)));
+  // One fused graph node instead of the ~12-op chain
+  //   Add(h, Mul(z, Sub(Tanh(...), h))) — see GruStep in nn/ops.h.
+  return GruStep(x, h_prev, gate_r_.weight(), gate_r_.bias(),
+                 gate_z_.weight(), gate_z_.bias(), gate_h_.weight(),
+                 gate_h_.bias());
 }
 
 Tensor GruCell::InitialState() const {

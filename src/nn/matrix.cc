@@ -6,6 +6,7 @@
 
 #include "common/thread_pool.h"
 #include "nn/flops.h"
+#include "nn/kernels/kernels.h"
 
 namespace lighttr::nn {
 
@@ -49,74 +50,34 @@ Scalar Matrix::SquaredNorm() const {
 namespace {
 
 // --------------------------------------------------------------------
-// GEMM kernels. One blocked i-k-j core handles all three public
-// products: plain A*B runs on B directly; A*B^T and A^T*B transpose-
-// pack their non-streaming operand into a thread-local scratch buffer
-// and reuse the same core. Three size regimes, all chosen by problem
-// shape only (never by thread count), so results are deterministic:
+// GEMM dispatch. The kernels themselves (scalar reference and the
+// AVX2+FMA variants) live in nn/kernels/; this file owns only the size
+// regimes and the thread-pool row split. One blocked i-k-j core handles
+// all three public products: plain A*B runs on B directly; A*B^T and
+// A^T*B transpose-pack their non-streaming operand into a thread-local
+// scratch buffer and reuse the same core. Three size regimes, all
+// chosen by problem shape only (never by thread count or kernel mode),
+// so results are deterministic for a fixed kernel choice:
 //
-//  - tiny products (most training-step matmuls, [1,H] rows) use the
-//    seed's simple loops — bit-identical to the pre-blocking kernels
-//    and free of packing overhead;
+//  - tiny products (most training-step matmuls, [1,H] rows) run the
+//    kernel table's small loops — in scalar mode bit-identical to the
+//    pre-blocking kernels, in AVX2 mode vectorized the same way as the
+//    blocked core (real LightTR training lives below this threshold,
+//    so the SIMD path must cover it to speed actual rounds);
 //  - larger products run the cache-blocked core: k is unrolled by 4
-//    (one C-row load/store amortized over 4 fused updates) under
-//    (j, k) blocking that keeps the active B panel in cache;
+//    under (j, k) blocking that keeps the active B panel in cache;
 //  - products above kParallelMinFlops additionally split their C rows
 //    into contiguous chunks across the global thread pool. Each row's
-//    FP reduction order is fixed by the blocking alone, so any chunk
-//    count — including 1 — produces bitwise identical output.
+//    FP reduction order is fixed by the kernel's blocking alone, so any
+//    chunk count — including 1 — produces bitwise identical output.
 // --------------------------------------------------------------------
 
 // Below this many FLOPs (2*m*k*n) the simple loops win: no packing, no
-// block bookkeeping. Also keeps gradcheck-scale numerics bit-identical
-// to the seed kernels.
+// block bookkeeping.
 constexpr size_t kSimpleMaxFlops = size_t{1} << 14;
 // Above this many FLOPs the row split across the pool pays for its
 // dispatch overhead.
 constexpr size_t kParallelMinFlops = size_t{1} << 21;
-// Block sizes: the active B panel is kBlockK x kBlockN Scalars (128 KiB)
-// — sized for L2 — and each i iteration streams kBlockK a-values and a
-// kBlockN-wide C row segment (2 KiB, L1-resident across the k loop).
-constexpr size_t kBlockK = 64;
-constexpr size_t kBlockN = 256;
-
-// c rows [row_begin, row_end) += a * b with a [m,k], b [k,n], both
-// row-major. The i-k-j loop order streams b and c rows contiguously;
-// the 4-wide k unroll performs 4 fused row updates per pass over the
-// C row segment. The summation tree per C element is fixed by the
-// blocking, independent of how rows are distributed over threads.
-void BlockedGemmRows(const Scalar* a, const Scalar* b, Scalar* c, size_t k,
-                     size_t n, size_t row_begin, size_t row_end) {
-  for (size_t jj = 0; jj < n; jj += kBlockN) {
-    const size_t j_end = std::min(jj + kBlockN, n);
-    for (size_t pp = 0; pp < k; pp += kBlockK) {
-      const size_t p_end = std::min(pp + kBlockK, k);
-      for (size_t i = row_begin; i < row_end; ++i) {
-        const Scalar* arow = a + i * k;
-        Scalar* crow = c + i * n;
-        size_t p = pp;
-        for (; p + 4 <= p_end; p += 4) {
-          const Scalar a0 = arow[p];
-          const Scalar a1 = arow[p + 1];
-          const Scalar a2 = arow[p + 2];
-          const Scalar a3 = arow[p + 3];
-          const Scalar* b0 = b + p * n;
-          const Scalar* b1 = b0 + n;
-          const Scalar* b2 = b1 + n;
-          const Scalar* b3 = b2 + n;
-          for (size_t j = jj; j < j_end; ++j) {
-            crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-          }
-        }
-        for (; p < p_end; ++p) {
-          const Scalar av = arow[p];
-          const Scalar* brow = b + p * n;
-          for (size_t j = jj; j < j_end; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
 
 // Dispatches the blocked core over the pool when the product is large
 // enough; chunk boundaries never change per-row results.
@@ -128,7 +89,7 @@ void BlockedGemm(const Scalar* a, const Scalar* b, Scalar* c, size_t m,
       std::min(m, static_cast<size_t>(pool->threads()));
   if (flops < kParallelMinFlops || max_chunks <= 1 ||
       ThreadPool::OnWorkerThread()) {
-    BlockedGemmRows(a, b, c, k, n, 0, m);
+    kernels::GemmRowsBlocked(a, b, c, k, n, 0, m);
     return;
   }
   const size_t rows_per_chunk = (m + max_chunks - 1) / max_chunks;
@@ -137,7 +98,7 @@ void BlockedGemm(const Scalar* a, const Scalar* b, Scalar* c, size_t m,
   pool->ParallelFor(chunks, [&](size_t chunk) {  // lint: shared-state(c)
     const size_t begin = chunk * rows_per_chunk;
     const size_t end = std::min(begin + rows_per_chunk, m);
-    BlockedGemmRows(a, b, c, k, n, begin, end);
+    kernels::GemmRowsBlocked(a, b, c, k, n, begin, end);
   });
 }
 
@@ -167,17 +128,7 @@ void MatMulAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t n = b.cols();
   AddFlops(static_cast<int64_t>(2 * m * k * n));
   if (2 * m * k * n < kSimpleMaxFlops) {
-    // i-k-j loop order: streams through b and c rows contiguously.
-    for (size_t i = 0; i < m; ++i) {
-      Scalar* crow = c->data() + i * n;
-      const Scalar* arow = a.data() + i * k;
-      for (size_t p = 0; p < k; ++p) {
-        const Scalar av = arow[p];
-        if (av == Scalar{0}) continue;
-        const Scalar* brow = b.data() + p * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    kernels::GemmSmallNN(a.data(), b.data(), c->data(), m, k, n, n);
     return;
   }
   BlockedGemm(a.data(), b.data(), c->data(), m, k, n);
@@ -192,16 +143,7 @@ void MatMulTransAAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t n = b.cols();
   AddFlops(static_cast<int64_t>(2 * m * k * n));
   if (2 * m * k * n < kSimpleMaxFlops) {
-    for (size_t p = 0; p < k; ++p) {
-      const Scalar* arow = a.data() + p * m;
-      const Scalar* brow = b.data() + p * n;
-      for (size_t i = 0; i < m; ++i) {
-        const Scalar av = arow[i];
-        if (av == Scalar{0}) continue;
-        Scalar* crow = c->data() + i * n;
-        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    kernels::GemmSmallTA(a.data(), b.data(), c->data(), m, k, n);
     return;
   }
   // Transpose-pack a ([k,m]) into at ([m,k]) and reuse the i-k-j core.
@@ -223,16 +165,7 @@ void MatMulTransBAccumulate(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t n = b.rows();
   AddFlops(static_cast<int64_t>(2 * m * k * n));
   if (2 * m * k * n < kSimpleMaxFlops) {
-    for (size_t i = 0; i < m; ++i) {
-      const Scalar* arow = a.data() + i * k;
-      Scalar* crow = c->data() + i * n;
-      for (size_t j = 0; j < n; ++j) {
-        const Scalar* brow = b.data() + j * k;
-        Scalar acc{0};
-        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
-      }
-    }
+    kernels::GemmSmallTB(a.data(), b.data(), c->data(), m, k, n);
     return;
   }
   // Transpose-pack b ([n,k]) into bt ([k,n]) and reuse the i-k-j core.

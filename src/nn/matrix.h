@@ -7,20 +7,22 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "nn/arena.h"
 
 namespace lighttr::nn {
 
-/// Numeric type of all network math. Double keeps finite-difference
-/// gradient checks tight; at these model sizes it is not slower than
-/// float on scalar CPU code.
-using Scalar = double;
+// `Scalar` lives in nn/arena.h (the arena sizes blocks in Scalars);
+// it remains visible here for every matrix.h includer.
 
-/// A dense (rows x cols) row-major matrix of Scalars.
+/// A dense (rows x cols) row-major matrix of Scalars. Storage comes
+/// from the thread-local tensor arena (nn/arena.h), so the temporaries
+/// of a steady-state training step recycle pooled blocks instead of
+/// hitting the heap.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, Scalar{0}) {}
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
 
   static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
 
@@ -82,7 +84,7 @@ class Matrix {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<Scalar> data_;
+  ArenaBuffer data_;
 };
 
 /// c = a * b (shapes [m,k] x [k,n]).

@@ -1,9 +1,11 @@
 #include "nn/ops.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/check.h"
 #include "nn/flops.h"
+#include "nn/kernels/kernels.h"
 
 namespace lighttr::nn {
 
@@ -105,9 +107,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Sigmoid(const Tensor& a) {
   Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = Scalar{1} / (Scalar{1} + std::exp(-out.data()[i]));
-  }
+  kernels::SigmoidInPlace(out.data(), out.size());
   AddFlops(4 * Elems(out));
   return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
     if (!a.requires_grad()) return;
@@ -122,9 +122,7 @@ Tensor Sigmoid(const Tensor& a) {
 
 Tensor Tanh(const Tensor& a) {
   Matrix out = a.value();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
+  kernels::TanhInPlace(out.data(), out.size());
   AddFlops(4 * Elems(out));
   return Tensor::MakeOp(std::move(out), {a}, [a](TensorNode& self) {
     if (!a.requires_grad()) return;
@@ -407,6 +405,202 @@ Tensor LayerNormRows(const Tensor& a, Scalar epsilon) {
     }
     AddFlops(static_cast<int64_t>(8 * ag.size()));
   });
+}
+
+Tensor GruStep(const Tensor& x, const Tensor& h_prev, const Tensor& wr,
+               const Tensor& br, const Tensor& wz, const Tensor& bz,
+               const Tensor& wh, const Tensor& bh) {
+  const size_t n = x.rows();
+  const size_t in_dim = x.cols();
+  const size_t hidden = h_prev.cols();
+  LIGHTTR_DCHECK_EQ(h_prev.rows(), n);
+  LIGHTTR_DCHECK_EQ(wr.rows(), hidden + in_dim);
+  LIGHTTR_DCHECK_EQ(wr.cols(), hidden);
+  LIGHTTR_DCHECK(wr.value().SameShape(wz.value()));
+  LIGHTTR_DCHECK(wr.value().SameShape(wh.value()));
+  LIGHTTR_DCHECK_EQ(br.rows(), 1u);
+  LIGHTTR_DCHECK_EQ(br.cols(), hidden);
+  LIGHTTR_DCHECK(br.value().SameShape(bz.value()));
+  LIGHTTR_DCHECK(br.value().SameShape(bh.value()));
+
+  // Weight layout: rows [0, hidden) of each gate matrix multiply the
+  // recurrent input, rows [hidden, hidden+in_dim) the step input. Both
+  // blocks are contiguous in the row-major [(H+I), H] parameter, so the
+  // concatenated-input product [h|x] W splits into two offset GEMMs
+  // with no concat buffer — same accumulation order (h rows first,
+  // then x rows) as the composed implementation it replaced.
+  const size_t x_block = hidden * hidden;  // offset of the input block
+  const Matrix& hv = h_prev.value();
+  const Matrix& xv = x.value();
+
+  // Packed r|z pre-activations: columns [0, H) hold the reset gate,
+  // [H, 2H) the update gate; both accumulate via ldc-strided GEMMs and
+  // activate in ONE sigmoid sweep over the whole buffer.
+  auto rz = std::make_shared<Matrix>(n, 2 * hidden);
+  Scalar* rz_data = rz->data();
+  kernels::GemmSmallNN(hv.data(), wr.value().data(), rz_data, n, hidden,
+                       hidden, 2 * hidden);
+  kernels::GemmSmallNN(xv.data(), wr.value().data() + x_block, rz_data, n,
+                       in_dim, hidden, 2 * hidden);
+  kernels::GemmSmallNN(hv.data(), wz.value().data(), rz_data + hidden, n,
+                       hidden, hidden, 2 * hidden);
+  kernels::GemmSmallNN(xv.data(), wz.value().data() + x_block,
+                       rz_data + hidden, n, in_dim, hidden, 2 * hidden);
+  for (size_t r = 0; r < n; ++r) {
+    Scalar* row = rz_data + r * 2 * hidden;
+    for (size_t c = 0; c < hidden; ++c) {
+      row[c] += br.value().data()[c];
+      row[hidden + c] += bz.value().data()[c];
+    }
+  }
+  kernels::SigmoidInPlace(rz_data, n * 2 * hidden);
+
+  // Candidate state: h~ = tanh((r*h) W_h[h-block] + x W_h[x-block] + b_h).
+  auto rh = std::make_shared<Matrix>(n, hidden);
+  for (size_t r = 0; r < n; ++r) {
+    const Scalar* gates = rz_data + r * 2 * hidden;
+    const Scalar* hrow = hv.data() + r * hidden;
+    Scalar* rhrow = rh->data() + r * hidden;
+    for (size_t c = 0; c < hidden; ++c) rhrow[c] = gates[c] * hrow[c];
+  }
+  auto ht = std::make_shared<Matrix>(n, hidden);
+  kernels::GemmSmallNN(rh->data(), wh.value().data(), ht->data(), n, hidden,
+                       hidden, hidden);
+  kernels::GemmSmallNN(xv.data(), wh.value().data() + x_block, ht->data(), n,
+                       in_dim, hidden, hidden);
+  for (size_t r = 0; r < n; ++r) {
+    Scalar* row = ht->data() + r * hidden;
+    for (size_t c = 0; c < hidden; ++c) row[c] += bh.value().data()[c];
+  }
+  kernels::TanhInPlace(ht->data(), n * hidden);
+
+  // out = h + z * (h~ - h)
+  Matrix out(n, hidden);
+  for (size_t r = 0; r < n; ++r) {
+    const Scalar* gates = rz_data + r * 2 * hidden;
+    const Scalar* hrow = hv.data() + r * hidden;
+    const Scalar* htrow = ht->data() + r * hidden;
+    Scalar* orow = out.data() + r * hidden;
+    for (size_t c = 0; c < hidden; ++c) {
+      orow[c] = hrow[c] + gates[hidden + c] * (htrow[c] - hrow[c]);
+    }
+  }
+  AddFlops(static_cast<int64_t>(6 * n * (hidden + in_dim) * hidden +
+                                14 * n * hidden));
+
+  return Tensor::MakeOp(
+      std::move(out), {x, h_prev, wr, br, wz, bz, wh, bh},
+      [x, h_prev, wr, br, wz, bz, wh, bh, rz, rh, ht](TensorNode& self) {
+        const size_t rows = self.grad.rows();
+        const size_t h_dim = self.grad.cols();
+        const size_t i_dim = x.cols();
+        const size_t x_off = h_dim * h_dim;
+        const Matrix& hv2 = h_prev.value();
+        const Matrix& xv2 = x.value();
+        const Scalar* rz_d = rz->data();
+        const Scalar* ht_d = ht->data();
+
+        // Gate-input gradients, derived in closed form from the cached
+        // activations (r, z packed in rz; h~ in ht; r*h in rh):
+        //   a_h = g*z * (1 - h~^2)           (pre-activation of h~)
+        //   drh = a_h W_h[h]^T
+        //   a_r = drh*h * r(1-r)             (pre-activation of r)
+        //   a_z = g*(h~ - h) * z(1-z)        (pre-activation of z)
+        Matrix a_h(rows, h_dim);
+        for (size_t r = 0; r < rows; ++r) {
+          const Scalar* gates = rz_d + r * 2 * h_dim;
+          const Scalar* htrow = ht_d + r * h_dim;
+          const Scalar* grow = self.grad.data() + r * h_dim;
+          Scalar* arow = a_h.data() + r * h_dim;
+          for (size_t c = 0; c < h_dim; ++c) {
+            arow[c] = grow[c] * gates[h_dim + c] *
+                      (Scalar{1} - htrow[c] * htrow[c]);
+          }
+        }
+        Matrix drh(rows, h_dim);
+        kernels::GemmSmallTB(a_h.data(), wh.value().data(), drh.data(), rows,
+                             h_dim, h_dim);
+        Matrix a_r(rows, h_dim);
+        Matrix a_z(rows, h_dim);
+        for (size_t r = 0; r < rows; ++r) {
+          const Scalar* gates = rz_d + r * 2 * h_dim;
+          const Scalar* htrow = ht_d + r * h_dim;
+          const Scalar* grow = self.grad.data() + r * h_dim;
+          const Scalar* hrow = hv2.data() + r * h_dim;
+          const Scalar* drhrow = drh.data() + r * h_dim;
+          Scalar* arrow = a_r.data() + r * h_dim;
+          Scalar* azrow = a_z.data() + r * h_dim;
+          for (size_t c = 0; c < h_dim; ++c) {
+            const Scalar rv = gates[c];
+            const Scalar zv = gates[h_dim + c];
+            arrow[c] = drhrow[c] * hrow[c] * rv * (Scalar{1} - rv);
+            azrow[c] = grow[c] * (htrow[c] - hrow[c]) * zv * (Scalar{1} - zv);
+          }
+        }
+
+        if (wh.requires_grad()) {
+          Matrix& whg = wh.grad();
+          kernels::GemmSmallTA(rh->data(), a_h.data(), whg.data(), h_dim,
+                               rows, h_dim);
+          kernels::GemmSmallTA(xv2.data(), a_h.data(), whg.data() + x_off,
+                               i_dim, rows, h_dim);
+        }
+        if (wr.requires_grad()) {
+          Matrix& wrg = wr.grad();
+          kernels::GemmSmallTA(hv2.data(), a_r.data(), wrg.data(), h_dim,
+                               rows, h_dim);
+          kernels::GemmSmallTA(xv2.data(), a_r.data(), wrg.data() + x_off,
+                               i_dim, rows, h_dim);
+        }
+        if (wz.requires_grad()) {
+          Matrix& wzg = wz.grad();
+          kernels::GemmSmallTA(hv2.data(), a_z.data(), wzg.data(), h_dim,
+                               rows, h_dim);
+          kernels::GemmSmallTA(xv2.data(), a_z.data(), wzg.data() + x_off,
+                               i_dim, rows, h_dim);
+        }
+        const auto col_sum_into = [rows, h_dim](const Matrix& src,
+                                                Matrix* dst) {
+          Scalar* d = dst->data();
+          for (size_t r = 0; r < rows; ++r) {
+            const Scalar* srow = src.data() + r * h_dim;
+            for (size_t c = 0; c < h_dim; ++c) d[c] += srow[c];
+          }
+        };
+        if (bh.requires_grad()) col_sum_into(a_h, &bh.grad());
+        if (br.requires_grad()) col_sum_into(a_r, &br.grad());
+        if (bz.requires_grad()) col_sum_into(a_z, &bz.grad());
+
+        if (h_prev.requires_grad()) {
+          Matrix& hg = h_prev.grad();
+          for (size_t r = 0; r < rows; ++r) {
+            const Scalar* gates = rz_d + r * 2 * h_dim;
+            const Scalar* grow = self.grad.data() + r * h_dim;
+            const Scalar* drhrow = drh.data() + r * h_dim;
+            Scalar* hgrow = hg.data() + r * h_dim;
+            for (size_t c = 0; c < h_dim; ++c) {
+              // Direct path g*(1-z) plus the reset-gated path drh*r.
+              hgrow[c] += grow[c] * (Scalar{1} - gates[h_dim + c]) +
+                          drhrow[c] * gates[c];
+            }
+          }
+          kernels::GemmSmallTB(a_r.data(), wr.value().data(), hg.data(), rows,
+                               h_dim, h_dim);
+          kernels::GemmSmallTB(a_z.data(), wz.value().data(), hg.data(), rows,
+                               h_dim, h_dim);
+        }
+        if (x.requires_grad()) {
+          Matrix& xg = x.grad();
+          kernels::GemmSmallTB(a_h.data(), wh.value().data() + x_off,
+                               xg.data(), rows, h_dim, i_dim);
+          kernels::GemmSmallTB(a_r.data(), wr.value().data() + x_off,
+                               xg.data(), rows, h_dim, i_dim);
+          kernels::GemmSmallTB(a_z.data(), wz.value().data() + x_off,
+                               xg.data(), rows, h_dim, i_dim);
+        }
+        AddFlops(static_cast<int64_t>(12 * rows * (h_dim + i_dim) * h_dim +
+                                      20 * rows * h_dim));
+      });
 }
 
 Tensor Im2RowCausal(const Tensor& x, size_t kernel) {

@@ -76,6 +76,20 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
 /// centred and scaled to unit variance (epsilon-stabilised).
 Tensor LayerNormRows(const Tensor& a, Scalar epsilon = Scalar{1e-5});
 
+/// One fused GRU step (paper Eq. 5), replacing the ~12-node op chain a
+/// composed implementation builds per step with a single graph node:
+///   r = sigma(x_h W_r + b_r)   with x_h = [h_prev | x] (never
+///   z = sigma(x_h W_z + b_z)    materialized: the weight blocks are
+///   h~ = tanh([r*h_prev | x] W_h + b_h)        addressed directly)
+///   out = h_prev + z * (h~ - h_prev)
+/// The r/z pre-activations share one packed [n, 2H] buffer filled by
+/// offset GEMM calls and activated in a single vectorized sigmoid
+/// sweep; the backward is hand-derived (validated by
+/// GradCheck.GruCellUnrolled). Weights are [(H+I), H], biases [1, H].
+Tensor GruStep(const Tensor& x, const Tensor& h_prev, const Tensor& wr,
+               const Tensor& br, const Tensor& wz, const Tensor& bz,
+               const Tensor& wh, const Tensor& bh);
+
 /// Causal temporal im2row: stacks each row of x ([T, C]) with its k-1
 /// predecessors (zero-padded at the start) into [T, k*C]. A Dense layer
 /// on the result is a causal 1-D convolution — the CNN-based ST-operator

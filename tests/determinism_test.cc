@@ -10,6 +10,7 @@
 
 #include "eval/harness.h"
 #include "fl/run_state.h"
+#include "nn/kernels/kernels.h"
 #include "nn/losses.h"
 #include "roadnet/generators.h"
 
@@ -500,6 +501,72 @@ TEST(Determinism, CrashResumeOverLossyChannelIsBitwiseIdentical) {
               expected.history[r].net_dedup_drops);
     EXPECT_EQ(result.history[r].reporting, expected.history[r].reporting);
   }
+}
+
+// The kernel axis of the determinism contract (DESIGN.md §14): for a
+// FIXED kernel mode, thread count and crash/resume stay bitwise
+// invisible — on AVX2 hardware kAuto runs the vector table, so this
+// sweeps a genuinely different reduction order than kScalar. Across
+// modes results may differ (FMA rounding), which is exactly why the
+// mode is pinned in FederatedTrainerOptions rather than sniffed
+// per-thread.
+TEST(Determinism, LossyChannelRunIsBitwiseIdenticalPerKernelMode) {
+  const nn::KernelMode saved = nn::ActiveKernelMode();
+  for (nn::KernelMode mode : {nn::KernelMode::kScalar, nn::KernelMode::kAuto}) {
+    auto run_with_threads = [mode](int threads) {
+      auto clients = MakeLossyClients(67);
+      fl::FederatedTrainerOptions options = LossyChannelOptions(6);
+      options.threads = threads;
+      options.kernel = mode;
+      fl::FederatedTrainer trainer(MakeHealingStub, &clients, options);
+      fl::FederatedRunResult result = trainer.Run();
+      return std::make_pair(std::move(result),
+                            trainer.global_model()->params().Serialize());
+    };
+    const auto [serial, serial_params] = run_with_threads(1);
+    ASSERT_GT(serial.faults.net_retries, 0);
+    for (int threads : {2, 8}) {
+      const auto [parallel, parallel_params] = run_with_threads(threads);
+      EXPECT_EQ(parallel_params, serial_params)
+          << "kernel=" << nn::KernelModeName(mode) << " threads=" << threads;
+      EXPECT_EQ(parallel.comm.messages, serial.comm.messages);
+      EXPECT_EQ(parallel.faults.net_retries, serial.faults.net_retries);
+      EXPECT_EQ(parallel.faults.net_crc_drops, serial.faults.net_crc_drops);
+    }
+
+    // Crash mid-run and resume under the same kernel: same final bits.
+    const std::string dir = (std::filesystem::path(::testing::TempDir()) /
+                             (std::string("kernel_crash_resume_") +
+                              nn::KernelModeName(mode)))
+                                .generic_string();
+    std::filesystem::remove_all(dir);
+    auto clients = MakeLossyClients(67);
+    fl::FederatedTrainerOptions options = LossyChannelOptions(6);
+    options.kernel = mode;
+    options.durability.dir = dir;
+    options.durability.snapshot_every = 2;
+    options.durability.crash_point = fl::CrashPoint::kMidRound;
+    options.durability.crash_round = 4;
+    bool crashed = false;
+    {
+      fl::FederatedTrainer victim(MakeHealingStub, &clients, options);
+      try {
+        victim.Run();
+      } catch (const fl::InjectedCrash&) {
+        crashed = true;
+      }
+    }
+    ASSERT_TRUE(crashed) << nn::KernelModeName(mode);
+    options.durability.crash_point = fl::CrashPoint::kNone;
+    options.durability.crash_round = 0;
+    options.durability.resume = true;
+    fl::FederatedTrainer resumed(MakeHealingStub, &clients, options);
+    (void)resumed.Run();
+    EXPECT_GT(resumed.resumed_round(), 0);
+    EXPECT_EQ(resumed.global_model()->params().Serialize(), serial_params)
+        << "kernel=" << nn::KernelModeName(mode);
+  }
+  nn::ActivateKernels(saved);
 }
 
 }  // namespace

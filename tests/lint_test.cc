@@ -406,15 +406,55 @@ TEST(LintTest, NoRawWireIgnoresMembersAndIdentifiers) {
   EXPECT_TRUE(OfRule(Lint({file}), "no-raw-wire").empty());
 }
 
+TEST(LintTest, NoRawIntrinsicsFlagsIntrinsicsOutsideKernels) {
+  SourceFile file;
+  file.path = "src/nn/ops.cc";
+  file.content =
+      "#include <immintrin.h>\n"                                    // 1
+      "void F(double* x) { __m256d v = _mm256_loadu_pd(x);\n"       // 2 (x2)
+      "  _mm256_storeu_pd(x, v); }\n"                               // 3
+      "void G(double* x) { __m256d v = _mm256_setzero_pd(); "
+      "_mm256_storeu_pd(x, v); }"
+      "  // lighttr-lint: allow(no-raw-intrinsics)\n";
+  const std::vector<Diagnostic> hits =
+      OfRule(Lint({file}), "no-raw-intrinsics");
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("intrinsics header"), std::string::npos);
+  EXPECT_EQ(hits[1].line, 2);
+  EXPECT_NE(hits[1].message.find("__m256d"), std::string::npos);
+  EXPECT_EQ(hits[2].line, 2);
+  EXPECT_NE(hits[2].message.find("_mm256_loadu_pd"), std::string::npos);
+  EXPECT_EQ(hits[3].line, 3);
+}
+
+TEST(LintTest, NoRawIntrinsicsExemptsKernelsDirOnly) {
+  const std::string body =
+      "#include <immintrin.h>\n"
+      "void F(double* x) { _mm256_storeu_pd(x, _mm256_setzero_pd()); }\n";
+  SourceFile kernel;  // the one sanctioned home
+  kernel.path = "src/nn/kernels/kernels_avx2.cc";
+  kernel.content = body;
+  EXPECT_TRUE(OfRule(Lint({kernel}), "no-raw-intrinsics").empty());
+  SourceFile test_file;  // unlike most rules, tests are NOT exempt
+  test_file.path = "tests/some_test.cc";
+  test_file.content = body;
+  EXPECT_EQ(OfRule(Lint({test_file}), "no-raw-intrinsics").size(), 3u);
+  SourceFile lookalike;  // _mm-prefixed user identifiers are fine
+  lookalike.path = "src/nn/ops.cc";
+  lookalike.content = "int _map_max = 0; int mm256 = 0; double m128d = 0;\n";
+  EXPECT_TRUE(OfRule(Lint({lookalike}), "no-raw-intrinsics").empty());
+}
+
 TEST(LintTest, AllRuleNamesListsEveryRule) {
   const std::vector<std::string>& names = AllRuleNames();
-  EXPECT_EQ(names.size(), 15u);
+  EXPECT_EQ(names.size(), 16u);
   for (const char* expected :
        {"no-raw-rand", "no-raw-thread", "no-iostream-in-lib", "banned-fn",
         "no-direct-persistence", "no-raw-nonfinite", "no-raw-wire",
-        "no-ignored-status", "no-include-cycle", "no-unordered-iteration",
+        "no-raw-intrinsics", "no-ignored-status", "no-include-cycle",
         "no-wall-clock", "no-pointer-keys", "parallel-capture-audit",
-        "unused-include", "unused-suppression"}) {
+        "no-unordered-iteration", "unused-include", "unused-suppression"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }

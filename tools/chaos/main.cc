@@ -23,6 +23,7 @@
 
 #include "chaos/campaign.h"
 #include "chaos/scenario.h"
+#include "nn/kernels/kernels.h"
 
 namespace {
 
@@ -43,11 +44,14 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--scenarios=N] [--seed=S] [--no-shrink]\n"
       "          [--plant=leak-tmp] [--repro=\"seed=... ...\"]\n"
+      "          [--kernel=auto|scalar|avx2]\n"
       "\n"
       "Runs N seeded chaos scenarios across all fault axes and checks the\n"
       "invariant library; failures are shrunk to minimal repros. --plant\n"
       "injects a known bug and verifies the campaign catches and shrinks\n"
-      "it; --repro replays one scenario from its repro string.\n",
+      "it; --repro replays one scenario from its repro string. --kernel\n"
+      "selects the math microkernels (determinism invariants must hold\n"
+      "for every kernel).\n",
       argv0);
 }
 
@@ -197,6 +201,13 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--repro=", 0) == 0) {
       repro = value_of("--repro=");
       repro_mode = true;
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      lighttr::nn::KernelMode mode;
+      if (!lighttr::nn::ParseKernelMode(value_of("--kernel="), &mode)) {
+        std::fprintf(stderr, "bad --kernel value\n");
+        return 2;
+      }
+      lighttr::nn::ActivateKernels(mode);
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;

@@ -204,6 +204,7 @@ const std::vector<std::string>& AllRuleNames() {
       "no-direct-persistence",
       "no-raw-nonfinite",
       "no-raw-wire",
+      "no-raw-intrinsics",
       "no-ignored-status",
       "no-include-cycle",
       "no-unordered-iteration",

@@ -20,6 +20,8 @@
 //   no-raw-nonfinite     raw isnan/isinf outside common + fl/health
 //   no-raw-wire          reinterpret_cast/memcpy serialization in src/
 //                        outside common/binary_io and fl/transport
+//   no-raw-intrinsics    SIMD intrinsics (_mm*/__m128/__m256/__m512,
+//                        *intrin.h includes) outside nn/kernels
 //
 //  determinism family (src/fl, src/nn, src/common — the bitwise-
 //  reproducibility contract, DESIGN.md §12):

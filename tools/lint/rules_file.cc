@@ -261,6 +261,61 @@ void CheckNoRawWire(Context* ctx, size_t fi) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: no-raw-intrinsics
+//
+// SIMD intrinsics scattered through the tree defeat the kernel
+// architecture: every vector loop would need its own CPUID guard, its
+// own scalar fallback, and its own determinism argument. nn/kernels is
+// the one sanctioned home — it compiles the vector TU with the ISA
+// flags, publishes a runtime-dispatched function table, and pairs every
+// vector kernel with the scalar reference that bounds its rounding
+// drift. Everywhere else, reach vector code through that table.
+// ---------------------------------------------------------------------------
+
+bool IsIntrinsicIdent(const std::string& text) {
+  // _mm_*, _mm256_*, _mm512_* operations and the __m128/__m256/__m512
+  // vector types (plus suffixed forms like __m256d).
+  if (text.rfind("_mm", 0) == 0) return true;
+  return text.rfind("__m128", 0) == 0 || text.rfind("__m256", 0) == 0 ||
+         text.rfind("__m512", 0) == 0;
+}
+
+// immintrin, x86intrin, emmintrin, avx2intrin, ... — every x86
+// intrinsics header ends in "intrin". Angle includes tokenize as bare
+// idents on the preproc line; quoted includes arrive as one string.
+bool IsIntrinsicHeaderName(const std::string& text) {
+  const std::string suffix = "intrin";
+  if (text.size() < suffix.size()) return false;
+  return text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+         0;
+}
+
+void CheckNoRawIntrinsics(Context* ctx, size_t fi) {
+  const TokenizedFile& file = ctx->files[fi];
+  const std::string& path = file.norm_path;
+  if (PathContainsDir(path, "nn/kernels")) return;
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == TokenKind::kIdent && IsIntrinsicIdent(t[i].text)) {
+      ctx->Report(fi, t[i].line, "no-raw-intrinsics",
+                  "SIMD intrinsic '" + t[i].text +
+                      "' outside nn/kernels; add a kernel to the dispatch "
+                      "table (nn/kernels/kernel_table.h) instead");
+    } else if (t[i].preproc &&
+               ((t[i].kind == TokenKind::kIdent &&
+                 IsIntrinsicHeaderName(t[i].text)) ||
+                (t[i].kind == TokenKind::kString &&
+                 t[i].text.size() >= 8 &&
+                 t[i].text.compare(t[i].text.size() - 8, 8, "intrin.h") ==
+                     0))) {
+      ctx->Report(fi, t[i].line, "no-raw-intrinsics",
+                  "intrinsics header include outside nn/kernels; vector "
+                  "code belongs behind the kernel dispatch table");
+    }
+  }
+}
+
 }  // namespace
 
 void RunFileRules(Context* ctx) {
@@ -272,6 +327,7 @@ void RunFileRules(Context* ctx) {
     CheckNoDirectPersistence(ctx, fi);
     CheckNoRawNonfinite(ctx, fi);
     CheckNoRawWire(ctx, fi);
+    CheckNoRawIntrinsics(ctx, fi);
   }
 }
 

@@ -14,6 +14,8 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 #include "eval/harness.h"
+#include "fl/adversary.h"
+#include "fl/aggregation.h"
 #include "nn/kernels/kernels.h"
 
 namespace {
@@ -73,6 +75,13 @@ int Usage() {
       "                      [--net-dup=0] [--net-reorder=0]\n"
       "                      [--net-truncate=0] [--net-retries=3]\n"
       "                      [--net-seed=1592639710] [--no-transport]\n"
+      "                      [--aggregation=mean|median|trimmed|krum|\n"
+      "                       multikrum|normbound] [--byzantine-fraction=0.25]\n"
+      "                      [--exclude-suspected]\n"
+      "                      [--adversary-count=0] [--adversary-attack=\n"
+      "                       sign-flip|scaled-ascent|min-max|norm-matched]\n"
+      "                      [--adversary-scale=10] [--adversary-start=1]\n"
+      "                      [--adversary-seed=2915761665]\n"
       "\n"
       "Durability: --checkpoint-dir enables crash-safe snapshots + a round\n"
       "journal under DIR every --checkpoint-every rounds; --resume restarts\n"
@@ -105,7 +114,22 @@ int Usage() {
       "set per-frame fault probabilities in [0,1); --net-retries bounds\n"
       "retransmissions per exchange; --net-seed re-rolls the network's\n"
       "weather without touching any training draw. --no-transport falls\n"
-      "back to the legacy in-process handoff with estimated byte counts.\n");
+      "back to the legacy in-process handoff with estimated byte counts.\n"
+      "\n"
+      "Byzantine robustness: --aggregation selects the server rule over\n"
+      "screened uploads (federated methods only; mean is the paper's\n"
+      "FedAvg). krum/multikrum assume --byzantine-fraction of each round's\n"
+      "cohort is hostile and flag suspected poison; with\n"
+      "--exclude-suspected the aggregate is the plain mean over the\n"
+      "unflagged uploads instead of the Krum selection. Suspected flags\n"
+      "feed the --health reputation ledger.\n"
+      "\n"
+      "Adversary (simulation only): --adversary-count compromises clients\n"
+      "0..N-1, which train honestly and then rewrite their uploads with\n"
+      "--adversary-attack from round --adversary-start on;\n"
+      "--adversary-scale is the scaled-ascent multiplier.\n"
+      "--adversary-seed re-rolls the attack weather without touching any\n"
+      "training draw.\n");
   return 2;
 }
 
@@ -119,6 +143,7 @@ int main(int argc, char** argv) {
   const bool resume = HasFlag(argc, argv, "resume");
   const bool health = HasFlag(argc, argv, "health");
   const bool no_transport = HasFlag(argc, argv, "no-transport");
+  const bool exclude_suspected = HasFlag(argc, argv, "exclude-suspected");
   double keep = 0.0;
   double lr = 0.0;
   double fraction = 0.0;
@@ -141,6 +166,11 @@ int main(int argc, char** argv) {
   double net_truncate = 0.0;
   long long net_retries_ll = 0;
   long long net_seed_ll = 0;
+  double byzantine_fraction = 0.0;
+  double adversary_scale = 0.0;
+  long long adversary_count_ll = 0;
+  long long adversary_start_ll = 0;
+  long long adversary_seed_ll = 0;
   if (!ParseDouble(FlagValue(argc, argv, "keep", "0.125"), &keep) ||
       !ParseDouble(FlagValue(argc, argv, "lr", "0.003"), &lr) ||
       !ParseDouble(FlagValue(argc, argv, "fraction", "1.0"), &fraction) ||
@@ -167,7 +197,34 @@ int main(int argc, char** argv) {
                    &net_truncate) ||
       !ParseInt(FlagValue(argc, argv, "net-retries", "3"), &net_retries_ll) ||
       !ParseInt(FlagValue(argc, argv, "net-seed", "1592639710"),
-                &net_seed_ll)) {
+                &net_seed_ll) ||
+      !ParseDouble(FlagValue(argc, argv, "byzantine-fraction", "0.25"),
+                   &byzantine_fraction) ||
+      !ParseDouble(FlagValue(argc, argv, "adversary-scale", "10"),
+                   &adversary_scale) ||
+      !ParseInt(FlagValue(argc, argv, "adversary-count", "0"),
+                &adversary_count_ll) ||
+      !ParseInt(FlagValue(argc, argv, "adversary-start", "1"),
+                &adversary_start_ll) ||
+      !ParseInt(FlagValue(argc, argv, "adversary-seed", "2915761665"),
+                &adversary_seed_ll)) {
+    return Usage();
+  }
+  // Strict spellings: an unknown aggregation rule or attack name is a
+  // usage error, never a silent fallback to the default.
+  fl::AggregatorPolicy aggregation = fl::AggregatorPolicy::kMean;
+  if (!fl::ParseAggregatorPolicy(
+          FlagValue(argc, argv, "aggregation", "mean"), &aggregation)) {
+    std::fprintf(stderr, "unknown --aggregation value '%s'\n",
+                 FlagValue(argc, argv, "aggregation", "mean").c_str());
+    return Usage();
+  }
+  fl::AttackType adversary_attack = fl::AttackType::kSignFlip;
+  const std::string attack_text =
+      FlagValue(argc, argv, "adversary-attack", "sign-flip");
+  if (!fl::ParseAttackType(attack_text, &adversary_attack)) {
+    std::fprintf(stderr, "unknown --adversary-attack value '%s'\n",
+                 attack_text.c_str());
     return Usage();
   }
   const int clients_n = static_cast<int>(clients_ll);
@@ -191,7 +248,10 @@ int main(int argc, char** argv) {
       clip_norm < 0.0 || max_rollbacks < 0 || !valid_rate(net_drop) ||
       !valid_rate(net_corrupt) || !valid_rate(net_delay) ||
       !valid_rate(net_dup) || !valid_rate(net_reorder) ||
-      !valid_rate(net_truncate) || net_retries_ll < 0) {
+      !valid_rate(net_truncate) || net_retries_ll < 0 ||
+      byzantine_fraction < 0.0 || byzantine_fraction >= 1.0 ||
+      adversary_scale <= 0.0 || adversary_count_ll < 0 ||
+      adversary_count_ll > clients_ll || adversary_start_ll < 1) {
     return Usage();
   }
   nn::KernelMode kernel_mode;
@@ -258,6 +318,12 @@ int main(int argc, char** argv) {
                    "note: --checkpoint-dir only applies to federated "
                    "methods; ignoring it for --method=centralized\n");
     }
+    if (adversary_count_ll > 0 || aggregation != fl::AggregatorPolicy::kMean) {
+      std::fprintf(stderr,
+                   "note: --adversary-*/--aggregation only apply to "
+                   "federated methods; ignoring them for "
+                   "--method=centralized\n");
+    }
     result = eval::RunCentralizedMethod(env, kind, clients,
                                         rounds * epochs, lr,
                                         /*max_test_trajectories=*/100,
@@ -288,6 +354,14 @@ int main(int argc, char** argv) {
     options.fed.transport.channel.truncate_rate = net_truncate;
     options.fed.transport.retry.max_retries =
         static_cast<int>(net_retries_ll);
+    options.fed.tolerance.aggregator.policy = aggregation;
+    options.fed.tolerance.aggregator.byzantine_fraction = byzantine_fraction;
+    options.fed.tolerance.aggregator.exclude_suspected = exclude_suspected;
+    options.fed.adversary.num_attackers = static_cast<int>(adversary_count_ll);
+    options.fed.adversary.attack = adversary_attack;
+    options.fed.adversary.start_round = static_cast<int>(adversary_start_ll);
+    options.fed.adversary.ascent_scale = adversary_scale;
+    options.fed.adversary.seed = static_cast<uint64_t>(adversary_seed_ll);
     options.teacher.learning_rate = lr;
     options.max_test_trajectories = 100;
     result = eval::RunFederatedMethod(env, kind, clients, options);
@@ -323,6 +397,23 @@ int main(int argc, char** argv) {
   if (faults.storage_write_failures > 0) {
     table.AddRow({"Storage write failures",
                   std::to_string(faults.storage_write_failures)});
+  }
+  // Attack/defense telemetry: shown whenever either side is in play so
+  // a defended-vs-undefended pair of runs prints comparable tables.
+  if (!centralized && (adversary_count_ll > 0 ||
+                       aggregation != fl::AggregatorPolicy::kMean)) {
+    table.AddRow({"Aggregation", fl::AggregatorPolicyName(aggregation)});
+    if (adversary_count_ll > 0) {
+      table.AddRow({"Attack", fl::AttackTypeName(adversary_attack)});
+      table.AddRow({"Attackers",
+                    std::to_string(static_cast<int>(adversary_count_ll))});
+    }
+    table.AddRow({"Poisoned uploads",
+                  std::to_string(result.run.faults.poisoned_uploads)});
+    table.AddRow({"Suspected uploads",
+                  std::to_string(result.run.faults.suspected_uploads)});
+    table.AddRow({"Quarantined skips",
+                  std::to_string(result.run.faults.quarantined_skips)});
   }
   if (health) {
     table.AddRow({"Diverged rounds",

@@ -98,6 +98,21 @@ fl::FederatedTrainerOptions MakeOptions(const ChaosScenario& s, int threads,
     o.healing.enabled = true;
     o.healing.max_rollbacks = 2;
   }
+  if (s.adversary_on) {
+    o.adversary = s.adversary;
+    // ParseRepro bounds count by clients, but a shrunk candidate can
+    // lower `clients` past it; clamp instead of tripping the trainer.
+    o.adversary.num_attackers = std::min(o.adversary.num_attackers, s.clients);
+    if (s.adversary_defended) {
+      // The Byzantine counter-measures: robust aggregation plus the
+      // reputation/quarantine layer to evict identified attackers.
+      o.tolerance.aggregator.policy = fl::AggregatorPolicy::kMultiKrum;
+      o.tolerance.aggregator.byzantine_fraction = 0.4;
+      o.tolerance.aggregator.exclude_suspected = true;
+      o.healing.enabled = true;
+      o.healing.max_rollbacks = 2;
+    }
+  }
   o.durability.dir = kChaosDir;
   o.durability.fs = fs;
   o.durability.snapshot_every = 2;
@@ -119,6 +134,9 @@ FaultyFileSystem MakeScenarioFs(const ChaosScenario& s) {
 struct RunOutcome {
   fl::FederatedRunResult result;
   std::vector<nn::Scalar> final_params;
+  /// Client indices quarantined at the end of the run (empty with the
+  /// healing layer off) — the adversary-attribution invariant's input.
+  std::vector<int> quarantined;
   bool crash_fired = false;
   bool fresh_restart = false;
 };
@@ -157,6 +175,11 @@ RunOutcome RunOnce(const ChaosScenario& s, int threads, bool with_crash,
     out.result = trainer->Run();
   }
   out.final_params = trainer->global_model()->params().Flatten();
+  if (trainer->reputation() != nullptr) {
+    for (int i = 0; i < trainer->num_clients(); ++i) {
+      if (trainer->reputation()->IsQuarantined(i)) out.quarantined.push_back(i);
+    }
+  }
   return out;
 }
 
@@ -192,6 +215,8 @@ std::string DescribeRecordMismatch(const fl::RoundRecord& a,
       {"quarantined", a.quarantined, b.quarantined},
       {"skipped_quarantined", a.skipped_quarantined, b.skipped_quarantined},
       {"escalated", a.escalated ? 1 : 0, b.escalated ? 1 : 0},
+      {"poisoned_uploads", a.poisoned_uploads, b.poisoned_uploads},
+      {"suspected_uploads", a.suspected_uploads, b.suspected_uploads},
       {"net_retries", a.net_retries, b.net_retries},
       {"net_timeouts", a.net_timeouts, b.net_timeouts},
       {"net_crc_drops", a.net_crc_drops, b.net_crc_drops},
@@ -237,6 +262,8 @@ std::string DescribeFaultsMismatch(const fl::FaultStats& a,
       {"quarantine_events", a.quarantine_events, b.quarantine_events},
       {"parole_events", a.parole_events, b.parole_events},
       {"quarantined_skips", a.quarantined_skips, b.quarantined_skips},
+      {"poisoned_uploads", a.poisoned_uploads, b.poisoned_uploads},
+      {"suspected_uploads", a.suspected_uploads, b.suspected_uploads},
       {"net_retries", a.net_retries, b.net_retries},
       {"net_timeouts", a.net_timeouts, b.net_timeouts},
       {"net_crc_drops", a.net_crc_drops, b.net_crc_drops},
@@ -324,6 +351,8 @@ void CheckCounterConservation(const RunOutcome& run, ScenarioReport* report) {
     sum.net_dedup_drops += r.net_dedup_drops;
     sum.net_late_drops += r.net_late_drops;
     sum.net_lost += r.net_lost;
+    sum.poisoned_uploads += r.poisoned_uploads;
+    sum.suspected_uploads += r.suspected_uploads;
     if (!r.quorum_met) ++sum.quorum_misses;
   }
   const fl::FaultStats& total = run.result.faults;
@@ -346,6 +375,8 @@ void CheckCounterConservation(const RunOutcome& run, ScenarioReport* report) {
       {"net_dedup_drops", sum.net_dedup_drops, total.net_dedup_drops},
       {"net_late_drops", sum.net_late_drops, total.net_late_drops},
       {"net_lost", sum.net_lost, total.net_lost},
+      {"poisoned_uploads", sum.poisoned_uploads, total.poisoned_uploads},
+      {"suspected_uploads", sum.suspected_uploads, total.suspected_uploads},
   };
   for (const IntField& f : fields) {
     if (f.history != f.lifetime) {
@@ -398,6 +429,73 @@ void CheckStorageAttribution(const RunOutcome& run,
     AddViolation(report, "storage-attribution",
                  "trainer counted " + std::to_string(trainer_count) +
                      " storage write failures on a clean filesystem");
+  }
+}
+
+// Invariant: poisoning attribution is honest. With the adversary axis
+// off the ground-truth poison counter must be zero; with it on, any
+// quarantine must land on attackers only. Honest-quarantine is only
+// checked when injected client corruption is off — corrupt uploads are
+// legitimate (non-adversary) quarantine evidence.
+void CheckAdversaryAttribution(const ChaosScenario& s, const RunOutcome& run,
+                               ScenarioReport* report) {
+  if (!s.adversary_on) {
+    if (run.result.faults.poisoned_uploads != 0) {
+      AddViolation(report, "adversary-attribution",
+                   "poisoned_uploads " +
+                       std::to_string(run.result.faults.poisoned_uploads) +
+                       " with the adversary axis off");
+    }
+    return;
+  }
+  if (s.client_faults_on && s.client_faults.corruption_rate > 0.0) return;
+  for (int client : run.quarantined) {
+    if (!s.adversary.IsAttacker(client)) {
+      AddViolation(report, "adversary-attribution",
+                   "honest client " + std::to_string(client) +
+                       " quarantined under a " +
+                       std::string(fl::AttackTypeName(s.adversary.attack)) +
+                       " attack");
+    }
+  }
+}
+
+// Invariant: a defended run under attack still converges — its final
+// validation loss stays inside a lenient envelope of the same scenario
+// with the adversary axis off. An undefended poisoning run (reachable
+// only through the planted stealth-poison bug or an explicit repro)
+// fails exactly this check, which is the campaign's proof that the net
+// catches real poisoning. Skipped beyond the Byzantine tolerance bound
+// (half the cohort compromised defeats any aggregator).
+void CheckAdversaryContainment(const ChaosScenario& s, const RunOutcome& run,
+                               const std::vector<traj::ClientDataset>* clients,
+                               ScenarioReport* report) {
+  if (!s.adversary_on) return;
+  if (2 * s.adversary.num_attackers >= s.clients) return;
+  if (run.result.history.empty()) return;
+  ChaosScenario reference = s;
+  reference.adversary_on = false;
+  FaultyFileSystem ref_fs = MakeScenarioFs(reference);
+  const RunOutcome ref =
+      RunOnce(reference, s.threads, /*with_crash=*/true, &ref_fs, clients);
+  if (ref.result.history.empty()) return;
+  const double attacked = run.result.history.back().valid_loss;
+  const double baseline = ref.result.history.back().valid_loss;
+  if (!IsFinite(attacked)) {
+    AddViolation(report, "adversary-containment",
+                 "final validation loss non-finite under attack");
+    return;
+  }
+  // Lenient on purpose: robust aggregation may converge slower than the
+  // clean mean, but a successful poisoning blows the loss up by orders
+  // of magnitude, not fractions.
+  const double bound = std::max(8.0 * std::max(baseline, 0.0), baseline + 2.0);
+  if (attacked > bound) {
+    AddViolation(report, "adversary-containment",
+                 "final validation loss " + std::to_string(attacked) +
+                     " under attack exceeds envelope " +
+                     std::to_string(bound) + " of the attack-free run (" +
+                     std::to_string(baseline) + ")");
   }
 }
 
@@ -524,6 +622,8 @@ ScenarioReport RunScenario(const ChaosScenario& scenario) {
   }
   CheckNoOrphanTemps(fs, &report);
   CheckStorageAttribution(main_run, fs.stats(), &report);
+  CheckAdversaryAttribution(scenario, main_run, &report);
+  CheckAdversaryContainment(scenario, main_run, &clients, &report);
   CheckThreadBitwise(scenario, main_run, &clients, &report);
   if (main_run.crash_fired) {
     CheckResumeBitwise(scenario, main_run, &clients, &report);
@@ -561,8 +661,11 @@ ShrinkOutcome ShrinkScenario(const ChaosScenario& failing,
     if (current.crash_on) {
       try_without([](ChaosScenario* c) { c->crash_on = false; });
     }
-    if (current.storage_on && current.plant == PlantedBug::kNone) {
+    if (current.storage_on && current.plant != PlantedBug::kLeakTmp) {
       try_without([](ChaosScenario* c) { c->storage_on = false; });
+    }
+    if (current.adversary_on && current.plant != PlantedBug::kStealthPoison) {
+      try_without([](ChaosScenario* c) { c->adversary_on = false; });
     }
   }
 
@@ -585,6 +688,15 @@ ShrinkOutcome ShrinkScenario(const ChaosScenario& failing,
   shrink_int(&ChaosScenario::clients, 2);
   shrink_int(&ChaosScenario::threads, 1);
   if (current.crash_on) shrink_int(&ChaosScenario::crash_round, 1);
+  // Attacker cohort toward a single attacker (nested field, so the
+  // member-pointer helper above cannot reach it).
+  while (current.adversary_on && current.adversary.num_attackers > 1) {
+    ChaosScenario candidate = current;
+    candidate.adversary.num_attackers =
+        1 + (current.adversary.num_attackers - 1) / 2;
+    if (!still_fails(candidate)) break;
+    current = candidate;
+  }
 
   // Rates: try zero outright, else halve a few times.
   using FieldFn = double* (*)(ChaosScenario*);
@@ -653,6 +765,21 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       if (scenario.storage.rename_fail_rate < 0.2) {
         scenario.storage.rename_fail_rate = 0.2;
       }
+    }
+    if (options.plant == PlantedBug::kStealthPoison) {
+      // The planted bug IS an undefended poisoning run: force the
+      // adversary axis on with an aggressive attack and the defense
+      // disarmed, so the containment invariant must catch the
+      // corrupted model.
+      scenario.adversary_on = true;
+      scenario.adversary_defended = false;
+      scenario.adversary.attack = fl::AttackType::kScaledAscent;
+      if (scenario.adversary.ascent_scale < 20.0) {
+        scenario.adversary.ascent_scale = 20.0;
+      }
+      scenario.adversary.start_round = 1;
+      scenario.healing = false;
+      if (scenario.rounds < 4) scenario.rounds = 4;
     }
     const ScenarioReport report = RunScenario(scenario);
     ++result.scenarios_run;

@@ -103,6 +103,7 @@ const char* PlantedBugName(PlantedBug bug) {
   switch (bug) {
     case PlantedBug::kNone: return "none";
     case PlantedBug::kLeakTmp: return "leak-tmp";
+    case PlantedBug::kStealthPoison: return "stealth-poison";
   }
   return "unknown";
 }
@@ -114,6 +115,7 @@ int AxisCount(const ChaosScenario& scenario) {
   if (scenario.net_on) ++count;
   if (scenario.client_faults_on) ++count;
   if (scenario.crash_on) ++count;
+  if (scenario.adversary_on) ++count;
   return count;
 }
 
@@ -156,6 +158,15 @@ std::string FormatRepro(const ChaosScenario& s) {
     AppendKv(&out, "crash.point", fl::CrashPointName(s.crash_point));
     AppendInt(&out, "crash.round", s.crash_round);
   }
+  AppendInt(&out, "adversary", s.adversary_on ? 1 : 0);
+  if (s.adversary_on) {
+    AppendInt(&out, "adversary.count", s.adversary.num_attackers);
+    AppendKv(&out, "adversary.attack", fl::AttackTypeName(s.adversary.attack));
+    AppendDouble(&out, "adversary.scale", s.adversary.ascent_scale);
+    AppendInt(&out, "adversary.start", s.adversary.start_round);
+    AppendKv(&out, "adversary.seed", std::to_string(s.adversary.seed));
+    AppendInt(&out, "adversary.defended", s.adversary_defended ? 1 : 0);
+  }
   if (s.plant != PlantedBug::kNone) {
     AppendKv(&out, "plant", PlantedBugName(s.plant));
   }
@@ -171,6 +182,7 @@ Result<ChaosScenario> ParseRepro(const std::string& text) {
   s.net_on = false;
   s.client_faults_on = false;
   s.crash_on = false;
+  s.adversary_on = false;
 
   std::istringstream stream(text);
   std::string token;
@@ -244,11 +256,31 @@ Result<ChaosScenario> ParseRepro(const std::string& text) {
     } else if (key == "crash.round") {
       ok = ParseInt(value, &s.crash_round) && s.crash_round >= 1 &&
            s.crash_round <= 512;
+    } else if (key == "adversary") {
+      ok = ParseBool01(value, &s.adversary_on);
+    } else if (key == "adversary.count") {
+      ok = ParseInt(value, &s.adversary.num_attackers) &&
+           s.adversary.num_attackers >= 1 && s.adversary.num_attackers <= 256;
+    } else if (key == "adversary.attack") {
+      ok = fl::ParseAttackType(value, &s.adversary.attack) &&
+           s.adversary.attack != fl::AttackType::kNone;
+    } else if (key == "adversary.scale") {
+      ok = ParseF64(value, &s.adversary.ascent_scale) &&
+           s.adversary.ascent_scale > 0.0 && s.adversary.ascent_scale <= 1e4;
+    } else if (key == "adversary.start") {
+      ok = ParseInt(value, &s.adversary.start_round) &&
+           s.adversary.start_round >= 1 && s.adversary.start_round <= 512;
+    } else if (key == "adversary.seed") {
+      ok = ParseU64(value, &s.adversary.seed);
+    } else if (key == "adversary.defended") {
+      ok = ParseBool01(value, &s.adversary_defended);
     } else if (key == "plant") {
       if (value == PlantedBugName(PlantedBug::kNone)) {
         s.plant = PlantedBug::kNone;
       } else if (value == PlantedBugName(PlantedBug::kLeakTmp)) {
         s.plant = PlantedBug::kLeakTmp;
+      } else if (value == PlantedBugName(PlantedBug::kStealthPoison)) {
+        s.plant = PlantedBug::kStealthPoison;
       } else {
         ok = false;
       }
@@ -262,6 +294,10 @@ Result<ChaosScenario> ParseRepro(const std::string& text) {
   }
   if (s.crash_on && s.crash_round > s.rounds) {
     return Status::InvalidArgument("chaos repro: crash.round exceeds rounds");
+  }
+  if (s.adversary_on && s.adversary.num_attackers > s.clients) {
+    return Status::InvalidArgument(
+        "chaos repro: adversary.count exceeds clients");
   }
   return s;
 }
@@ -313,6 +349,23 @@ ChaosScenario SampleScenario(Rng* rng) {
                   : point_pick == 2 ? CrashPoint::kAfterSave
                                     : CrashPoint::kMidRound;
   s.crash_round = static_cast<int>(rng->UniformInt(1, s.rounds));
+
+  s.adversary_on = rng->Bernoulli(0.3);
+  s.adversary.num_attackers = static_cast<int>(rng->UniformInt(1, 2));
+  const int64_t attack_pick = rng->UniformInt(0, 3);
+  using fl::AttackType;
+  s.adversary.attack = attack_pick == 0   ? AttackType::kSignFlip
+                       : attack_pick == 1 ? AttackType::kScaledAscent
+                       : attack_pick == 2 ? AttackType::kMinMax
+                                          : AttackType::kNormMatched;
+  s.adversary.ascent_scale = rng->Uniform(5.0, 20.0);
+  s.adversary.start_round = static_cast<int>(rng->UniformInt(1, 2));
+  s.adversary.seed = static_cast<uint64_t>(rng->UniformInt(1, 1'000'000'000));
+  // Sampled scenarios always run defended: an undefended poisoning run
+  // legitimately corrupts the model, which is bench_adversary's gate and
+  // the planted stealth-poison bug's failure mode — not a sampled
+  // scenario's. The draw above keeps the stream layout fixed either way.
+  s.adversary_defended = true;
   return s;
 }
 

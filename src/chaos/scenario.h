@@ -11,6 +11,7 @@
 #include "common/env.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "fl/adversary.h"
 #include "fl/fault_injection.h"
 #include "fl/run_state.h"
 #include "fl/transport/channel.h"
@@ -25,6 +26,11 @@ enum class PlantedBug {
   /// FaultyFileSystem leaves the temp file behind when an atomic
   /// write's rename fails; the orphan-temp invariant must catch it.
   kLeakTmp,
+  /// An undefended model-poisoning run: the adversary axis is forced on
+  /// with an aggressive scaled-ascent attack and the Byzantine defense
+  /// disarmed. The adversary-containment invariant must catch the
+  /// corrupted model (and shrinking must keep the adversary axis).
+  kStealthPoison,
 };
 
 const char* PlantedBugName(PlantedBug bug);
@@ -65,18 +71,29 @@ struct ChaosScenario {
   fl::CrashPoint crash_point = fl::CrashPoint::kMidSave;
   int crash_round = 2;
 
+  /// Adversary axis: compromised clients poison their uploads after
+  /// local training (fl/adversary). `adversary_defended` arms the
+  /// Byzantine counter-measures (Multi-Krum aggregation + the healing
+  /// layer); campaign sampling always defends — an undefended poisoning
+  /// run legitimately corrupts the model, which is the planted
+  /// stealth-poison bug's job, not a sampled scenario's.
+  bool adversary_on = false;
+  fl::AdversaryConfig adversary;
+  bool adversary_defended = true;
+
   /// Test-only planted bug (see PlantedBug).
   PlantedBug plant = PlantedBug::kNone;
 };
 
 /// Number of enabled fault axes (healing, storage, net, client faults,
-/// crash). The shrinker minimizes this before touching parameters.
+/// crash, adversary). The shrinker minimizes this before touching
+/// parameters.
 int AxisCount(const ChaosScenario& scenario);
 
 /// Serializes to the flat repro grammar, e.g.
 ///   seed=7 rounds=4 clients=3 threads=1 fraction=1 quorum=0.25
 ///   healing=0 storage=1 storage.rename=0.2 ... crash=0 plant=leak-tmp
-/// The five axis flags always appear; an axis's sub-keys appear only
+/// The six axis flags always appear; an axis's sub-keys appear only
 /// when it is enabled. ParseRepro(FormatRepro(s)) round-trips exactly
 /// (doubles use shortest-round-trip formatting).
 std::string FormatRepro(const ChaosScenario& scenario);

@@ -28,6 +28,13 @@ struct FaultStats {
   int64_t quarantine_events = 0;  // clients entering quarantine
   int64_t parole_events = 0;      // clients released from quarantine
   int64_t quarantined_skips = 0;  // sampled slots skipped due to quarantine
+  // Adversary telemetry (fl/adversary + the Byzantine aggregators).
+  // `poisoned_uploads` counts uploads the injected adversary actually
+  // rewrote (ground truth, zero in production); `suspected_uploads`
+  // counts uploads the Byzantine aggregator flagged as probable poison
+  // (the defense's claim). Comparing the two is the attribution story.
+  int64_t poisoned_uploads = 0;
+  int64_t suspected_uploads = 0;
   // Wire-transport telemetry (fl/transport): what the network did to
   // frames in flight. All zero with transport disabled or a clean
   // channel. These faults are attributed to the NETWORK — they never
@@ -77,6 +84,9 @@ struct RoundRecord {
   int quarantined = 0;           // clients in quarantine after this round
   int skipped_quarantined = 0;   // sampled slots skipped (quarantine)
   bool escalated = false;        // round ran under escalated screening
+  // Adversary telemetry for this round (see FaultStats).
+  int poisoned_uploads = 0;      // uploads the injected adversary rewrote
+  int suspected_uploads = 0;     // uploads the Byzantine aggregator flagged
   // Wire-transport telemetry for this round (see FaultStats).
   int net_retries = 0;
   int net_timeouts = 0;

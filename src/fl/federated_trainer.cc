@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <optional>
 
+#include "common/binary_io.h"
 #include "common/check.h"
 #include "common/env.h"
+#include "common/finite.h"
 #include "common/stopwatch.h"
 #include "fl/compression.h"
 #include "fl/local_trainer.h"
@@ -28,6 +32,8 @@ struct ClientTask {
   Rng noise_rng{0};   // privacy stream (forked only when privacy is on)
   Rng fault_rng{0};   // dropout/backoff/corruption (only when injecting)
   Rng net_rng{0};     // channel faults (only when the transport can fault)
+  Rng adv_rng{0};     // poison jitter (only for attackers in attack rounds)
+  bool poison = false;  // this task's client is an active attacker
 };
 
 // One client's outcome, written by exactly one task into a pre-sized
@@ -42,6 +48,7 @@ struct ClientSlot {
   bool rejected = false;   // upload failed server-side screening
   bool corrupt = false;    // rejection was for non-finite scalars
   bool clipped = false;    // upload was norm-clipped by screening
+  bool poisoned = false;   // upload rewritten by the injected adversary
   int attempts = 0;        // downlink sends (first contact + retries)
   int retries = 0;
   double backoff_s = 0.0;
@@ -51,6 +58,46 @@ struct ClientSlot {
   transport::LinkStats link;  // exact frame accounting (transport on)
   std::vector<nn::Scalar> upload;  // valid when sent and not rejected
 };
+
+// Rolling window of accepted delta norms backing the kNormBound clip
+// bound; small so one poisoned era cannot dominate the median forever.
+constexpr size_t kNormBoundWindow = 64;
+
+// The window's snapshot blob: bare count + doubles. It rides inside the
+// CRC-protected run-state container, which supplies integrity.
+std::string EncodeNormWindow(const std::vector<double>& window) {
+  BinaryWriter writer;
+  writer.WriteU64(window.size());
+  for (double v : window) writer.WriteF64(v);
+  return writer.Take();
+}
+
+Status DecodeNormWindow(const std::string& bytes,
+                        std::vector<double>* window) {
+  window->clear();
+  if (bytes.empty()) return Status::Ok();  // pre-v5 snapshot: fresh window
+  BinaryReader reader(bytes);
+  uint64_t count = 0;
+  LIGHTTR_RETURN_NOT_OK(reader.ReadU64(&count));
+  if (count > kNormBoundWindow) {
+    return Status::InvalidArgument("norm-bound window blob: size " +
+                                   std::to_string(count) + " exceeds cap");
+  }
+  window->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    double v = 0.0;
+    LIGHTTR_RETURN_NOT_OK(reader.ReadF64(&v));
+    if (!(v >= 0.0) || !IsFinite(v)) {
+      return Status::InvalidArgument(
+          "norm-bound window blob: invalid norm entry");
+    }
+    window->push_back(v);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("norm-bound window blob: trailing bytes");
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
@@ -93,6 +140,13 @@ FederatedTrainer::FederatedTrainer(
   if (options_.healing.enabled) {
     book_ = std::make_unique<ReputationBook>(static_cast<int>(clients->size()),
                                              options_.healing.reputation);
+  }
+  if (options_.adversary.Enabled()) {
+    LIGHTTR_CHECK_LE(options_.adversary.num_attackers,
+                     static_cast<int>(clients->size()));
+    // Own stream from its own seed (like net_rng_): arming the attack
+    // never perturbs honest init, sampling, or local-training draws.
+    adversary_ = std::make_unique<AdversaryEngine>(options_.adversary);
   }
 
   Rng init_rng = rng_.Fork();
@@ -154,6 +208,8 @@ ServerRunState FederatedTrainer::CaptureState(int round,
   state.monitor_blob = monitor_.SerializeState();
   state.escalated = escalated_;
   state.net_rng_state = net_rng_.SerializeState();
+  state.adversary_blob = adversary_ ? adversary_->SerializeState() : std::string();
+  state.normbound_blob = EncodeNormWindow(normbound_window_);
   return state;
 }
 
@@ -187,6 +243,16 @@ Status FederatedTrainer::RestoreFromState(const ServerRunState& state,
   if (!state.monitor_blob.empty()) {
     LIGHTTR_RETURN_NOT_OK(monitor_.DeserializeState(state.monitor_blob));
   }
+  // The adversary stream and the norm-bound window rewind with the
+  // round too (pre-v5 snapshots carry neither — the fresh state stands
+  // in): a rollback or resume must replay the identical attack weather
+  // and clip against the identical bound, or bitwise determinism across
+  // crash/resume breaks.
+  if (adversary_ != nullptr && !state.adversary_blob.empty()) {
+    LIGHTTR_RETURN_NOT_OK(adversary_->DeserializeState(state.adversary_blob));
+  }
+  LIGHTTR_RETURN_NOT_OK(
+      DecodeNormWindow(state.normbound_blob, &normbound_window_));
   if (restore_reputation) {
     // Cross-process resume: the ledger and the escalation latch come
     // back too. A rollback deliberately skips this branch — offenders
@@ -437,6 +503,11 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
           transport::EncodeFrame(transport::FrameType::kModelPullReply,
                                  transport::EncodeModelPullReply(reply));
     }
+    // Adversary prologue (coordinating thread): resample any colluding
+    // drift direction for this round before per-attacker streams fork.
+    const bool attack_round =
+        adversary_ != nullptr && adversary_->ActiveInRound(round);
+    if (adversary_ != nullptr) adversary_->BeginRound(round, global_flat.size());
     std::vector<ClientTask> tasks;
     tasks.reserve(selected.size());
     for (size_t client_index : selected) {
@@ -446,6 +517,13 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       if (options_.privacy.enabled()) task.noise_rng = rng_.Fork();
       if (inject) task.fault_rng = fault_rng_.Fork();
       if (net_faulty) task.net_rng = net_rng_.Fork();
+      if (attack_round &&
+          options_.adversary.IsAttacker(static_cast<int>(client_index))) {
+        // Attacker membership is pure config + round number — never an
+        // outcome — so the fork sequence stays fixed per round.
+        task.adv_rng = adversary_->ForkStream();
+        task.poison = true;
+      }
       tasks.push_back(std::move(task));
     }
 
@@ -512,6 +590,14 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       if (options_.privacy.enabled()) {
         upload = PrivatizeUpload(upload, global_flat, options_.privacy,
                                  &task.noise_rng);
+      }
+      if (task.poison) {
+        // The compromised client rewrites its upload after local
+        // training and privacy but before quantization, wire faults,
+        // and screening: the poison traverses the identical path an
+        // honest update takes, so every defense sees it where a real
+        // deployment would. Poison() is const — safe from workers.
+        slot.poisoned = adversary_->Poison(global_flat, &upload, &task.adv_rng);
       }
       if (use_transport) {
         transport::UpdatePush push;
@@ -584,6 +670,11 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     uploads.reserve(slots.size());
     std::vector<UpdateObservation> observations;  // canonical order
     if (healing) observations.reserve(slots.size());
+    // uploads[u] -> its observation index / accepted delta norm, so the
+    // Byzantine aggregator's per-upload suspicion flags can be mapped
+    // back onto reputation evidence and the norm-bound window.
+    std::vector<size_t> upload_obs;
+    std::vector<double> upload_norms;
     double loss_sum = 0.0;
     int loss_count = 0;
     for (size_t s = 0; s < slots.size(); ++s) {
@@ -617,6 +708,9 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
         loss_sum += slot.loss;
         ++loss_count;
       }
+      // Ground truth, counted even when the wire later eats the upload:
+      // the adversary DID rewrite it.
+      if (slot.poisoned) ++record.poisoned_uploads;
       if (slot.net_lost) {
         // Lost to the wire, not to the client: never a drop, straggler,
         // or reputation observation.
@@ -647,6 +741,16 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
         continue;
       }
       if (slot.clipped) ++result.faults.clipped_uploads;
+      // The adaptive adversary eavesdrops on accepted honest norms (the
+      // simulator grants it a global view) to size its stealth attacks.
+      // Coordinating thread, canonical order: deterministic.
+      if (adversary_ != nullptr &&
+          !options_.adversary.IsAttacker(
+              static_cast<int>(tasks[s].client_index))) {
+        adversary_->ObserveHonestNorm(slot.delta_norm);
+      }
+      if (healing) upload_obs.push_back(observations.size() - 1);
+      upload_norms.push_back(slot.delta_norm);
       uploads.push_back(std::move(slot.upload));
     }
     record.reporting = static_cast<int>(uploads.size());
@@ -662,10 +766,37 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
                                       static_cast<double>(record.sampled))));
     record.quorum_met = record.reporting >= quorum_need;
     if (record.quorum_met) {
-      Result<std::vector<nn::Scalar>> aggregate =
-          AggregateFlat(uploads, tolerance.aggregator);
+      // kNormBound clips against the rolling median accepted norm; an
+      // empty window (the first rounds) leaves the bound unarmed.
+      const double norm_bound =
+          tolerance.aggregator.policy == AggregatorPolicy::kNormBound
+              ? Median(normbound_window_)
+              : 0.0;
+      std::vector<uint8_t> suspected;
+      Result<std::vector<nn::Scalar>> aggregate = AggregateFlat(
+          uploads, tolerance.aggregator, &global_flat, norm_bound, &suspected);
       if (aggregate.ok()) {
         global_model_->params().AssignFlat(aggregate.value());
+        for (size_t u = 0; u < suspected.size(); ++u) {
+          if (suspected[u] != 0) {
+            // Map the aggregator's verdict back onto the reputation
+            // evidence (same canonical order the uploads were folded in)
+            // so Observe can score it below.
+            ++record.suspected_uploads;
+            if (healing) observations[upload_obs[u]].suspected = true;
+          } else if (tolerance.aggregator.policy ==
+                     AggregatorPolicy::kNormBound) {
+            // Only unsuspected accepted norms teach the clip bound; a
+            // norm-matched poison must not drag the median upward.
+            normbound_window_.push_back(upload_norms[u]);
+          }
+        }
+        if (normbound_window_.size() > kNormBoundWindow) {
+          normbound_window_.erase(
+              normbound_window_.begin(),
+              normbound_window_.end() -
+                  static_cast<std::ptrdiff_t>(kNormBoundWindow));
+        }
       } else {
         record.quorum_met = false;  // degrade: keep the previous model
       }
@@ -685,6 +816,8 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
     result.faults.net_dedup_drops += record.net_dedup_drops;
     result.faults.net_late_drops += record.net_late_drops;
     result.faults.net_lost += record.net_lost;
+    result.faults.poisoned_uploads += record.poisoned_uploads;
+    result.faults.suspected_uploads += record.suspected_uploads;
     // Assignment, not +=: the member is already a lifetime total (and
     // failures during THIS round's commit below only surface next
     // round, or in the final result assignment after the loop).
@@ -709,7 +842,7 @@ FederatedRunResult FederatedTrainer::Run(LocalUpdateStrategy* strategy) {
       outlier_uploads_ += report.outlier_uploads;
       for (const UpdateObservation& obs : observations) {
         if (book_->Observe(obs.client_index, obs.corrupt, obs.norm_rejected,
-                           obs.outlier)) {
+                           obs.outlier, obs.suspected)) {
           ++quarantine_events_;
         }
       }

@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "fl/adversary.h"
 #include "fl/aggregation.h"
 #include "fl/comm_stats.h"
 #include "fl/fault_injection.h"
@@ -120,6 +121,12 @@ struct FederatedTrainerOptions {
   /// falls back to the legacy in-process handoff with estimated byte
   /// accounting (kept as the bench baseline).
   transport::TransportConfig transport;
+  /// Injected model-poisoning adversary (off by default): compromised
+  /// clients rewrite their uploads after local training and before
+  /// screening/transport, so attacks traverse the full real path. The
+  /// engine draws from its own seed (an independent knob, like the
+  /// channel seed) — enabling it never perturbs honest training draws.
+  AdversaryConfig adversary;
   /// Global-norm gradient clipping inside local training; 0 disables.
   /// Applies to the built-in PlainLocalUpdate strategy (external
   /// strategies read it from their own options, see MetaLocalOptions).
@@ -193,6 +200,10 @@ class FederatedTrainer {
   /// false); for tests and telemetry.
   const ReputationBook* reputation() const { return book_.get(); }
 
+  /// The poisoning adversary engine (null while `options.adversary` is
+  /// not Enabled()); for tests and telemetry.
+  const AdversaryEngine* adversary() const { return adversary_.get(); }
+
   /// Client models (for ablations and tests).
   RecoveryModel* client_model(int i) { return client_models_[i].get(); }
   int num_clients() const { return static_cast<int>(client_models_.size()); }
@@ -249,6 +260,14 @@ class FederatedTrainer {
   /// weather is an independent knob, so changing the channel seed never
   /// perturbs model init, client sampling, or local-training draws.
   Rng net_rng_;
+  /// Injected poisoning adversary (null unless `options_.adversary` is
+  /// Enabled()). Owns its own stream, seeded from `adversary.seed` —
+  /// same independence contract as net_rng_.
+  std::unique_ptr<AdversaryEngine> adversary_;
+  /// Rolling window of accepted, non-suspected delta norms; its median
+  /// is the kNormBound aggregator's clip bound. Maintained only when
+  /// that policy is configured; snapshotted in the v5 tail.
+  std::vector<double> normbound_window_;
   std::unique_ptr<RecoveryModel> global_model_;
   std::vector<std::unique_ptr<RecoveryModel>> client_models_;
   std::vector<std::unique_ptr<nn::Optimizer>> client_optimizers_;

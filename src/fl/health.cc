@@ -86,6 +86,7 @@ RoundHealthReport RoundHealthMonitor::Judge(
   for (UpdateObservation& obs : *observations) {
     if (obs.corrupt) ++report.corrupt_uploads;
     if (obs.norm_rejected) ++report.rejected_uploads;
+    if (obs.suspected) ++report.suspected_uploads;
     if (!obs.accepted) continue;
     if (!IsFinite(obs.delta_norm)) {
       // Should have been screened out upstream; treat as corrupt.
@@ -99,6 +100,10 @@ RoundHealthReport RoundHealthMonitor::Judge(
       ++report.outlier_uploads;
       continue;  // outlier norms are not admitted to the window
     }
+    // A Byzantine-aggregator suspect may have slipped under the MAD
+    // envelope by construction (norm-matched poison): never let it
+    // teach the very window it is trying to blend into.
+    if (obs.suspected) continue;
     admitted_norms.push_back(obs.delta_norm);
   }
   for (double norm : admitted_norms) norm_window_.push_back(norm);
@@ -127,7 +132,7 @@ RoundHealthReport RoundHealthMonitor::Judge(
   if (report.global_nonfinite || report.loss_nonfinite || report.loss_spike) {
     report.verdict = HealthVerdict::kDiverged;
   } else if (report.corrupt_uploads > 0 || report.rejected_uploads > 0 ||
-             report.outlier_uploads > 0) {
+             report.outlier_uploads > 0 || report.suspected_uploads > 0) {
     report.verdict = HealthVerdict::kSuspect;
   } else {
     report.verdict = HealthVerdict::kHealthy;

@@ -72,6 +72,8 @@ struct HealthMonitorConfig {
 /// One screened upload outcome, in canonical selection order. The
 /// trainer fills everything except `outlier`; Judge sets `outlier` for
 /// accepted uploads whose delta norm escapes the rolling envelope.
+/// `suspected` is set by the trainer from the Byzantine aggregator's
+/// per-upload verdict (fl/aggregation) before Judge runs.
 struct UpdateObservation {
   int client_index = -1;
   bool corrupt = false;        // screen-rejected: non-finite scalars
@@ -79,6 +81,7 @@ struct UpdateObservation {
   bool accepted = false;       // entered aggregation
   double delta_norm = 0.0;     // L2 delta vs global; valid when accepted
   bool outlier = false;        // set by Judge
+  bool suspected = false;      // Byzantine-aggregator poison flag
 };
 
 /// Everything Judge decided about one round, for telemetry and tests.
@@ -90,6 +93,7 @@ struct RoundHealthReport {
   int corrupt_uploads = 0;
   int rejected_uploads = 0;
   int outlier_uploads = 0;
+  int suspected_uploads = 0;
   // The envelopes the round was judged against (0 until enough history).
   double norm_median = 0.0;
   double norm_mad = 0.0;

@@ -11,7 +11,10 @@ namespace lighttr::fl {
 namespace {
 
 constexpr uint32_t kBookMagic = 0x4C545250u;  // "LTRP"
-constexpr uint32_t kBookVersion = 1;
+// v2 appends the suspect_events counter per client; v1 blobs (from
+// pre-adversary snapshots) still load, defaulting the counter to 0.
+constexpr uint32_t kBookVersion = 2;
+constexpr uint32_t kMinBookVersion = 1;
 
 }  // namespace
 
@@ -40,7 +43,7 @@ int ReputationBook::QuarantinedCount() const {
 }
 
 bool ReputationBook::Observe(int index, bool corrupt, bool rejected,
-                             bool outlier) {
+                             bool outlier, bool suspected) {
   LIGHTTR_CHECK_GE(index, 0);
   LIGHTTR_CHECK_LT(index, num_clients());
   ClientReputation& c = clients_[static_cast<size_t>(index)];
@@ -52,6 +55,10 @@ bool ReputationBook::Observe(int index, bool corrupt, bool rejected,
   if (rejected) {
     ++c.rejected_events;
     weight = std::max(weight, config_.rejected_weight);
+  }
+  if (suspected) {
+    ++c.suspect_events;
+    weight = std::max(weight, config_.suspect_weight);
   }
   if (outlier) {
     ++c.outlier_events;
@@ -95,6 +102,7 @@ std::string ReputationBook::Serialize() const {
     writer.WriteU32(static_cast<uint32_t>(c.corrupt_events));
     writer.WriteU32(static_cast<uint32_t>(c.rejected_events));
     writer.WriteU32(static_cast<uint32_t>(c.outlier_events));
+    writer.WriteU32(static_cast<uint32_t>(c.suspect_events));  // v2
   }
   return writer.Take();
 }
@@ -108,7 +116,7 @@ Status ReputationBook::Deserialize(const std::string& bytes) {
     return Status::InvalidArgument("reputation blob: bad magic");
   }
   LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&version));
-  if (version != kBookVersion) {
+  if (version < kMinBookVersion || version > kBookVersion) {
     return Status::InvalidArgument("reputation blob: unknown version " +
                                    std::to_string(version));
   }
@@ -122,13 +130,16 @@ Status ReputationBook::Deserialize(const std::string& bytes) {
   std::vector<ClientReputation> restored(static_cast<size_t>(count));
   for (ClientReputation& c : restored) {
     uint8_t quarantined = 0;
-    uint32_t age = 0, corrupt = 0, rejected = 0, outlier = 0;
+    uint32_t age = 0, corrupt = 0, rejected = 0, outlier = 0, suspect = 0;
     LIGHTTR_RETURN_NOT_OK(reader.ReadF64(&c.score));
     LIGHTTR_RETURN_NOT_OK(reader.ReadU8(&quarantined));
     LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&age));
     LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&corrupt));
     LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&rejected));
     LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&outlier));
+    if (version >= 2) {
+      LIGHTTR_RETURN_NOT_OK(reader.ReadU32(&suspect));
+    }
     if (!IsFinite(c.score) || quarantined > 1) {
       return Status::InvalidArgument("reputation blob: corrupt client entry");
     }
@@ -137,6 +148,7 @@ Status ReputationBook::Deserialize(const std::string& bytes) {
     c.corrupt_events = static_cast<int>(corrupt);
     c.rejected_events = static_cast<int>(rejected);
     c.outlier_events = static_cast<int>(outlier);
+    c.suspect_events = static_cast<int>(suspect);
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("reputation blob: trailing bytes");

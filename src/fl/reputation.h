@@ -38,6 +38,12 @@ struct ReputationConfig {
   // upload, the maximum wins.
   double corrupt_weight = 1.0;
   double rejected_weight = 0.7;
+  /// Byzantine-aggregator detection (fl/aggregation suspected flag).
+  /// Deliberately above the outlier weight: with alpha 0.5 the EWMA of
+  /// a repeated weight-w event converges to w, so outlier-only
+  /// offenders (0.5) never cross the default 0.6 threshold while a
+  /// suspected poisoner (0.7) crosses it on its third straight flag.
+  double suspect_weight = 0.7;
   double outlier_weight = 0.5;
 };
 
@@ -51,6 +57,7 @@ struct ClientReputation {
   int corrupt_events = 0;
   int rejected_events = 0;
   int outlier_events = 0;
+  int suspect_events = 0;
 };
 
 /// The server's ledger over all clients. Not thread-safe; coordinator
@@ -69,7 +76,10 @@ class ReputationBook {
   /// Records one upload outcome for `index` and updates its EWMA score.
   /// Crossing the threshold quarantines the client; returns true
   /// exactly when this observation triggered that transition.
-  bool Observe(int index, bool corrupt, bool rejected, bool outlier);
+  /// `suspected` marks a Byzantine-aggregator detection (the upload was
+  /// screened-finite and norm-plausible yet flagged as probable poison).
+  bool Observe(int index, bool corrupt, bool rejected, bool outlier,
+               bool suspected = false);
 
   /// Advances every quarantined client's clock by one round and paroles
   /// those that served `parole_rounds`, re-admitting them with score

@@ -21,10 +21,11 @@ constexpr char kMagic[4] = {'L', 'T', 'R', 'S'};
 // FaultStats counters, reputation + monitor blobs, escalation latch)
 // after the optimizer blobs. v3 appends the wire-transport tail (the
 // six net fault counters + the channel RNG stream). v4 appends the
-// storage-fault counter. Each version's shared prefix is
-// byte-identical, and older snapshots still decode with the newer
-// tails left at defaults.
-constexpr uint32_t kVersion = 4;
+// storage-fault counter. v5 appends the adversary tail (poisoned/
+// suspected counters + adversary engine blob + norm-bound window).
+// Each version's shared prefix is byte-identical, and older snapshots
+// still decode with the newer tails left at defaults.
+constexpr uint32_t kVersion = 5;
 constexpr uint32_t kMinVersion = 1;
 constexpr char kJournalName[] = "journal.log";
 constexpr char kSnapshotPrefix[] = "snapshot-";
@@ -34,26 +35,28 @@ std::string JournalPath(const std::string& dir) {
   return dir + "/" + kJournalName;
 }
 
-// One journal line: twenty-four space-separated fields followed by the
+// One journal line: twenty-six space-separated fields followed by the
 // CRC-32 (8 hex digits) of everything before the final space. Doubles
 // use %.17g so the text round-trips bit-exactly. Fields 12..17 are the
 // self-healing columns added in v2, fields 18..23 the wire-transport
-// columns added in v3, field 24 the storage-fault column added in v4;
-// the parser accepts any line with at least the eleven v1 fields and
-// ignores unknown trailing fields, so journals written by newer builds
-// (with further columns) still load.
+// columns added in v3, field 24 the storage-fault column added in v4,
+// fields 25..26 the adversary columns added in v5; the parser accepts
+// any line with at least the eleven v1 fields and ignores unknown
+// trailing fields, so journals written by newer builds (with further
+// columns) still load.
 std::string FormatJournalBody(const RoundRecord& r) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "%d %.17g %.17g %.17g %d %d %d %d %d %d %d %.17g %d %d %d %d %d"
-                " %d %d %d %d %d %d %d",
+                " %d %d %d %d %d %d %d %d %d",
                 r.round, r.mean_train_loss, r.global_valid_accuracy,
                 r.wall_seconds, r.sampled, r.reporting, r.drops, r.retries,
                 r.stragglers, r.rejected_uploads, r.quorum_met ? 1 : 0,
                 r.valid_loss, r.verdict, r.outlier_uploads, r.quarantined,
                 r.skipped_quarantined, r.escalated ? 1 : 0, r.net_retries,
                 r.net_timeouts, r.net_crc_drops, r.net_dedup_drops,
-                r.net_late_drops, r.net_lost, r.storage_write_failures);
+                r.net_late_drops, r.net_lost, r.storage_write_failures,
+                r.poisoned_uploads, r.suspected_uploads);
   return std::string(buf);
 }
 
@@ -140,6 +143,13 @@ bool ParseJournalLine(const std::string& line, RoundRecord* out) {
   if (field.size() >= 24 && !to_int(field[23], &out->storage_write_failures)) {
     return false;
   }
+  // Adversary columns (v5); an older line leaves them at defaults.
+  if (field.size() >= 25 && !to_int(field[24], &out->poisoned_uploads)) {
+    return false;
+  }
+  if (field.size() >= 26 && !to_int(field[25], &out->suspected_uploads)) {
+    return false;
+  }
   return true;
 }
 
@@ -224,6 +234,11 @@ std::string EncodeRunState(const ServerRunState& state) {
   writer.WriteString(state.net_rng_state);
   // v4 storage-fault tail.
   writer.WriteI64(state.faults.storage_write_failures);
+  // v5 adversary tail.
+  writer.WriteI64(state.faults.poisoned_uploads);
+  writer.WriteI64(state.faults.suspected_uploads);
+  writer.WriteString(state.adversary_blob);
+  writer.WriteString(state.normbound_blob);
   std::string out = writer.Take();
   AppendCrc32Trailer(&out);
   return out;
@@ -310,6 +325,12 @@ Status DecodeRunState(const std::string& bytes, ServerRunState* state) {
   if (version >= 4) {
     LIGHTTR_RETURN_NOT_OK(
         reader.ReadI64(&state->faults.storage_write_failures));
+  }
+  if (version >= 5) {
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.poisoned_uploads));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadI64(&state->faults.suspected_uploads));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->adversary_blob));
+    LIGHTTR_RETURN_NOT_OK(reader.ReadString(&state->normbound_blob));
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes in run-state snapshot");

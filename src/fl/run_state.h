@@ -88,8 +88,12 @@ void MaybeInjectCrash(const DurabilityConfig& config, CrashPoint point,
 /// appends the wire-transport state: the net fault counters and the
 /// channel RNG stream (so a resumed run replays the same network
 /// weather). Version 4 appends the storage-fault counter
-/// (FaultStats::storage_write_failures). Older snapshots still load,
-/// the newer tails defaulting to "fresh".
+/// (FaultStats::storage_write_failures). Version 5 appends the
+/// adversary tail: the poisoned/suspected counters, the adversary
+/// engine's stream + honest-norm window, and the norm-bound
+/// aggregator's rolling window (so a resumed run replays the same
+/// attack weather and clips against the same bound). Older snapshots
+/// still load, the newer tails defaulting to "fresh".
 struct ServerRunState {
   int round = 0;
   std::string rng_state;        // FederatedTrainer::rng_
@@ -105,6 +109,10 @@ struct ServerRunState {
   // v3 fields (empty when decoded from an older snapshot); the six
   // FaultStats net counters also ride in the v3 tail:
   std::string net_rng_state;    // dedicated channel-fault stream
+  // v5 fields (empty when decoded from an older snapshot); the two
+  // FaultStats adversary counters also ride in the v5 tail:
+  std::string adversary_blob;   // AdversaryEngine::SerializeState
+  std::string normbound_blob;   // trainer's rolling accepted-norm window
 };
 
 /// Encodes a snapshot ("LTRS" magic, version, fields, whole-file CRC).

@@ -336,7 +336,7 @@ TEST(Backoff, SaturatesAtExtremeRetryCounts) {
 }
 
 // ---------------------------------------------------------------------
-// Cross-version run-state decoding: the v4 reader must load v1/v2/v3
+// Cross-version run-state decoding: the v5 reader must load v1..v4
 // blobs with the newer tails left at defaults. The encoders below
 // replicate each historical layout byte for byte (shared prefix, then
 // per-version tails), capped with the same whole-file CRC trailer.
@@ -378,6 +378,10 @@ fl::ServerRunState DistinctiveState() {
   state.faults.net_lost = 3;
   state.net_rng_state = Rng(43).SerializeState();
   state.faults.storage_write_failures = 4;
+  state.faults.poisoned_uploads = 6;
+  state.faults.suspected_uploads = 5;
+  state.adversary_blob = "adv";
+  state.normbound_blob = "nbw";
   return state;
 }
 
@@ -429,6 +433,12 @@ std::string EncodeAtVersion(const fl::ServerRunState& state,
   }
   if (version >= 4) {
     writer.WriteI64(state.faults.storage_write_failures);
+  }
+  if (version >= 5) {
+    writer.WriteI64(state.faults.poisoned_uploads);
+    writer.WriteI64(state.faults.suspected_uploads);
+    writer.WriteString(state.adversary_blob);
+    writer.WriteString(state.normbound_blob);
   }
   std::string out = writer.Take();
   AppendCrc32Trailer(&out);
@@ -483,16 +493,28 @@ TEST(RunStateVersions, V3BlobDecodesNetTailButNotStorage) {
   EXPECT_EQ(out.faults.storage_write_failures, 0);
 }
 
-TEST(RunStateVersions, V4MatchesTheLiveEncoder) {
+TEST(RunStateVersions, V4BlobDecodesStorageTailButNotAdversary) {
   const fl::ServerRunState state = DistinctiveState();
-  // The hand-rolled v4 encoder and the live one must agree exactly —
+  fl::ServerRunState out;
+  ASSERT_TRUE(fl::DecodeRunState(EncodeAtVersion(state, 4), &out).ok());
+  EXPECT_EQ(out.faults.storage_write_failures,
+            state.faults.storage_write_failures);
+  EXPECT_EQ(out.faults.poisoned_uploads, 0);
+  EXPECT_EQ(out.faults.suspected_uploads, 0);
+  EXPECT_EQ(out.adversary_blob, "");
+  EXPECT_EQ(out.normbound_blob, "");
+}
+
+TEST(RunStateVersions, V5MatchesTheLiveEncoder) {
+  const fl::ServerRunState state = DistinctiveState();
+  // The hand-rolled v5 encoder and the live one must agree exactly —
   // this pins the layout the older-version encoders are derived from.
-  EXPECT_EQ(EncodeAtVersion(state, 4), fl::EncodeRunState(state));
+  EXPECT_EQ(EncodeAtVersion(state, 5), fl::EncodeRunState(state));
 }
 
 TEST(RunStateVersions, UnsupportedVersionsAreRejected) {
   const fl::ServerRunState state = DistinctiveState();
-  for (uint32_t version : {0u, 5u, 999u}) {
+  for (uint32_t version : {0u, 6u, 999u}) {
     fl::ServerRunState out;
     const Status status =
         fl::DecodeRunState(EncodeAtVersion(state, version), &out);

@@ -1,14 +1,16 @@
 // lighttr-chaos: deterministic chaos campaign runner.
 //
 // Samples seeded scenarios across every fault axis (storage faults,
-// hostile network, injected crashes, client faults, self-healing), runs
-// short federated training on a fault-injecting in-memory filesystem,
-// checks the chaos invariant library, and shrinks any violation to a
-// minimal repro replayable via --repro.
+// hostile network, injected crashes, client faults, self-healing,
+// model-poisoning adversary), runs short federated training on a
+// fault-injecting in-memory filesystem, checks the chaos invariant
+// library, and shrinks any violation to a minimal repro replayable via
+// --repro.
 //
 // Usage:
 //   lighttr-chaos [--scenarios=N] [--seed=S] [--no-shrink]
-//                 [--plant=leak-tmp] [--repro="seed=... ..."]
+//                 [--plant=leak-tmp|stealth-poison]
+//                 [--repro="seed=... ..."]
 //
 // Exit status:
 //   normal mode   0 iff every scenario satisfied every invariant
@@ -43,7 +45,8 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--scenarios=N] [--seed=S] [--no-shrink]\n"
-      "          [--plant=leak-tmp] [--repro=\"seed=... ...\"]\n"
+      "          [--plant=leak-tmp|stealth-poison]\n"
+      "          [--repro=\"seed=... ...\"]\n"
       "          [--kernel=auto|scalar|avx2]\n"
       "\n"
       "Runs N seeded chaos scenarios across all fault axes and checks the\n"
@@ -194,6 +197,9 @@ int main(int argc, char** argv) {
       const std::string bug = value_of("--plant=");
       if (bug == lighttr::chaos::PlantedBugName(PlantedBug::kLeakTmp)) {
         options.plant = PlantedBug::kLeakTmp;
+      } else if (bug == lighttr::chaos::PlantedBugName(
+                            PlantedBug::kStealthPoison)) {
+        options.plant = PlantedBug::kStealthPoison;
       } else {
         std::fprintf(stderr, "unknown --plant bug '%s'\n", bug.c_str());
         return 2;
